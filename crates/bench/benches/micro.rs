@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the performance-critical primitives of
+//! the simulator and for SAC's runtime components (the EAB model and the
+//! CRD, which the paper argues are lightweight enough for hardware).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mcgpu_cache::{CacheConfig, DataHome, SetAssocCache};
+use mcgpu_mem::interleave;
+use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::{ChipId, LineAddr, LlcOrgKind, MachineConfig};
+use sac::eab::{ArchBandwidth, EabInputs, EabModel};
+use sac::Crd;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut cache = SetAssocCache::new(CacheConfig::llc_slice(256 << 10, 16, 128));
+    let mut i = 0u64;
+    c.bench_function("llc_slice_lookup_fill", |b| {
+        b.iter(|| {
+            let line = LineAddr(i % 40_000);
+            i = i.wrapping_add(97);
+            if cache.lookup(black_box(line), None, false) != mcgpu_cache::LookupOutcome::Hit {
+                cache.fill(line, None, DataHome::Local, false);
+            }
+        })
+    });
+}
+
+fn bench_interleave(c: &mut Criterion) {
+    let mut i = 0u64;
+    c.bench_function("pae_slice_index", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(4097);
+            black_box(interleave::slice_index(LineAddr(i), 16))
+        })
+    });
+}
+
+fn bench_eab(c: &mut Criterion) {
+    let model = EabModel::new(ArchBandwidth {
+        b_intra: 4096.0,
+        b_inter: 192.0,
+        b_llc: 4000.0,
+        b_mem: 437.5,
+    });
+    let inputs = EabInputs {
+        r_local: 0.6,
+        llc_hit_memory_side: 0.55,
+        llc_hit_sm_side: 0.4,
+        lsu_memory_side: 0.8,
+        lsu_sm_side: 0.9,
+    };
+    c.bench_function("eab_decide", |b| {
+        b.iter(|| model.decide(black_box(&inputs), 0.05))
+    });
+}
+
+fn bench_crd(c: &mut Criterion) {
+    let mut crd = Crd::paper_default(128);
+    let mut i = 0u64;
+    c.bench_function("crd_observe", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(31);
+            crd.observe(LineAddr(i % 4096), None, ChipId((i % 4) as u8))
+        })
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let cfg = MachineConfig::experiment_baseline();
+    let p = profiles::by_name("SN").expect("profile");
+    let params = TraceParams {
+        total_accesses: 20_000,
+        ..TraceParams::quick()
+    };
+    let wl = generate(&cfg, &p, &params);
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for org in [LlcOrgKind::MemorySide, LlcOrgKind::Sac] {
+        group.bench_function(format!("sn_20k_{}", org.label()), |b| {
+            b.iter(|| {
+                SimBuilder::new(cfg.clone())
+                    .organization(org)
+                    .build()
+                    .run(black_box(&wl))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tracegen(c: &mut Criterion) {
+    let cfg = MachineConfig::experiment_baseline();
+    let p = profiles::by_name("CFD").expect("profile");
+    let params = TraceParams {
+        total_accesses: 50_000,
+        ..TraceParams::quick()
+    };
+    let mut group = c.benchmark_group("tracegen");
+    group.sample_size(20);
+    group.bench_function("cfd_50k", |b| {
+        b.iter(|| generate(black_box(&cfg), &p, &params))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cache,
+    bench_interleave,
+    bench_eab,
+    bench_crd,
+    bench_simulator,
+    bench_tracegen
+);
+criterion_main!(benches);

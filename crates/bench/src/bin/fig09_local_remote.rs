@@ -1,0 +1,25 @@
+//! Regenerates Fig. 9: the fraction of resident LLC lines holding local vs
+//! remote data under each organization.
+
+use mcgpu_types::LlcOrgKind;
+use sac_bench::{experiment_config, run_suite, trace_params};
+
+fn main() {
+    let cfg = experiment_config();
+    let rows = run_suite(&cfg, &trace_params(), &LlcOrgKind::ALL);
+    println!("fraction of LLC caching LOCAL data (remainder = remote data):");
+    print!("{:6} {:>4}", "bench", "pref");
+    for org in LlcOrgKind::ALL {
+        print!(" {:>11}", org.label());
+    }
+    println!();
+    for r in &rows {
+        print!("{:6} {:>4}", r.profile.name, r.profile.preference.label());
+        for org in LlcOrgKind::ALL {
+            print!(" {:>11.2}", r.stats(org).llc_local_fraction);
+        }
+        println!();
+    }
+    println!("\n(memory-side is 1.00 by construction; the static LLC pins a 50/50 way");
+    println!(" split; SAC caches only local data when it selects memory-side.)");
+}

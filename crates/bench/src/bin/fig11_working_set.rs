@@ -1,0 +1,36 @@
+//! Regenerates Fig. 11: per-time-window working-set size under the SM-side
+//! organization, broken into truly-shared / falsely-shared / non-shared
+//! data, for windows from 1K to 100K cycles.
+
+use mcgpu_trace::{analysis, generate, profiles};
+use mcgpu_types::LlcOrgKind;
+use sac_bench::{experiment_config, run_benchmark, trace_params};
+
+fn main() {
+    let cfg = experiment_config();
+    let params = trace_params();
+    // The paper's x-axis is cycles; convert via the measured SM-side issue
+    // rate (accesses/cycle) of each benchmark.
+    let windows_cycles = [1_000usize, 10_000, 100_000];
+    println!("mean per-window working set in paper-equivalent MB (SM-side organization);");
+    println!("machine total LLC at paper scale = 16 MB\n");
+    println!("{:6} {:>4} | {:>9} | {:>8} {:>8} {:>8} | {:>8}",
+        "bench", "pref", "window", "true", "false", "non", "total");
+    for p in profiles::all_profiles() {
+        let rows = run_benchmark(&cfg, &p, &params, &[LlcOrgKind::SmSide]);
+        let rate = rows.stats(LlcOrgKind::SmSide).perf();
+        let wl = generate(&cfg, &p, &params);
+        let windows_accesses: Vec<usize> = windows_cycles
+            .iter()
+            .map(|&w| ((w as f64 * rate) as usize).max(100))
+            .collect();
+        let curve = analysis::working_set_curve(&cfg, &wl, &windows_accesses);
+        for (i, (_, ws)) in curve.iter().enumerate() {
+            let ws = ws.to_paper_scale(&cfg);
+            println!("{:6} {:>4} | {:>7}cy | {:>8.1} {:>8.1} {:>8.1} | {:>8.1}",
+                if i == 0 { p.name } else { "" },
+                if i == 0 { p.preference.label() } else { "" },
+                windows_cycles[i], ws.true_mb, ws.false_mb, ws.non_mb, ws.total_mb());
+        }
+    }
+}

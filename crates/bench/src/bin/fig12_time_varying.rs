@@ -1,0 +1,37 @@
+//! Regenerates Fig. 12: BFS's time-varying behaviour — per-kernel
+//! performance of SM-side and SAC relative to memory-side, showing that SAC
+//! selects the memory-side organization for K1 and the SM-side organization
+//! for K2 on a per-kernel basis.
+
+use mcgpu_types::LlcOrgKind;
+use sac_bench::{experiment_config, run_benchmark, trace_params};
+
+fn main() {
+    let cfg = experiment_config();
+    let p = mcgpu_trace::profiles::by_name("BFS").expect("BFS profile");
+    let rows = run_benchmark(
+        &cfg,
+        &p,
+        &trace_params(),
+        &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac],
+    );
+    let mem = rows.stats(LlcOrgKind::MemorySide);
+    let sm = rows.stats(LlcOrgKind::SmSide);
+    let sac = rows.stats(LlcOrgKind::Sac);
+    println!("BFS per-kernel performance relative to memory-side:");
+    println!("{:>7} {:>10} {:>10} {:>10} {:>10}", "kernel", "phase", "SM-side", "SAC", "SAC mode");
+    for i in 0..mem.kernels.len() {
+        let phase = if i % 2 == 0 { "K1" } else { "K2" };
+        let base = mem.kernels[i].perf();
+        let mode = sac.kernels[i]
+            .sac_mode
+            .map(|m| m.label())
+            .unwrap_or("-");
+        println!("{:>7} {:>10} {:>10.2} {:>10.2} {:>10}",
+            i, phase, sm.kernels[i].perf() / base, sac.kernels[i].perf() / base, mode);
+    }
+    println!("\nwhole-application speedup vs memory-side: SM-side {:.2}x, SAC {:.2}x",
+        rows.speedup(LlcOrgKind::SmSide), rows.speedup(LlcOrgKind::Sac));
+    println!("(the paper's point: K1 prefers memory-side, K2 prefers SM-side, and SAC");
+    println!(" picks per kernel — beating the static choice of either organization.)");
+}

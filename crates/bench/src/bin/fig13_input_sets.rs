@@ -1,0 +1,45 @@
+//! Regenerates Fig. 13: input-set sensitivity. For SP benchmarks the input
+//! is scaled x8 ... /4; for MP benchmarks x4 ... /32. SAC should follow the
+//! crossover: large inputs make replication thrash (memory-side wins),
+//! small inputs make replication fit (SM-side wins).
+
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_sim::SimBuilder;
+use mcgpu_types::{LlcOrgKind, MachineConfig};
+
+fn run(cfg: &MachineConfig, wl: &mcgpu_trace::Workload, org: LlcOrgKind) -> mcgpu_sim::RunStats {
+    SimBuilder::new(cfg.clone()).organization(org).build().run(wl).unwrap()
+}
+
+fn main() {
+    let cfg = sac_bench::experiment_config();
+    let base = sac_bench::trace_params();
+    // Representative subset (full 16 x 7 scales would run for hours).
+    let sp = ["RN", "CFD"];
+    let mp = ["SRAD", "GEMM"];
+    let sp_scales: &[f64] = &[8.0, 2.0, 1.0, 0.5, 0.25];
+    let mp_scales: &[f64] = &[4.0, 1.0, 0.25, 1.0 / 16.0, 1.0 / 32.0];
+    for (names, scales, label) in [
+        (&sp[..], sp_scales, "SM-side preferred"),
+        (&mp[..], mp_scales, "memory-side preferred"),
+    ] {
+        println!("== {label} benchmarks ==");
+        println!("{:6} {:>8} | {:>8} {:>8} | SAC modes", "bench", "input", "SM-side", "SAC");
+        for name in names {
+            let p = profiles::by_name(name).expect("profile");
+            for &scale in scales {
+                let params = TraceParams { input_scale: scale, ..base };
+                let wl = generate(&cfg, &p, &params);
+                let mem = run(&cfg, &wl, LlcOrgKind::MemorySide);
+                let sm = run(&cfg, &wl, LlcOrgKind::SmSide);
+                let sac = run(&cfg, &wl, LlcOrgKind::Sac);
+                let modes: String = sac.sac_history.iter()
+                    .map(|k| if k.mode == sac::LlcMode::SmSide { 'S' } else { 'M' })
+                    .collect();
+                println!("{:6} {:>7}x | {:>8.2} {:>8.2} | [{}]",
+                    name, scale, sm.speedup_over(&mem), sac.speedup_over(&mem), modes);
+            }
+            println!();
+        }
+    }
+}

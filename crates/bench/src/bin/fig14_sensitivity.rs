@@ -1,0 +1,91 @@
+//! Regenerates Fig. 14: SAC sensitivity across the design space —
+//! inter-chip bandwidth, LLC capacity, memory interface, coherence
+//! protocol, GPU count, sectored caches and page size. Reports the
+//! harmonic-mean speedup of SM-side and SAC over the memory-side baseline
+//! on a representative benchmark subset (3 SP + 3 MP).
+
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_sim::SimBuilder;
+use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface};
+use sac_bench::harmonic_mean;
+
+const SUBSET: [&str; 6] = ["RN", "SN", "CFD", "SRAD", "LUD", "GEMM"];
+
+fn sweep(label: &str, cfg: &MachineConfig, params: &TraceParams) {
+    let mut sm = Vec::new();
+    let mut sac = Vec::new();
+    for name in SUBSET {
+        let p = profiles::by_name(name).expect("profile");
+        let wl = generate(cfg, &p, params);
+        let run = |org| {
+            SimBuilder::new(cfg.clone()).organization(org).build().run(&wl).unwrap()
+        };
+        let mem = run(LlcOrgKind::MemorySide);
+        sm.push(run(LlcOrgKind::SmSide).speedup_over(&mem));
+        sac.push(run(LlcOrgKind::Sac).speedup_over(&mem));
+    }
+    println!("{:36} | SM-side {:>5.2} | SAC {:>5.2}", label, harmonic_mean(&sm), harmonic_mean(&sac));
+}
+
+fn main() {
+    let base = sac_bench::experiment_config();
+    let params = sac_bench::trace_params();
+    println!("harmonic-mean speedup vs memory-side on {:?}:\n", SUBSET);
+
+    println!("-- inter-chip bandwidth (default marked *) --");
+    for (label, factor) in [("PCIe-class (0.5x)", 0.5), ("NVLink2-class (1x) *", 1.0), ("NVLink3-class (2x)", 2.0), ("MCM-class (4x)", 4.0), ("MCM-class (8x)", 8.0)] {
+        let mut c = base.clone();
+        c.interchip_pair_gbs *= factor;
+        sweep(label, &c, &params);
+    }
+
+    println!("\n-- LLC capacity --");
+    for (label, factor) in [("0.5x LLC", 0.5), ("1x LLC *", 1.0), ("2x LLC", 2.0)] {
+        let mut c = base.clone();
+        c.llc_bytes_per_chip = (c.llc_bytes_per_chip as f64 * factor) as u64;
+        sweep(label, &c, &params);
+    }
+
+    println!("\n-- memory interface --");
+    for iface in [MemoryInterface::Gddr5, MemoryInterface::Gddr6, MemoryInterface::Hbm2] {
+        let mut c = base.clone().with_memory_interface(iface);
+        // Rescale channel bandwidth to the scaled machine.
+        c.dram_channel_gbs /= base.scale.topology as f64;
+        let star = if iface == MemoryInterface::Gddr6 { " *" } else { "" };
+        sweep(&format!("{}{}", iface.label(), star), &c, &params);
+    }
+
+    println!("\n-- coherence protocol --");
+    for coh in [CoherenceKind::Software, CoherenceKind::Hardware] {
+        let mut c = base.clone();
+        c.coherence = coh;
+        let star = if coh == CoherenceKind::Software { " *" } else { "" };
+        sweep(&format!("{:?}{}", coh, star), &c, &params);
+    }
+
+    println!("\n-- GPU count (total inter-chip bandwidth held constant) --");
+    for chips in [2usize, 4] {
+        let mut c = base.clone();
+        let total_pair_bw = c.interchip_pair_gbs * c.chips as f64;
+        c.chips = chips;
+        c.interchip_pair_gbs = total_pair_bw / chips as f64;
+        let star = if chips == 4 { " *" } else { "" };
+        sweep(&format!("{} GPUs{}", chips, star), &c, &params);
+    }
+
+    println!("\n-- sectored cache --");
+    for sectored in [false, true] {
+        let mut c = base.clone();
+        c.sectored = sectored;
+        let star = if !sectored { " *" } else { "" };
+        sweep(&format!("sectored={}{}", sectored, star), &c, &params);
+    }
+
+    println!("\n-- page size --");
+    for ps in [2048u64, 4096, 8192] {
+        let mut c = base.clone();
+        c.page_size = ps;
+        let star = if ps == 4096 { " *" } else { "" };
+        sweep(&format!("{} B pages{}", ps, star), &c, &params);
+    }
+}

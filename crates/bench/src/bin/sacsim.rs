@@ -1,0 +1,76 @@
+//! Ad-hoc experiment CLI.
+//!
+//! ```text
+//! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X] [--hw-coherence] [--sectored]
+//! ```
+//!
+//! ORG in {mem, sm, static, dynamic, sac}. Prints the full run statistics.
+
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_sim::SimBuilder;
+use mcgpu_types::{CoherenceKind, LlcOrgKind, ResponseOrigin};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let bench = arg_value("--bench").unwrap_or_else(|| "BFS".to_string());
+    let org = match arg_value("--org").as_deref() {
+        Some("mem") | None => LlcOrgKind::MemorySide,
+        Some("sm") => LlcOrgKind::SmSide,
+        Some("static") => LlcOrgKind::StaticHalf,
+        Some("dynamic") => LlcOrgKind::Dynamic,
+        Some("sac") => LlcOrgKind::Sac,
+        Some(other) => {
+            eprintln!("unknown organization {other}; use mem|sm|static|dynamic|sac");
+            std::process::exit(2);
+        }
+    };
+    let mut cfg = sac_bench::experiment_config();
+    if std::env::args().any(|a| a == "--hw-coherence") {
+        cfg.coherence = CoherenceKind::Hardware;
+    }
+    if std::env::args().any(|a| a == "--sectored") {
+        cfg.sectored = true;
+    }
+    let mut params = TraceParams::standard();
+    if let Some(n) = arg_value("--accesses").and_then(|v| v.parse().ok()) {
+        params.total_accesses = n;
+    }
+    if let Some(x) = arg_value("--input-scale").and_then(|v| v.parse().ok()) {
+        params = params.with_input_scale(x);
+    }
+
+    let Some(profile) = profiles::by_name(&bench) else {
+        eprintln!("unknown benchmark {bench}; known: {:?}",
+            profiles::all_profiles().iter().map(|p| p.name).collect::<Vec<_>>());
+        std::process::exit(2);
+    };
+    let wl = generate(&cfg, &profile, &params);
+    let stats = SimBuilder::new(cfg).organization(org).build().run(&wl).expect("run");
+
+    println!("benchmark          : {} ({} accesses, input x{})", bench, wl.total_accesses(), params.input_scale);
+    println!("organization       : {}", org.label());
+    println!("cycles             : {}", stats.cycles);
+    println!("performance        : {:.3} accesses/cycle", stats.perf());
+    println!("L1 miss rate       : {:.3}", stats.l1.miss_rate());
+    println!("LLC miss rate      : {:.3}", stats.llc_miss_rate());
+    println!("LLC local fraction : {:.3}", stats.llc_local_fraction);
+    println!("effective LLC bw   : {:.3} responses/cycle", stats.effective_llc_bandwidth());
+    for o in ResponseOrigin::ALL {
+        println!("  from {:10}    : {:.3}/cycle", o.label(), stats.response_rate(o));
+    }
+    println!("ring traffic       : {:.1} B/cycle", stats.ring_bytes as f64 / stats.cycles as f64);
+    println!("DRAM reads/writes  : {} / {}", stats.dram_reads, stats.dram_writes);
+    println!("overhead cycles    : {}", stats.overhead_cycles);
+    if !stats.sac_history.is_empty() {
+        println!("SAC decisions:");
+        for (i, r) in stats.sac_history.iter().enumerate() {
+            println!("  kernel {i}: {} (EAB mem {:.0} vs sm {:.0}, R_local {:.2}, hitM {:.2}, hitS {:.2})",
+                r.mode, r.eab_memory_side, r.eab_sm_side,
+                r.inputs.r_local, r.inputs.llc_hit_memory_side, r.inputs.llc_hit_sm_side);
+        }
+    }
+}

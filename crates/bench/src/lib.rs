@@ -1,0 +1,151 @@
+//! Shared experiment runner for the figure/table harness binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index). They share this runner: a scaled
+//! baseline machine, the 16 Table 4 workloads, and helpers that run a
+//! workload under each LLC organization and aggregate the statistics the
+//! figures report.
+//!
+//! Run the binaries in release mode — e.g.
+//! `cargo run --release -p sac-bench --bin fig08_speedup` — and pass
+//! `--quick` for a reduced-volume smoke run.
+
+use mcgpu_sim::{RunStats, SimBuilder};
+use mcgpu_trace::{generate, profiles, BenchmarkProfile, TraceParams, Workload};
+use mcgpu_types::{LlcOrgKind, MachineConfig};
+
+pub use mcgpu_sim::stats::harmonic_mean;
+
+/// The scaled baseline machine every figure uses unless it sweeps a
+/// parameter (see `ScaleFactor::EXPERIMENT` for what "scaled" preserves).
+pub fn experiment_config() -> MachineConfig {
+    MachineConfig::experiment_baseline()
+}
+
+/// Trace volume: standard for figures, reduced with `--quick`.
+pub fn trace_params() -> TraceParams {
+    if quick_mode() {
+        TraceParams {
+            total_accesses: 150_000,
+            ..TraceParams::standard()
+        }
+    } else {
+        TraceParams::standard()
+    }
+}
+
+/// Whether `--quick` was passed on the command line.
+pub fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Results of one benchmark under every requested organization.
+pub struct BenchRows {
+    /// The benchmark profile.
+    pub profile: BenchmarkProfile,
+    /// The generated workload (for trace-level analyses).
+    pub workload: Workload,
+    /// `(organization, stats)` in the order requested.
+    pub runs: Vec<(LlcOrgKind, RunStats)>,
+}
+
+impl BenchRows {
+    /// Stats for one organization.
+    ///
+    /// # Panics
+    /// Panics if the organization was not part of the run set.
+    pub fn stats(&self, org: LlcOrgKind) -> &RunStats {
+        &self
+            .runs
+            .iter()
+            .find(|(o, _)| *o == org)
+            .expect("organization was run")
+            .1
+    }
+
+    /// Speedup of `org` over the memory-side baseline.
+    pub fn speedup(&self, org: LlcOrgKind) -> f64 {
+        self.stats(org)
+            .speedup_over(self.stats(LlcOrgKind::MemorySide))
+    }
+}
+
+/// Run one benchmark under the given organizations on `cfg`.
+pub fn run_benchmark(
+    cfg: &MachineConfig,
+    profile: &BenchmarkProfile,
+    params: &TraceParams,
+    orgs: &[LlcOrgKind],
+) -> BenchRows {
+    let workload = generate(cfg, profile, params);
+    let runs = orgs
+        .iter()
+        .map(|&org| {
+            let stats = SimBuilder::new(cfg.clone())
+                .organization(org)
+                .build()
+                .run(&workload)
+                .unwrap_or_else(|e| panic!("{}/{org}: {e}", profile.name));
+            (org, stats)
+        })
+        .collect();
+    BenchRows {
+        profile: profile.clone(),
+        workload,
+        runs,
+    }
+}
+
+/// Run the full 16-benchmark suite under the given organizations,
+/// printing a progress line per benchmark to stderr.
+pub fn run_suite(cfg: &MachineConfig, params: &TraceParams, orgs: &[LlcOrgKind]) -> Vec<BenchRows> {
+    profiles::all_profiles()
+        .iter()
+        .map(|p| {
+            eprintln!("  running {} ({} organizations)...", p.name, orgs.len());
+            run_benchmark(cfg, p, params, orgs)
+        })
+        .collect()
+}
+
+/// Harmonic-mean speedup over `rows` filtered by preference (`None` = all).
+pub fn group_speedup(
+    rows: &[BenchRows],
+    org: LlcOrgKind,
+    pref: Option<profiles::Preference>,
+) -> f64 {
+    let v: Vec<f64> = rows
+        .iter()
+        .filter(|r| pref.is_none_or(|p| r.profile.preference == p))
+        .map(|r| r.speedup(org))
+        .collect();
+    harmonic_mean(&v)
+}
+
+/// Format a float with 2 decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_smoke() {
+        let cfg = experiment_config();
+        let params = TraceParams {
+            total_accesses: 20_000,
+            ..TraceParams::quick()
+        };
+        let p = profiles::by_name("SN").unwrap();
+        let rows = run_benchmark(
+            &cfg,
+            &p,
+            &params,
+            &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide],
+        );
+        assert!((rows.speedup(LlcOrgKind::MemorySide) - 1.0).abs() < 1e-12);
+        assert!(rows.speedup(LlcOrgKind::SmSide) > 0.0);
+    }
+}

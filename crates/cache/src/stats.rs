@@ -1,0 +1,93 @@
+//! Cache statistics counters.
+
+/// Event counters accumulated by a [`SetAssocCache`](crate::SetAssocCache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups performed.
+    pub accesses: u64,
+    /// Lookups that hit (tag and sector valid).
+    pub hits: u64,
+    /// Lookups that missed the tag array entirely.
+    pub misses: u64,
+    /// Lookups that found the tag but not the sector (sectored caches).
+    pub sector_misses: u64,
+    /// Fills performed.
+    pub fills: u64,
+    /// Valid lines evicted by fills.
+    pub evictions: u64,
+    /// Fills rejected because the target way pool had zero ways.
+    pub fill_rejections: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over all lookups; 0 when no lookups happened.
+    ///
+    /// Sector misses count as misses: the data was not present.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Miss rate over all lookups (`1 - hit_rate` when lookups happened).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            1.0 - self.hit_rate()
+        }
+    }
+
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.sector_misses += other.sector_misses;
+        self.fills += other.fills;
+        self.evictions += other.evictions;
+        self.fill_rejections += other.fill_rejections;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats {
+            accesses: 10,
+            hits: 7,
+            misses: 2,
+            sector_misses: 1,
+            ..Default::default()
+        };
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CacheStats {
+            accesses: 1,
+            hits: 1,
+            ..Default::default()
+        };
+        let b = CacheStats {
+            accesses: 2,
+            misses: 2,
+            evictions: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accesses, 3);
+        assert_eq!(a.hits, 1);
+        assert_eq!(a.misses, 2);
+        assert_eq!(a.evictions, 1);
+    }
+}

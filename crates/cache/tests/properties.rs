@@ -1,0 +1,144 @@
+//! Property-based tests for the set-associative cache.
+
+use mcgpu_cache::{CacheConfig, DataHome, LookupOutcome, SetAssocCache};
+use mcgpu_types::LineAddr;
+use proptest::prelude::*;
+
+/// An operation in a random cache workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Lookup(u64, bool),
+    Fill(u64, bool, bool), // line, write, remote
+    Invalidate(u64),
+    Flush,
+}
+
+fn op_strategy(max_line: u64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_line, any::<bool>()).prop_map(|(l, w)| Op::Lookup(l, w)),
+        (0..max_line, any::<bool>(), any::<bool>()).prop_map(|(l, w, r)| Op::Fill(l, w, r)),
+        (0..max_line).prop_map(Op::Invalidate),
+        Just(Op::Flush),
+    ]
+}
+
+proptest! {
+    /// The cache never holds more lines than its capacity, and occupancy
+    /// always equals the sum of the per-home counts.
+    #[test]
+    fn occupancy_never_exceeds_capacity(
+        ops in proptest::collection::vec(op_strategy(256), 1..400),
+        assoc in 1usize..8,
+    ) {
+        let cfg = CacheConfig::l1(8 * assoc as u64 * 128, assoc, 128);
+        let capacity = cfg.capacity_lines();
+        let mut c = SetAssocCache::new(cfg);
+        for op in ops {
+            match op {
+                Op::Lookup(l, w) => { c.lookup(LineAddr(l), None, w); }
+                Op::Fill(l, w, r) => {
+                    let home = if r { DataHome::Remote } else { DataHome::Local };
+                    c.fill(LineAddr(l), None, home, w);
+                }
+                Op::Invalidate(l) => { c.invalidate(LineAddr(l)); }
+                Op::Flush => { c.flush_all(); }
+            }
+            prop_assert!(c.len() <= capacity);
+            let (local, remote) = c.occupancy_by_home();
+            prop_assert_eq!(local + remote, c.len());
+        }
+    }
+
+    /// Fill followed immediately by lookup always hits, and a fill never
+    /// evicts the line just filled.
+    #[test]
+    fn fill_then_lookup_hits(lines in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut c = SetAssocCache::new(CacheConfig::llc_slice(4 * 128 * 4, 4, 128));
+        for l in lines {
+            let ev = c.fill(LineAddr(l), None, DataHome::Local, false);
+            if let Some(ev) = ev {
+                prop_assert_ne!(ev.line, LineAddr(l));
+            }
+            prop_assert_eq!(c.lookup(LineAddr(l), None, false), LookupOutcome::Hit);
+        }
+    }
+
+    /// Hits + misses (+ sector misses) always equals accesses, and fills -
+    /// evictions - rejections bounds occupancy.
+    #[test]
+    fn stats_are_consistent(
+        ops in proptest::collection::vec(op_strategy(128), 1..300),
+    ) {
+        let mut c = SetAssocCache::new(CacheConfig::l1(2048, 2, 128));
+        for op in ops {
+            match op {
+                Op::Lookup(l, w) => { c.lookup(LineAddr(l), None, w); }
+                Op::Fill(l, w, r) => {
+                    let home = if r { DataHome::Remote } else { DataHome::Local };
+                    c.fill(LineAddr(l), None, home, w);
+                }
+                Op::Invalidate(l) => { c.invalidate(LineAddr(l)); }
+                Op::Flush => { c.flush_all(); }
+            }
+        }
+        let s = *c.stats();
+        prop_assert_eq!(s.hits + s.misses + s.sector_misses, s.accesses);
+        prop_assert!(s.evictions <= s.fills);
+    }
+
+    /// Flush returns exactly the dirty lines, leaves the cache empty, and a
+    /// re-lookup of any previously resident line misses.
+    #[test]
+    fn flush_returns_dirty_lines(
+        fills in proptest::collection::vec((0u64..64, any::<bool>()), 1..60),
+    ) {
+        let mut c = SetAssocCache::new(CacheConfig::l1(64 * 128, 4, 128));
+        for &(l, w) in &fills {
+            c.fill(LineAddr(l), None, DataHome::Local, w);
+        }
+        // Which lines are resident AND dirty right now?
+        let mut expect_dirty: Vec<u64> = Vec::new();
+        for l in 0..64u64 {
+            if c.probe(LineAddr(l), None) {
+                // Dirty iff the last fill/write of l was a write and no
+                // clean overwrite happened — we can't see dirtiness via the
+                // public API except through flush, so just check set-equality
+                // of flush output with residency-filtered writes.
+                let was_written = fills
+                    .iter()
+                    .filter(|&&(fl, _)| fl == l)
+                    .any(|&(_, w)| w);
+                if was_written {
+                    expect_dirty.push(l);
+                }
+            }
+        }
+        let mut dirty: Vec<u64> = c.flush_all().into_iter().map(|l| l.index()).collect();
+        dirty.sort_unstable();
+        // Every flushed-dirty line must have been written at some point.
+        for d in &dirty {
+            prop_assert!(expect_dirty.contains(d));
+        }
+        prop_assert!(c.is_empty());
+    }
+
+    /// Under way partitioning, the number of resident remote lines never
+    /// exceeds remote_ways * sets, and likewise for local lines.
+    #[test]
+    fn partition_pools_are_bounded(
+        fills in proptest::collection::vec((0u64..512, any::<bool>()), 1..300),
+        local_ways in 0usize..=4,
+    ) {
+        let sets = 8usize;
+        let assoc = 4usize;
+        let mut c = SetAssocCache::new(CacheConfig::l1((sets * assoc) as u64 * 128, assoc, 128));
+        c.set_partition(local_ways);
+        for &(l, remote) in &fills {
+            let home = if remote { DataHome::Remote } else { DataHome::Local };
+            c.fill(LineAddr(l), None, home, false);
+        }
+        let (local, remote) = c.occupancy_by_home();
+        prop_assert!(local <= local_ways * sets);
+        prop_assert!(remote <= (assoc - local_ways) * sets);
+    }
+}

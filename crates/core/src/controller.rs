@@ -1,0 +1,423 @@
+//! The SAC runtime controller (§3.2, §3.5).
+//!
+//! Per kernel invocation:
+//!
+//! 1. start in the **memory-side** configuration and profile for a short
+//!    window (2K cycles in the paper) while the counters and CRDs collect
+//!    the EAB inputs;
+//! 2. evaluate the EAB model; if `EAB_sm > (1 + θ) · EAB_mem` (θ = 5%),
+//!    reconfigure to SM-side: wait for in-flight requests to drain, write
+//!    back and invalidate dirty LLC lines, switch the NoC routing policy;
+//! 3. at kernel termination, revert to memory-side (drain + switch).
+//!
+//! The controller is a pure state machine: the simulator drives it with
+//! `tick`, feeds its [`ProfileCollector`], and signals
+//! [`drain_complete`](SacController::drain_complete) /
+//! [`flush_complete`](SacController::flush_complete) when the machine
+//! reaches the corresponding quiescent points.
+
+use crate::counters::ProfileCollector;
+use crate::eab::{EabInputs, EabModel};
+use crate::LlcMode;
+
+/// SAC tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SacConfig {
+    /// Profiling window length in cycles (paper: 2000).
+    pub profile_window: u64,
+    /// Decision threshold θ (paper: 0.05).
+    pub theta: f64,
+    /// Minimum L1-miss observations required before deciding; the window is
+    /// extended in half-window steps (up to 8× the window) until reached.
+    /// This guards against deciding from an empty sample when the machine
+    /// is drained or saturated during the nominal window.
+    pub min_samples: u64,
+}
+
+impl Default for SacConfig {
+    fn default() -> Self {
+        SacConfig {
+            profile_window: 2000,
+            theta: 0.05,
+            min_samples: 1000,
+        }
+    }
+}
+
+impl SacConfig {
+    /// Window sized for a scaled machine: access latencies (in cycles) do
+    /// not scale with the machine, so the cold-start transient covers a
+    /// larger share of a scaled machine's profiling window; we widen the
+    /// window by the capacity/topology ratio to compensate.
+    pub fn for_machine(cfg: &mcgpu_types::MachineConfig) -> Self {
+        let stretch = (cfg.scale.capacity / cfg.scale.topology).max(1) as u64;
+        SacConfig {
+            profile_window: 1000 * stretch.max(2),
+            ..SacConfig::default()
+        }
+    }
+}
+
+/// Controller state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SacState {
+    /// No kernel is running.
+    Idle,
+    /// Memory-side profiling until the given cycle. The first half of the
+    /// window warms the caches; the counters are reset at the midpoint so
+    /// the measured rates reflect warm behaviour rather than cold misses.
+    Profiling {
+        /// Cycle at which the window ends.
+        until: u64,
+    },
+    /// Waiting for in-flight requests to drain before switching to `to`.
+    Draining {
+        /// Target mode after the drain.
+        to: LlcMode,
+    },
+    /// Writing back + invalidating dirty LLC lines before running SM-side.
+    Flushing,
+    /// Steady-state execution.
+    Running {
+        /// The active LLC mode.
+        mode: LlcMode,
+    },
+}
+
+/// Record of one kernel's profiling and decision (drives Fig. 12 and the
+/// decision-quality analyses).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelRecord {
+    /// Cycle the kernel began.
+    pub start_cycle: u64,
+    /// Cycle the decision was made (end of the profiling window).
+    pub decision_cycle: u64,
+    /// The collected EAB inputs.
+    pub inputs: EabInputs,
+    /// Predicted EAB of the memory-side configuration.
+    pub eab_memory_side: f64,
+    /// Predicted EAB of the SM-side configuration.
+    pub eab_sm_side: f64,
+    /// The chosen mode.
+    pub mode: LlcMode,
+    /// L1-miss requests observed during the measured half of the window.
+    pub requests_observed: u64,
+}
+
+/// The per-kernel SAC reconfiguration state machine. See the
+/// [module docs](self) for the protocol.
+#[derive(Debug, Clone)]
+pub struct SacController {
+    config: SacConfig,
+    model: EabModel,
+    state: SacState,
+    collector: ProfileCollector,
+    kernel_start: u64,
+    warmup_reset_done: bool,
+    history: Vec<KernelRecord>,
+}
+
+impl SacController {
+    /// Create a controller for a machine with `chips` chips,
+    /// `total_slices` LLC slices and per-chip LLCs of `llc_sets_per_chip`
+    /// sets; `sectored` selects the sectored CRD layout.
+    pub fn new(
+        config: SacConfig,
+        model: EabModel,
+        chips: usize,
+        total_slices: usize,
+        llc_sets_per_chip: usize,
+        sectored: bool,
+    ) -> Self {
+        SacController {
+            config,
+            model,
+            state: SacState::Idle,
+            collector: ProfileCollector::new(chips, total_slices, llc_sets_per_chip, sectored),
+            kernel_start: 0,
+            warmup_reset_done: false,
+            history: Vec::new(),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &SacConfig {
+        &self.config
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SacState {
+        self.state
+    }
+
+    /// The routing mode the LLC must use *right now*. Profiling, draining
+    /// towards SM-side and flushing all still run memory-side; only
+    /// `Running { SmSide }` (or draining back out of it) routes SM-side.
+    pub fn mode(&self) -> LlcMode {
+        match self.state {
+            SacState::Running { mode } => mode,
+            SacState::Draining { to: LlcMode::MemorySide } => LlcMode::SmSide,
+            _ => LlcMode::MemorySide,
+        }
+    }
+
+    /// Whether the profiling counters should be fed this cycle.
+    pub fn is_profiling(&self) -> bool {
+        matches!(self.state, SacState::Profiling { .. })
+    }
+
+    /// Mutable access to the profiling counters (the simulator feeds them).
+    pub fn collector_mut(&mut self) -> &mut ProfileCollector {
+        &mut self.collector
+    }
+
+    /// Start a new kernel at cycle `now`: reset the counters and enter the
+    /// profiling window in the memory-side configuration.
+    pub fn begin_kernel(&mut self, now: u64) {
+        self.collector.reset();
+        self.kernel_start = now;
+        self.warmup_reset_done = false;
+        self.state = SacState::Profiling {
+            until: now + self.config.profile_window,
+        };
+    }
+
+    /// Advance to cycle `now`. When the profiling window closes, the EAB
+    /// decision is made and recorded; returns the new record at that
+    /// instant.
+    pub fn tick(&mut self, now: u64) -> Option<KernelRecord> {
+        let SacState::Profiling { until } = self.state else {
+            return None;
+        };
+        if now >= until
+            && self.collector.total_requests() < self.config.min_samples
+            && now < self.kernel_start + 8 * self.config.profile_window
+        {
+            // Not enough observations yet (drained or saturated machine):
+            // extend the window rather than deciding on noise.
+            self.state = SacState::Profiling {
+                until: until + self.config.profile_window / 2,
+            };
+            return None;
+        }
+        let SacState::Profiling { until } = self.state else {
+            unreachable!()
+        };
+        if now < until {
+            // Midpoint warm-up reset: discard the cold-start counters so the
+            // EAB inputs measure warm hit rates.
+            if !self.warmup_reset_done && now + self.config.profile_window / 2 >= until {
+                self.collector.reset_counters_only();
+                self.warmup_reset_done = true;
+            }
+            return None;
+        }
+        let inputs = self.collector.inputs();
+        let eab_mem = self.model.eab_memory_side(&inputs);
+        let eab_sm = self.model.eab_sm_side(&inputs);
+        let mode = self.model.decide(&inputs, self.config.theta);
+        let record = KernelRecord {
+            start_cycle: self.kernel_start,
+            decision_cycle: now,
+            inputs,
+            eab_memory_side: eab_mem,
+            eab_sm_side: eab_sm,
+            mode,
+            requests_observed: self.collector.total_requests(),
+        };
+        self.history.push(record);
+        self.state = match mode {
+            // Staying memory-side needs no reconfiguration at all.
+            LlcMode::MemorySide => SacState::Running {
+                mode: LlcMode::MemorySide,
+            },
+            LlcMode::SmSide => SacState::Draining { to: LlcMode::SmSide },
+        };
+        Some(record)
+    }
+
+    /// The simulator signals that all in-flight requests have completed.
+    /// Returns `true` when an LLC flush must happen next (switching *into*
+    /// SM-side); reverting to memory-side completes immediately.
+    pub fn drain_complete(&mut self) -> bool {
+        match self.state {
+            SacState::Draining { to: LlcMode::SmSide } => {
+                self.state = SacState::Flushing;
+                true
+            }
+            SacState::Draining {
+                to: LlcMode::MemorySide,
+            } => {
+                self.state = SacState::Running {
+                    mode: LlcMode::MemorySide,
+                };
+                false
+            }
+            _ => false,
+        }
+    }
+
+    /// The simulator signals that the LLC writeback/invalidate finished:
+    /// the routing switches to SM-side.
+    pub fn flush_complete(&mut self) {
+        if self.state == SacState::Flushing {
+            self.state = SacState::Running {
+                mode: LlcMode::SmSide,
+            };
+        }
+    }
+
+    /// The running kernel terminated. If the LLC was SM-side, a drain back
+    /// to memory-side begins (§3.6); otherwise the controller goes idle.
+    /// Returns `true` when a revert drain is required.
+    pub fn end_kernel(&mut self) -> bool {
+        let needs_revert = matches!(
+            self.state,
+            SacState::Running {
+                mode: LlcMode::SmSide
+            } | SacState::Flushing
+                | SacState::Draining { to: LlcMode::SmSide }
+        );
+        if needs_revert {
+            self.state = SacState::Draining {
+                to: LlcMode::MemorySide,
+            };
+        } else {
+            self.state = SacState::Idle;
+        }
+        needs_revert
+    }
+
+    /// Per-kernel decision history.
+    pub fn history(&self) -> &[KernelRecord] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eab::ArchBandwidth;
+    use mcgpu_types::{ChipId, LineAddr};
+
+    fn controller() -> SacController {
+        let model = EabModel::new(ArchBandwidth {
+            b_intra: 4096.0,
+            b_inter: 192.0,
+            b_llc: 4000.0,
+            b_mem: 437.5,
+        });
+        let config = SacConfig {
+            min_samples: 0, // tests feed small hand-built samples
+            ..SacConfig::default()
+        };
+        SacController::new(config, model, 4, 64, 128, false)
+    }
+
+    /// Feed the collector a remote-heavy, high-reuse pattern that the EAB
+    /// model should judge SM-side-favourable.
+    fn feed_sm_side_friendly(c: &mut SacController) {
+        for i in 0..400u64 {
+            let requester = ChipId((i % 4) as u8);
+            let home = ChipId(((i + 1) % 4) as u8); // always remote
+            c.collector_mut().observe_request(
+                requester,
+                home,
+                LineAddr(i % 16), // tiny hot set: CRD predicts high hit rate
+                None,
+                (home.index() * 16) as usize,
+                (requester.index() * 16 + (i % 16) as usize) as usize,
+            );
+            c.collector_mut().observe_memside_llc(i % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn full_sm_side_lifecycle() {
+        let mut c = controller();
+        c.begin_kernel(100);
+        assert!(c.is_profiling());
+        assert_eq!(c.mode(), LlcMode::MemorySide);
+        feed_sm_side_friendly(&mut c);
+        assert!(c.tick(500).is_none(), "window still open");
+        let rec = c.tick(2100).expect("window closed");
+        assert_eq!(rec.mode, LlcMode::SmSide);
+        assert_eq!(c.state(), SacState::Draining { to: LlcMode::SmSide });
+        // Still memory-side while draining + flushing.
+        assert_eq!(c.mode(), LlcMode::MemorySide);
+        assert!(c.drain_complete(), "switching to SM-side needs a flush");
+        assert_eq!(c.state(), SacState::Flushing);
+        c.flush_complete();
+        assert_eq!(c.mode(), LlcMode::SmSide);
+        // Kernel ends: revert drain back to memory-side.
+        assert!(c.end_kernel());
+        assert_eq!(c.mode(), LlcMode::SmSide, "still SM-side until drained");
+        assert!(!c.drain_complete());
+        assert_eq!(c.mode(), LlcMode::MemorySide);
+    }
+
+    #[test]
+    fn memory_side_decision_needs_no_reconfiguration() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        // Mostly local traffic: memory-side and SM-side are equivalent, θ
+        // keeps memory-side.
+        for i in 0..100u64 {
+            c.collector_mut().observe_request(
+                ChipId(0),
+                ChipId(0),
+                LineAddr(i),
+                None,
+                (i % 64) as usize,
+                (i % 64) as usize,
+            );
+            c.collector_mut().observe_memside_llc(true);
+        }
+        let rec = c.tick(2000).expect("decision");
+        assert_eq!(rec.mode, LlcMode::MemorySide);
+        assert_eq!(
+            c.state(),
+            SacState::Running {
+                mode: LlcMode::MemorySide
+            }
+        );
+        assert!(!c.end_kernel(), "no revert needed");
+        assert_eq!(c.state(), SacState::Idle);
+    }
+
+    #[test]
+    fn decision_fires_exactly_once() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        feed_sm_side_friendly(&mut c);
+        assert!(c.tick(2000).is_some());
+        assert!(c.tick(2001).is_none());
+        assert_eq!(c.history().len(), 1);
+    }
+
+    #[test]
+    fn kernel_shorter_than_window() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        // Kernel ends mid-profiling: no decision recorded, state resets.
+        assert!(!c.end_kernel());
+        assert!(c.history().is_empty());
+        c.begin_kernel(5000);
+        assert!(c.is_profiling());
+    }
+
+    #[test]
+    fn history_accumulates_per_kernel() {
+        let mut c = controller();
+        for k in 0..3 {
+            c.begin_kernel(k * 10_000);
+            feed_sm_side_friendly(&mut c);
+            c.tick(k * 10_000 + 2000).expect("decision");
+            if c.end_kernel() {
+                c.drain_complete();
+            }
+        }
+        assert_eq!(c.history().len(), 3);
+        assert!(c.history().iter().all(|r| r.mode == LlcMode::SmSide));
+    }
+}

@@ -1,0 +1,75 @@
+//! SAC hardware overhead accounting (§3.6).
+//!
+//! Per chip, SAC adds: the CRD (544 B conventional / 736 B sectored), one
+//! 16-bit request counter per LLC slice for each of the two configurations,
+//! and four 24-bit counters (total/local requests, CRD requests/hits). For
+//! the baseline 16 slices per chip that totals **620 B** (conventional) or
+//! **812 B** (sectored), matching the paper.
+
+/// Per-chip storage overhead breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareOverhead {
+    crd_bytes: usize,
+    slices_per_chip: usize,
+}
+
+impl HardwareOverhead {
+    /// Build from a CRD storage size and the chip's slice count.
+    pub fn new(crd_bytes: usize, slices_per_chip: usize) -> Self {
+        HardwareOverhead {
+            crd_bytes,
+            slices_per_chip,
+        }
+    }
+
+    /// The paper's conventional-cache configuration (16 slices per chip).
+    pub fn paper_conventional() -> Self {
+        HardwareOverhead::new(544, 16)
+    }
+
+    /// The paper's sectored-cache configuration.
+    pub fn paper_sectored() -> Self {
+        HardwareOverhead::new(736, 16)
+    }
+
+    /// CRD storage in bytes.
+    pub fn crd_bytes(&self) -> usize {
+        self.crd_bytes
+    }
+
+    /// LSU counter storage: one 16-bit counter per slice, for both the
+    /// memory-side and SM-side configurations.
+    pub fn lsu_counter_bytes(&self) -> usize {
+        2 * self.slices_per_chip * 2
+    }
+
+    /// The four 24-bit scalar counters.
+    pub fn scalar_counter_bytes(&self) -> usize {
+        4 * 3
+    }
+
+    /// Total per-chip storage in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.crd_bytes() + self.lsu_counter_bytes() + self.scalar_counter_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_totals() {
+        // §3.6: 620 B conventional, 812 B sectored per chip.
+        assert_eq!(HardwareOverhead::paper_conventional().total_bytes(), 620);
+        assert_eq!(HardwareOverhead::paper_sectored().total_bytes(), 812);
+    }
+
+    #[test]
+    fn components() {
+        let o = HardwareOverhead::paper_conventional();
+        assert_eq!(o.crd_bytes(), 544);
+        assert_eq!(o.lsu_counter_bytes(), 64);
+        assert_eq!(o.scalar_counter_bytes(), 12);
+    }
+}

@@ -1,0 +1,242 @@
+//! DRAM channel and memory partition models.
+//!
+//! Each chip owns one memory partition of `channels_per_chip` DRAM channels
+//! (Table 3: 8 channels, 1.75 TB/s ÷ 32 total). A channel is a
+//! bandwidth-limited, fixed-latency [`Pipe`]; bank conflicts are not
+//! modelled because the PAE mapping distributes accesses uniformly over
+//! banks (§3.3: "We verified that this is indeed the case for our setup").
+
+use crate::interleave;
+use mcgpu_types::{AccessKind, LineAddr, Pipe, Request};
+
+/// A request queued at a DRAM channel, retaining what the simulator needs to
+/// route the eventual response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramRequest {
+    /// The originating memory request.
+    pub request: Request,
+    /// Whether the miss was issued by an LLC slice on the partition's own
+    /// chip (`false` means an SM-side remote miss that bypassed the local
+    /// slice and must return over the inter-chip link).
+    pub from_local_slice: bool,
+    /// Index (within the chip) of the slice that should be filled when the
+    /// access completes, if any.
+    pub slice: Option<u16>,
+}
+
+/// One chip's memory partition: a set of independent DRAM channels.
+#[derive(Debug, Clone)]
+pub struct MemoryPartition {
+    channels: Vec<Pipe<DramRequest>>,
+    line_size: u64,
+    served_reads: u64,
+    served_writes: u64,
+}
+
+impl MemoryPartition {
+    /// Create a partition with `channels` channels of `channel_gbs` GB/s
+    /// each, `latency` cycles access latency, and `line_size`-byte lines.
+    ///
+    /// # Panics
+    /// Panics if `channels` is zero.
+    pub fn new(channels: usize, channel_gbs: f64, latency: u64, line_size: u64) -> Self {
+        assert!(channels > 0);
+        MemoryPartition {
+            channels: (0..channels)
+                .map(|_| Pipe::new(channel_gbs, latency, None))
+                .collect(),
+            line_size,
+            served_reads: 0,
+            served_writes: 0,
+        }
+    }
+
+    /// Number of channels.
+    pub fn num_channels(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Enqueue a request; the channel is chosen by the PAE hash of the line
+    /// address. Reads occupy a line of DRAM bandwidth; writes likewise
+    /// (write-through traffic ultimately writes a full line's sector burst —
+    /// we charge the 32 B coalesced sector).
+    pub fn push(&mut self, dreq: DramRequest) {
+        let line = dreq.request.access.addr.line(self.line_size);
+        let ch = interleave::channel_index(line, self.channels.len());
+        let bytes = match dreq.request.access.kind {
+            AccessKind::Read => self.line_size,
+            AccessKind::Write => mcgpu_types::packet::WRITE_PAYLOAD_BYTES,
+        };
+        // DRAM channels are unbounded queues: backpressure is applied
+        // upstream by the LLC/NoC queues in the simulator.
+        self.channels[ch]
+            .try_push(dreq, bytes)
+            .ok()
+            .expect("unbounded channel queue");
+    }
+
+    /// Enqueue a raw writeback of `line` (dirty eviction) without an
+    /// originating request; consumes bandwidth but produces no response.
+    pub fn push_writeback(&mut self, line: LineAddr) {
+        let ch = interleave::channel_index(line, self.channels.len());
+        // A writeback moves a full dirty line. We model it as a bandwidth
+        // consumer only: push a sentinel that is dropped on completion.
+        let sentinel = DramRequest {
+            request: Request {
+                id: mcgpu_types::RequestId(u64::MAX),
+                origin: mcgpu_types::ClusterId::default(),
+                access: mcgpu_types::MemAccess::write(line.base(self.line_size)),
+                home: mcgpu_types::ChipId::default(),
+            },
+            from_local_slice: true,
+            slice: None,
+        };
+        self.channels[ch]
+            .try_push(sentinel, self.line_size)
+            .ok()
+            .expect("unbounded channel queue");
+    }
+
+    /// Advance all channels one cycle.
+    pub fn tick(&mut self, now: u64) {
+        for ch in &mut self.channels {
+            ch.tick(now);
+        }
+    }
+
+    /// Pop all requests whose DRAM access completed this cycle. Writeback
+    /// sentinels are filtered out here.
+    pub fn pop_ready(&mut self, now: u64) -> Vec<DramRequest> {
+        let mut out = Vec::new();
+        for ch in &mut self.channels {
+            while let Some(d) = ch.pop_ready(now) {
+                if d.request.id == mcgpu_types::RequestId(u64::MAX) {
+                    continue; // completed writeback
+                }
+                match d.request.access.kind {
+                    AccessKind::Read => self.served_reads += 1,
+                    AccessKind::Write => self.served_writes += 1,
+                }
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// Total requests currently inside the partition.
+    pub fn len(&self) -> usize {
+        self.channels.iter().map(|c| c.len()).sum()
+    }
+
+    /// Whether all channels are idle.
+    pub fn is_empty(&self) -> bool {
+        self.channels.iter().all(|c| c.is_empty())
+    }
+
+    /// Reads served so far.
+    pub fn served_reads(&self) -> u64 {
+        self.served_reads
+    }
+
+    /// Writes served so far.
+    pub fn served_writes(&self) -> u64 {
+        self.served_writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgpu_types::{Address, ChipId, ClusterId, MemAccess, RequestId};
+
+    fn req(id: u64, addr: u64, write: bool) -> DramRequest {
+        DramRequest {
+            request: Request {
+                id: RequestId(id),
+                origin: ClusterId::new(ChipId(0), 0),
+                access: if write {
+                    MemAccess::write(Address::new(addr))
+                } else {
+                    MemAccess::read(Address::new(addr))
+                },
+                home: ChipId(0),
+            },
+            from_local_slice: true,
+            slice: None,
+        }
+    }
+
+    #[test]
+    fn read_completes_after_latency() {
+        let mut mp = MemoryPartition::new(2, 1000.0, 100, 128);
+        mp.push(req(1, 0x1000, false));
+        for now in 0..100 {
+            mp.tick(now);
+            assert!(mp.pop_ready(now).is_empty(), "at {now}");
+        }
+        mp.tick(100);
+        let done = mp.pop_ready(100);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].request.id, RequestId(1));
+        assert_eq!(mp.served_reads(), 1);
+    }
+
+    #[test]
+    fn bandwidth_throttles_throughput() {
+        // 1 channel x 16 B/cycle; 128 B reads: one completes every 8 cycles.
+        let mut mp = MemoryPartition::new(1, 16.0, 0, 128);
+        for i in 0..100 {
+            mp.push(req(i, i * 128, false));
+        }
+        let mut completed = 0;
+        for now in 0..400 {
+            mp.tick(now);
+            completed += mp.pop_ready(now).len();
+        }
+        // ~400/8 = 50 reads in 400 cycles.
+        assert!((45..=55).contains(&completed), "completed {completed}");
+    }
+
+    #[test]
+    fn channels_work_in_parallel() {
+        let mut one = MemoryPartition::new(1, 16.0, 0, 128);
+        let mut eight = MemoryPartition::new(8, 16.0, 0, 128);
+        for i in 0..400 {
+            one.push(req(i, i * 128, false));
+            eight.push(req(i, i * 128, false));
+        }
+        let (mut c1, mut c8) = (0, 0);
+        for now in 0..400 {
+            one.tick(now);
+            eight.tick(now);
+            c1 += one.pop_ready(now).len();
+            c8 += eight.pop_ready(now).len();
+        }
+        assert!(c8 > 5 * c1, "c1={c1} c8={c8}");
+    }
+
+    #[test]
+    fn writebacks_consume_bandwidth_but_produce_nothing() {
+        let mut mp = MemoryPartition::new(1, 16.0, 0, 128);
+        mp.push_writeback(LineAddr(1));
+        mp.push(req(7, 0x5000, false));
+        let mut got = Vec::new();
+        for now in 0..64 {
+            mp.tick(now);
+            got.extend(mp.pop_ready(now));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].request.id, RequestId(7));
+    }
+
+    #[test]
+    fn writes_are_counted() {
+        let mut mp = MemoryPartition::new(1, 1000.0, 1, 128);
+        mp.push(req(1, 0, true));
+        for now in 0..4 {
+            mp.tick(now);
+            mp.pop_ready(now);
+        }
+        assert_eq!(mp.served_writes(), 1);
+    }
+}

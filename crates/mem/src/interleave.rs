@@ -1,0 +1,132 @@
+//! PAE-style randomized address interleaving.
+//!
+//! The paper adopts the PAE address-mapping scheme (Liu et al., "Get Out of
+//! the Valley", ISCA 2018), which XOR-hashes physical addresses so that
+//! accesses distribute uniformly over LLC slices, memory channels and banks
+//! even for strided access patterns. We model PAE with a strong 64-bit
+//! mixing function salted per destination kind, which achieves the same
+//! uniformity property (verified by the tests below and by a property test).
+
+use mcgpu_types::LineAddr;
+
+/// splitmix64 finalizer — a full-avalanche 64-bit mixer.
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// Salts decorrelating the slice, channel and bank mappings so a line's
+/// slice says nothing about its channel.
+const SLICE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+const CHANNEL_SALT: u64 = 0xc2b2_ae3d_27d4_eb4f;
+const BANK_SALT: u64 = 0x1656_67b1_9e37_79f9;
+
+/// LLC slice index (within a chip) for `line`, with `slices` slices.
+///
+/// Used by the memory-side organization to pick the home chip's slice, and
+/// by the SM-side organization to pick the local slice.
+///
+/// # Panics
+/// Panics if `slices` is zero.
+#[inline]
+pub fn slice_index(line: LineAddr, slices: usize) -> usize {
+    assert!(slices > 0);
+    (mix(line.index() ^ SLICE_SALT) % slices as u64) as usize
+}
+
+/// DRAM channel index (within a partition) for `line`, with `channels`
+/// channels.
+///
+/// # Panics
+/// Panics if `channels` is zero.
+#[inline]
+pub fn channel_index(line: LineAddr, channels: usize) -> usize {
+    assert!(channels > 0);
+    (mix(line.index() ^ CHANNEL_SALT) % channels as u64) as usize
+}
+
+/// DRAM bank index (within a channel) for `line`, with `banks` banks.
+///
+/// # Panics
+/// Panics if `banks` is zero.
+#[inline]
+pub fn bank_index(line: LineAddr, banks: usize) -> usize {
+    assert!(banks > 0);
+    (mix(line.index() ^ BANK_SALT) % banks as u64) as usize
+}
+
+/// Chi-squared-style uniformity score: the ratio of the maximum bucket count
+/// to the mean bucket count when distributing `lines` over `buckets` with
+/// `f`. A perfectly uniform mapping scores 1.0.
+pub fn uniformity<F: Fn(LineAddr, usize) -> usize>(
+    lines: impl Iterator<Item = LineAddr>,
+    buckets: usize,
+    f: F,
+) -> f64 {
+    let mut counts = vec![0u64; buckets];
+    let mut total = 0u64;
+    for l in lines {
+        counts[f(l, buckets)] += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / buckets as f64;
+    let max = *counts.iter().max().expect("buckets > 0") as f64;
+    max / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strided_traffic_spreads_uniformly() {
+        // Pathological power-of-two stride (every 32nd line).
+        let lines = (0..16_000u64).map(|i| LineAddr(i * 32));
+        let score = uniformity(lines, 16, slice_index);
+        assert!(score < 1.15, "slice uniformity {score}");
+
+        let lines = (0..16_000u64).map(|i| LineAddr(i * 32));
+        let score = uniformity(lines, 8, channel_index);
+        assert!(score < 1.15, "channel uniformity {score}");
+    }
+
+    #[test]
+    fn sequential_traffic_spreads_uniformly() {
+        let lines = (0..10_000u64).map(LineAddr);
+        assert!(uniformity(lines, 16, slice_index) < 1.15);
+        let lines = (0..10_000u64).map(LineAddr);
+        assert!(uniformity(lines, 32, bank_index) < 1.2);
+    }
+
+    #[test]
+    fn mappings_are_decorrelated() {
+        // Lines landing in slice 0 must still spread over all channels.
+        let in_slice0: Vec<LineAddr> = (0..200_000u64)
+            .map(LineAddr)
+            .filter(|&l| slice_index(l, 16) == 0)
+            .collect();
+        assert!(in_slice0.len() > 5_000);
+        let score = uniformity(in_slice0.into_iter(), 8, channel_index);
+        assert!(score < 1.2, "decorrelation {score}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(slice_index(LineAddr(1234), 16), slice_index(LineAddr(1234), 16));
+        assert_eq!(channel_index(LineAddr(99), 8), channel_index(LineAddr(99), 8));
+    }
+
+    #[test]
+    fn single_bucket() {
+        assert_eq!(slice_index(LineAddr(42), 1), 0);
+        assert_eq!(channel_index(LineAddr(42), 1), 0);
+    }
+}

@@ -1,0 +1,31 @@
+//! Memory-system substrates: first-touch page table, PAE-style randomized
+//! address interleaving, and DRAM channel models.
+//!
+//! The paper's baseline (Table 3 / §4) uses
+//!
+//! * **first-touch page allocation** — a 4 KiB page is installed in the
+//!   memory partition of the chip that first accesses it ([`PageTable`]),
+//! * **PAE randomized address mapping** (Liu et al., ISCA 2018) — a mixing
+//!   hash that spreads lines uniformly over LLC slices, DRAM channels and
+//!   banks ([`interleave`]), and
+//! * per-chip memory partitions of eight GDDR6 channels
+//!   ([`MemoryPartition`]).
+//!
+//! # Example
+//!
+//! ```
+//! use mcgpu_mem::PageTable;
+//! use mcgpu_types::{ChipId, PageAddr};
+//!
+//! let mut pt = PageTable::new(4096);
+//! // Chip 2 touches page 7 first: the page is homed there forever.
+//! assert_eq!(pt.home_of(PageAddr(7), ChipId(2)), ChipId(2));
+//! assert_eq!(pt.home_of(PageAddr(7), ChipId(0)), ChipId(2));
+//! ```
+
+pub mod dram;
+pub mod interleave;
+pub mod page_table;
+
+pub use dram::{DramRequest, MemoryPartition};
+pub use page_table::PageTable;

@@ -1,0 +1,1427 @@
+//! The cycle-stepped simulation engine.
+
+use crate::chip::Chip;
+use crate::cluster::Cluster;
+use crate::dynamic::DynamicCtl;
+use crate::packet::{FillAction, ReqEnvelope, ReqStage, RingPayload, RspEnvelope};
+use crate::stats::{KernelStats, RunStats};
+use mcgpu_cache::{DataHome, LookupOutcome};
+use mcgpu_mem::{interleave, DramRequest, PageTable};
+use mcgpu_noc::RingNetwork;
+use mcgpu_trace::Workload;
+use mcgpu_types::{
+    AccessKind, ChipId, CoherenceKind, LineAddr, LlcOrgKind, MachineConfig, MemAccess, Request,
+    RequestId, Response, ResponseOrigin,
+};
+use sac::eab::{ArchBandwidth, EabModel};
+use sac::{LlcMode, SacConfig, SacController};
+use std::collections::HashMap;
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run exceeded the configured cycle budget (livelock guard).
+    CycleLimit {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::CycleLimit { limit } => {
+                write!(f, "simulation exceeded the cycle limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Why the engine is not issuing new instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pause {
+    /// Normal execution.
+    Running,
+    /// SAC waits for in-flight requests to drain (§3.6 step 1).
+    SacDrain,
+    /// SAC writes back dirty LLC lines before switching (§3.6 step 2).
+    SacFlush,
+}
+
+/// Builder for a [`Simulator`].
+///
+/// # Example
+/// See the [crate docs](crate).
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    cfg: MachineConfig,
+    org: LlcOrgKind,
+    sac_cfg: SacConfig,
+    max_cycles: u64,
+    dynamic_epoch: u64,
+}
+
+impl SimBuilder {
+    /// Start from a machine configuration.
+    pub fn new(cfg: MachineConfig) -> Self {
+        let sac_cfg = SacConfig::for_machine(&cfg);
+        SimBuilder {
+            cfg,
+            org: LlcOrgKind::MemorySide,
+            sac_cfg,
+            max_cycles: 50_000_000,
+            dynamic_epoch: 8192,
+        }
+    }
+
+    /// Select the LLC organization to simulate.
+    pub fn organization(mut self, org: LlcOrgKind) -> Self {
+        self.org = org;
+        self
+    }
+
+    /// Override the SAC parameters (profiling window, θ).
+    pub fn sac_config(mut self, sac_cfg: SacConfig) -> Self {
+        self.sac_cfg = sac_cfg;
+        self
+    }
+
+    /// Override the livelock cycle budget.
+    pub fn max_cycles(mut self, max: u64) -> Self {
+        self.max_cycles = max;
+        self
+    }
+
+    /// Override the Dynamic LLC's adjustment epoch.
+    pub fn dynamic_epoch(mut self, cycles: u64) -> Self {
+        self.dynamic_epoch = cycles;
+        self
+    }
+
+    /// Build the simulator.
+    ///
+    /// # Panics
+    /// Panics if the machine configuration fails validation.
+    pub fn build(self) -> Simulator {
+        self.cfg.validate().expect("invalid machine configuration");
+        Simulator::new(self.cfg, self.org, self.sac_cfg, self.max_cycles, self.dynamic_epoch)
+    }
+}
+
+/// How requests are routed right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RouteMode {
+    /// All requests go to the home chip's slices.
+    MemorySide,
+    /// All requests go to the local chip's slices.
+    SmSide,
+    /// Local-homed requests go to the home slice; remote-homed requests
+    /// probe the local slice's remote pool first (static/dynamic).
+    Tiered,
+}
+
+/// The multi-chip GPU simulator. Construct with [`SimBuilder`].
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: MachineConfig,
+    org: LlcOrgKind,
+    chips: Vec<Chip>,
+    ring: RingNetwork<RingPayload>,
+    page_table: PageTable,
+    cycle: u64,
+    max_cycles: u64,
+    next_id: u64,
+    in_flight: u64,
+    max_in_flight: u64,
+    pause: Pause,
+
+    sac: Option<SacController>,
+    dynamic: Option<DynamicCtl>,
+    /// Chip-granularity sharer directory for hardware coherence.
+    directory: HashMap<u64, u8>,
+
+    // --- accumulators ---
+    writes_done: u64,
+    responses_by_origin: [u64; 4],
+    overhead_cycles: u64,
+    occ_samples: u64,
+    occ_local: f64,
+    occ_fill: f64,
+    kernels: Vec<KernelStats>,
+}
+
+/// Ring egress queue bound (requests waiting to leave the chip).
+const PENDING_RING_LIMIT: usize = 64;
+/// Maximum instructions a cluster may run ahead of the slowest cluster
+/// (one CTA wave of the distributed CTA scheduler).
+const CTA_WAVE_LEAD: usize = 384;
+/// LLC occupancy sampling period in cycles (Fig. 9).
+const OCC_SAMPLE_PERIOD: u64 = 256;
+
+impl Simulator {
+    fn new(
+        cfg: MachineConfig,
+        org: LlcOrgKind,
+        sac_cfg: SacConfig,
+        max_cycles: u64,
+        dynamic_epoch: u64,
+    ) -> Self {
+        let chips: Vec<Chip> = ChipId::all(cfg.chips).map(|c| Chip::new(&cfg, c)).collect();
+        let ring = RingNetwork::new(&cfg, 32);
+        let sac = (org == LlcOrgKind::Sac).then(|| {
+            let sets_per_chip =
+                (cfg.llc_bytes_per_chip / (cfg.llc_assoc as u64 * cfg.line_size)) as usize;
+            SacController::new(
+                sac_cfg,
+                EabModel::new(ArchBandwidth::from_config(&cfg)),
+                cfg.chips,
+                cfg.total_slices(),
+                sets_per_chip,
+                cfg.sectored,
+            )
+        });
+        let dynamic = (org == LlcOrgKind::Dynamic).then(|| DynamicCtl::new(cfg.llc_assoc, dynamic_epoch));
+
+        let mut sim = Simulator {
+            page_table: PageTable::new(cfg.page_size),
+            chips,
+            ring,
+            cycle: 0,
+            max_cycles,
+            next_id: 0,
+            in_flight: 0,
+            max_in_flight: 0,
+            pause: Pause::Running,
+            sac,
+            dynamic,
+            directory: HashMap::new(),
+            writes_done: 0,
+            responses_by_origin: [0; 4],
+            overhead_cycles: 0,
+            occ_samples: 0,
+            occ_local: 0.0,
+            occ_fill: 0.0,
+            kernels: Vec::new(),
+            cfg,
+            org,
+        };
+        sim.apply_partitioning();
+        sim
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The simulated LLC organization.
+    pub fn organization(&self) -> LlcOrgKind {
+        self.org
+    }
+
+    fn apply_partitioning(&mut self) {
+        let split = match self.org {
+            LlcOrgKind::StaticHalf => Some(self.cfg.llc_assoc / 2),
+            LlcOrgKind::Dynamic => Some(self.dynamic.as_ref().expect("dynamic ctl").local_ways()),
+            _ => None,
+        };
+        for chip in &mut self.chips {
+            for slice in &mut chip.slices {
+                match split {
+                    Some(ways) => slice.cache.set_partition(ways),
+                    None => slice.cache.clear_partition(),
+                }
+            }
+        }
+    }
+
+    fn route_mode(&self) -> RouteMode {
+        match self.org {
+            LlcOrgKind::MemorySide => RouteMode::MemorySide,
+            LlcOrgKind::SmSide => RouteMode::SmSide,
+            LlcOrgKind::StaticHalf | LlcOrgKind::Dynamic => RouteMode::Tiered,
+            LlcOrgKind::Sac => match self.sac.as_ref().expect("sac controller").mode() {
+                LlcMode::MemorySide => RouteMode::MemorySide,
+                LlcMode::SmSide => RouteMode::SmSide,
+            },
+        }
+    }
+
+    #[inline]
+    fn slice_of(&self, line: LineAddr) -> usize {
+        interleave::slice_index(line, self.cfg.slices_per_chip)
+    }
+
+    fn sector_of(&self, access: &MemAccess) -> Option<mcgpu_types::SectorId> {
+        self.cfg
+            .sectored
+            .then(|| LineAddr::sector_of(access.addr, self.cfg.line_size, self.cfg.sectors_per_line))
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop.
+    // ------------------------------------------------------------------
+
+    /// Run a complete workload, returning its statistics.
+    ///
+    /// # Errors
+    /// [`SimError::CycleLimit`] if the run exceeds the cycle budget.
+    pub fn run(&mut self, wl: &Workload) -> Result<RunStats, SimError> {
+        self.run_observed(wl, u64::MAX, |_, _, _| {})
+    }
+
+    /// Like [`run`](Simulator::run), but invokes `observer(cycle,
+    /// completed_accesses, active_clusters)` every `every` cycles — the
+    /// instantaneous throughput timeline behind Fig. 12's time-varying
+    /// analysis.
+    ///
+    /// # Errors
+    /// [`SimError::CycleLimit`] if the run exceeds the cycle budget.
+    pub fn run_observed(
+        &mut self,
+        wl: &Workload,
+        every: u64,
+        mut observer: impl FnMut(u64, u64, usize),
+    ) -> Result<RunStats, SimError> {
+        // Pre-seed page placement from the workload layout (host-to-device
+        // transfers touch the data before kernel 0). This keeps placement
+        // identical across LLC organizations; pages outside the layout (none
+        // in generated workloads) still fall back to first-touch.
+        for p in 0..wl.layout.total_pages() {
+            let page = mcgpu_types::PageAddr(p);
+            if let Some(home) = wl.layout.natural_home(page) {
+                self.page_table.home_of(page, home);
+            }
+        }
+        for (ki, kernel) in wl.kernels.iter().enumerate() {
+            // Load the kernel's streams.
+            let gap = kernel.behavior.compute_gap;
+            for (flat, chip) in self.chips.iter_mut().enumerate() {
+                for (ci, cluster) in chip.clusters.iter_mut().enumerate() {
+                    let idx = flat * self.cfg.clusters_per_chip + ci;
+                    cluster.load_kernel(kernel.per_cluster[idx].clone(), gap);
+                }
+            }
+            let kernel_start_cycle = self.cycle;
+            let work_before = self.cluster_reads_total() + self.writes_done;
+
+            if let Some(sac) = &mut self.sac {
+                sac.begin_kernel(self.cycle);
+            }
+            if self.dynamic.is_some() {
+                let (now, ring_bytes, mem_bytes) =
+                    (self.cycle, self.ring.bytes_sent(), self.mem_bytes_total());
+                self.dynamic
+                    .as_mut()
+                    .expect("dynamic")
+                    .new_kernel(now, ring_bytes, mem_bytes);
+            }
+
+            // Execute until the kernel completes.
+            while !self.kernel_done() {
+                self.tick(true);
+                if every != u64::MAX && self.cycle % every == 0 {
+                    observer(
+                        self.cycle,
+                        self.cluster_reads_total() + self.writes_done,
+                        self.active_clusters(),
+                    );
+                }
+                if self.cycle >= self.max_cycles {
+                    return Err(SimError::CycleLimit {
+                        limit: self.max_cycles,
+                    });
+                }
+            }
+
+            // Kernel-boundary coherence + SAC revert (§3.6).
+            let boundary_start = self.cycle;
+            self.kernel_boundary();
+            self.overhead_cycles += self.cycle - boundary_start;
+
+            let sac_mode = self.sac.as_ref().and_then(|s| {
+                s.history()
+                    .iter()
+                    .rev()
+                    .find(|r| r.start_cycle >= kernel_start_cycle)
+                    .map(|r| r.mode)
+            });
+            self.kernels.push(KernelStats {
+                index: ki,
+                cycles: self.cycle - kernel_start_cycle,
+                accesses: self.cluster_reads_total() + self.writes_done - work_before,
+                sac_mode,
+            });
+        }
+        Ok(self.collect_stats())
+    }
+
+    fn kernel_done(&self) -> bool {
+        self.in_flight == 0
+            && self.pause == Pause::Running
+            && self
+                .chips
+                .iter()
+                .all(|c| c.clusters.iter().all(Cluster::done))
+    }
+
+    fn machine_quiescent(&self) -> bool {
+        self.in_flight == 0 && self.ring.is_empty() && self.chips.iter().all(Chip::is_quiescent)
+    }
+
+    /// Number of clusters still executing their current kernel stream.
+    pub fn active_clusters(&self) -> usize {
+        self.chips
+            .iter()
+            .flat_map(|c| c.clusters.iter())
+            .filter(|cl| !cl.done())
+            .count()
+    }
+
+    /// Reads completed, summed over every cluster (includes L1 hits and
+    /// MSHR-merged accesses, which never produce a network response).
+    fn cluster_reads_total(&self) -> u64 {
+        self.chips
+            .iter()
+            .flat_map(|c| c.clusters.iter())
+            .map(Cluster::reads_done)
+            .sum()
+    }
+
+    fn mem_bytes_total(&self) -> u64 {
+        self.chips
+            .iter()
+            .map(|c| {
+                c.memory.served_reads() * self.cfg.line_size
+                    + c.memory.served_writes() * mcgpu_types::packet::WRITE_PAYLOAD_BYTES
+            })
+            .sum()
+    }
+
+    // ------------------------------------------------------------------
+    // One cycle.
+    // ------------------------------------------------------------------
+
+    fn tick(&mut self, allow_issue: bool) {
+        self.cycle += 1;
+        let now = self.cycle;
+        let issuing = allow_issue && self.pause == Pause::Running;
+
+        if issuing {
+            self.issue_phase();
+        }
+
+        // Request network.
+        for c in 0..self.chips.len() {
+            // Ring-delivered requests re-enter the crossbar.
+            while let Some(env) = self.chips[c].pending_req.front().copied() {
+                let port = self.slice_of(env.req.access.addr.line(self.cfg.line_size));
+                let bytes = env.wire_bytes();
+                if self.chips[c].xbar_req.try_push(port, env, bytes).is_err() {
+                    break;
+                }
+                self.chips[c].pending_req.pop_front();
+            }
+            self.chips[c].xbar_req.tick(now);
+            for port in 0..self.cfg.slices_per_chip {
+                loop {
+                    if !self.chips[c].slices[port].service.can_push() {
+                        break;
+                    }
+                    match self.chips[c].xbar_req.pop_ready(port, now) {
+                        Some(env) => {
+                            let charge = self.chips[c].slices[port].charge_bytes(&env);
+                            self.chips[c].slices[port]
+                                .service
+                                .try_push(env, charge)
+                                .ok()
+                                .expect("can_push checked");
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // LLC slices.
+        for c in 0..self.chips.len() {
+            for s in 0..self.cfg.slices_per_chip {
+                self.chips[c].slices[s].service.tick(now);
+                while let Some(env) = self.chips[c].slices[s].service.pop_ready(now) {
+                    self.process_at_slice(c, s, env);
+                }
+            }
+        }
+
+        // Bypass path into memory (SM-side remote misses).
+        for c in 0..self.chips.len() {
+            self.chips[c].bypass_to_mem.tick(now);
+            while let Some(env) = self.chips[c].bypass_to_mem.pop_ready(now) {
+                self.chips[c].memory.push(DramRequest {
+                    request: env.req,
+                    from_local_slice: false,
+                    slice: None,
+                });
+            }
+        }
+
+        // Memory partitions.
+        for c in 0..self.chips.len() {
+            self.chips[c].memory.tick(now);
+            for d in self.chips[c].memory.pop_ready(now) {
+                self.process_mem_completion(c, d);
+            }
+        }
+
+        // Response network and delivery.
+        for c in 0..self.chips.len() {
+            while let Some(env) = self.chips[c].pending_rsp.front().copied() {
+                let port = env.rsp.dest.index as usize;
+                let bytes = env.wire_bytes(self.cfg.line_size);
+                if self.chips[c].xbar_rsp.try_push(port, env, bytes).is_err() {
+                    break;
+                }
+                self.chips[c].pending_rsp.pop_front();
+            }
+            self.chips[c].xbar_rsp.tick(now);
+            for port in 0..self.cfg.clusters_per_chip {
+                while let Some(env) = self.chips[c].xbar_rsp.pop_ready(port, now) {
+                    self.deliver_response(c, env);
+                }
+            }
+        }
+
+        // Inter-chip ring.
+        self.ring_phase(now);
+
+        // Controllers and sampling.
+        self.controller_phase(now);
+        if now % OCC_SAMPLE_PERIOD == 0 {
+            self.sample_occupancy();
+        }
+    }
+
+    fn issue_phase(&mut self) {
+        let mode = self.route_mode();
+        let profiling = self.sac.as_ref().is_some_and(|s| s.is_profiling());
+        let n_clusters = self.cfg.clusters_per_chip;
+        // Round-robin arbitration: rotate which cluster gets first claim on
+        // the cycle's NoC injection bandwidth, as a real allocator would.
+        // A fixed priority order starves high-index clusters and produces
+        // artificial straggler tails at kernel ends.
+        let rotation = (self.cycle as usize) % n_clusters;
+        // Distributed CTA scheduling issues work in bounded waves: no
+        // cluster may run further ahead of the slowest cluster than one
+        // wave of CTAs. This bounds the drift between the clusters' shared
+        // working-set phases (and the end-of-kernel straggler tail), as the
+        // hardware CTA scheduler does.
+        let min_progress = self
+            .chips
+            .iter()
+            .flat_map(|ch| ch.clusters.iter())
+            .filter(|cl| !cl.done())
+            .map(Cluster::progress)
+            .min()
+            .unwrap_or(0);
+        for c in 0..self.chips.len() {
+            let chip_id = ChipId(c as u8);
+            for i in 0..n_clusters {
+                let cl = (i + rotation) % n_clusters;
+                if self.chips[c].clusters[cl].progress() > min_progress + CTA_WAVE_LEAD {
+                    continue;
+                }
+                let Some((acc, needs_request)) = self.chips[c].clusters[cl].issue() else {
+                    continue;
+                };
+                let line = acc.addr.line(self.cfg.line_size);
+                let home = self
+                    .page_table
+                    .home_of(acc.addr.page(self.cfg.page_size), chip_id);
+                if !needs_request {
+                    // Cluster-MSHR merge: a real L1 miss (observable by the
+                    // profiling counters) that needs no new network request.
+                    // It completes with the in-flight fill, so it counts as
+                    // a memory-side hit for the profiled hit rate.
+                    if profiling {
+                        let sector = self.sector_of(&acc);
+                        let slice = self.slice_of(line);
+                        let spc = self.cfg.slices_per_chip;
+                        let sac = self.sac.as_mut().expect("profiling implies sac");
+                        sac.collector_mut().observe_request(
+                            chip_id,
+                            home,
+                            line,
+                            sector,
+                            home.index() * spc + slice,
+                            c * spc + slice,
+                        );
+                        sac.collector_mut().observe_memside_llc(true);
+                    }
+                    continue;
+                }
+                let req = Request {
+                    id: RequestId(self.next_id),
+                    origin: self.chips[c].clusters[cl].id(),
+                    access: acc,
+                    home,
+                };
+                let slice = self.slice_of(line);
+                let (port_chip, stage) = match mode {
+                    RouteMode::MemorySide => (home, ReqStage::ToHomeSlice),
+                    RouteMode::SmSide => (chip_id, ReqStage::ToLocalSlice),
+                    RouteMode::Tiered if home == chip_id => (chip_id, ReqStage::ToHomeSlice),
+                    RouteMode::Tiered => (chip_id, ReqStage::ToLocalSlice),
+                };
+                let env = ReqEnvelope { req, stage };
+                let injected = if port_chip == chip_id {
+                    self.chips[c]
+                        .xbar_req
+                        .try_push(slice, env, env.wire_bytes())
+                        .is_ok()
+                } else if self.chips[c].pending_ring.len() < PENDING_RING_LIMIT {
+                    self.chips[c].pending_ring.push_back(RingPayload::Req(env));
+                    true
+                } else {
+                    false
+                };
+                if injected {
+                    self.next_id += 1;
+                    self.in_flight += 1;
+                    self.max_in_flight = self.max_in_flight.max(self.in_flight);
+                    if profiling {
+                        let sector = self.sector_of(&acc);
+                        let spc = self.cfg.slices_per_chip;
+                        let sac = self.sac.as_mut().expect("profiling implies sac");
+                        sac.collector_mut().observe_request(
+                            chip_id,
+                            home,
+                            line,
+                            sector,
+                            home.index() * spc + slice,
+                            c * spc + slice,
+                        );
+                    }
+                } else {
+                    self.chips[c].clusters[cl].defer(acc);
+                }
+            }
+        }
+    }
+
+    /// Handle a request arriving at slice `s` of chip `c`.
+    fn process_at_slice(&mut self, c: usize, s: usize, env: ReqEnvelope) {
+        let chip_id = ChipId(c as u8);
+        let line = env.req.access.addr.line(self.cfg.line_size);
+        let sector = self.sector_of(&env.req.access);
+        let requester = env.req.origin.chip;
+        let is_write = env.req.access.kind.is_write();
+        let profiling = self.sac.as_ref().is_some_and(|sc| sc.is_profiling());
+
+        let outcome = self.chips[c].slices[s].cache.lookup(line, sector, is_write);
+        let hit = outcome == LookupOutcome::Hit;
+
+        if profiling && env.stage == ReqStage::ToHomeSlice {
+            // A slice-MSHR merge is bandwidth-equivalent to a hit (the data
+            // arrives without further DRAM or ring traffic), so it counts
+            // as one for the profiled memory-side hit rate — otherwise the
+            // measured rate is biased low relative to the CRD's prediction,
+            // which observes the full (unmerged) request stream.
+            let merged_would_hit =
+                !hit && self.chips[c].slices[s].pending.contains_key(&line.index());
+            if let Some(sac) = self.sac.as_mut() {
+                sac.collector_mut().observe_memside_llc(hit || merged_would_hit);
+            }
+        }
+
+        match env.stage {
+            // Memory-side role: this is the home chip's slice.
+            ReqStage::ToHomeSlice => {
+                debug_assert_eq!(chip_id, env.req.home);
+                if is_write {
+                    if hit {
+                        self.absorb_write();
+                    } else if self.try_merge_at_slice(c, s, line, env) {
+                        // Slice MSHR hit: the store rides the in-flight fetch.
+                    } else {
+                        // Fetch-on-write: the 32 B coalesced store cannot
+                        // dirty a line that is not resident; read the line
+                        // from (local) memory first.
+                        self.begin_fetch(c, s, line);
+                        self.chips[c].memory.push(DramRequest {
+                            request: env.req,
+                            from_local_slice: true,
+                            slice: Some(s as u16),
+                        });
+                    }
+                } else if hit {
+                    let origin = if requester == chip_id {
+                        ResponseOrigin::LocalLlc
+                    } else {
+                        ResponseOrigin::RemoteLlc
+                    };
+                    self.emit_response(c, env.req, origin);
+                } else if self.try_merge_at_slice(c, s, line, env) {
+                    // Slice MSHR hit: merged onto the in-flight fetch.
+                } else {
+                    self.begin_fetch(c, s, line);
+                    self.chips[c].memory.push(DramRequest {
+                        request: env.req,
+                        from_local_slice: true,
+                        slice: Some(s as u16),
+                    });
+                }
+            }
+            // SM-side role (or the L1.5 level of the tiered organizations):
+            // this is the requesting chip's slice.
+            ReqStage::ToLocalSlice => {
+                debug_assert_eq!(chip_id, requester);
+                let home = env.req.home;
+                let data_home = if home == chip_id {
+                    DataHome::Local
+                } else {
+                    DataHome::Remote
+                };
+                let _ = data_home;
+                if is_write {
+                    if hit {
+                        self.coherence_on_write(c, line);
+                        self.absorb_write();
+                    } else {
+                        // Fetch-on-write: pull the line from its home (local
+                        // memory, or across the ring for remote data) before
+                        // dirtying the local replica.
+                        self.coherence_on_write(c, line);
+                        let forward_to_home =
+                            home != chip_id && self.route_mode() == RouteMode::Tiered;
+                        if !forward_to_home && self.try_merge_at_slice(c, s, line, env) {
+                            // Slice MSHR hit: rides the in-flight fetch.
+                        } else if home == chip_id {
+                            self.begin_fetch(c, s, line);
+                            self.chips[c].memory.push(DramRequest {
+                                request: env.req,
+                                from_local_slice: true,
+                                slice: Some(s as u16),
+                            });
+                        } else if forward_to_home {
+                            // The tiered organizations write remote data
+                            // through to the home slice instead of
+                            // replicating written lines locally.
+                            self.push_ring(
+                                c,
+                                RingPayload::Req(ReqEnvelope {
+                                    req: env.req,
+                                    stage: ReqStage::ToHomeSlice,
+                                }),
+                            );
+                        } else {
+                            self.begin_fetch(c, s, line);
+                            self.push_ring(
+                                c,
+                                RingPayload::Req(ReqEnvelope {
+                                    req: env.req,
+                                    stage: ReqStage::ToHomeMemBypass,
+                                }),
+                            );
+                        }
+                    }
+                } else if hit {
+                    self.emit_response(c, env.req, ResponseOrigin::LocalLlc);
+                } else if self.try_merge_at_slice(c, s, line, env) {
+                    // Slice MSHR hit: merged onto the in-flight fetch.
+                } else {
+                    self.begin_fetch(c, s, line);
+                    match self.route_mode() {
+                        RouteMode::SmSide | RouteMode::MemorySide => {
+                            // (MemorySide can momentarily see ToLocalSlice
+                            // envelopes right after a SAC revert drain; they
+                            // are treated as SM-side leftovers.)
+                            if home == chip_id {
+                                self.chips[c].memory.push(DramRequest {
+                                    request: env.req,
+                                    from_local_slice: true,
+                                    slice: Some(s as u16),
+                                });
+                            } else {
+                                self.push_ring(
+                                    c,
+                                    RingPayload::Req(ReqEnvelope {
+                                        req: env.req,
+                                        stage: ReqStage::ToHomeMemBypass,
+                                    }),
+                                );
+                            }
+                        }
+                        RouteMode::Tiered => {
+                            debug_assert_ne!(home, chip_id, "local-homed goes ToHomeSlice");
+                            self.push_ring(
+                                c,
+                                RingPayload::Req(ReqEnvelope {
+                                    req: env.req,
+                                    stage: ReqStage::ToHomeSlice,
+                                }),
+                            );
+                        }
+                    }
+                }
+            }
+            ReqStage::ToHomeMemBypass => {
+                unreachable!("bypass requests go straight to memory, not to a slice")
+            }
+        }
+    }
+
+
+    /// Merge `env` onto an outstanding line fetch at slice `s` of chip `c`,
+    /// if one exists (slice MSHR). Returns `true` when merged.
+    fn try_merge_at_slice(&mut self, c: usize, s: usize, line: LineAddr, env: ReqEnvelope) -> bool {
+        if let Some(waiters) = self.chips[c].slices[s].pending.get_mut(&line.index()) {
+            waiters.push(env);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Register an outstanding fetch for `line` at slice `s` of chip `c`.
+    fn begin_fetch(&mut self, c: usize, s: usize, line: LineAddr) {
+        self.chips[c].slices[s].pending.entry(line.index()).or_default();
+    }
+
+    /// The line arrived at slice `s` of chip `c`: complete all merged
+    /// waiters. `origin_override` carries the true data origin when the
+    /// fill came over the ring; `None` derives local/remote memory relative
+    /// to this chip (fills from this chip's own partition).
+    fn drain_merged(
+        &mut self,
+        c: usize,
+        s: usize,
+        line: LineAddr,
+        origin_override: Option<ResponseOrigin>,
+    ) {
+        let Some(waiters) = self.chips[c].slices[s].pending.remove(&line.index()) else {
+            return;
+        };
+        let chip_id = ChipId(c as u8);
+        for env in waiters {
+            if env.req.access.kind.is_write() {
+                // Dirty the just-filled line and absorb the store.
+                let sector = self.sector_of(&env.req.access);
+                self.chips[c].slices[s]
+                    .cache
+                    .fill(line, sector, DataHome::Local, true);
+                self.absorb_write();
+            } else {
+                let origin = origin_override.unwrap_or(if env.req.origin.chip == chip_id {
+                    ResponseOrigin::LocalMem
+                } else {
+                    ResponseOrigin::RemoteMem
+                });
+                self.emit_response(c, env.req, origin);
+            }
+        }
+    }
+
+    /// A write reached its destination cache: it is complete.
+    fn absorb_write(&mut self) {
+        self.writes_done += 1;
+        self.in_flight -= 1;
+    }
+
+    /// Hardware coherence: a write at chip `c` invalidates all other chips'
+    /// replicas of `line` (§5.6).
+    fn coherence_on_write(&mut self, c: usize, line: LineAddr) {
+        if self.cfg.coherence != CoherenceKind::Hardware {
+            return;
+        }
+        let Some(mask) = self.directory.get_mut(&line.index()) else {
+            return;
+        };
+        let owner_bit = 1u8 << c;
+        let others = *mask & !owner_bit;
+        *mask = owner_bit;
+        if others == 0 {
+            return;
+        }
+        for b in 0..self.cfg.chips {
+            if others & (1 << b) != 0 {
+                self.push_ring(
+                    c,
+                    RingPayload::Inval {
+                        line,
+                        target: ChipId(b as u8),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Record a replica fill for the hardware-coherence directory.
+    fn directory_fill(&mut self, c: usize, line: LineAddr) {
+        if self.cfg.coherence == CoherenceKind::Hardware {
+            *self.directory.entry(line.index()).or_default() |= 1 << c;
+        }
+    }
+
+    /// Deal with a dirty eviction from chip `c`'s LLC.
+    fn handle_eviction(&mut self, c: usize, ev: Option<mcgpu_cache::Eviction>) {
+        let Some(ev) = ev else { return };
+        if !ev.dirty {
+            return;
+        }
+        match ev.home {
+            DataHome::Local => self.chips[c].memory.push_writeback(ev.line),
+            DataHome::Remote => {
+                let page = ev.line.page(self.cfg.line_size, self.cfg.page_size);
+                let home = self
+                    .page_table
+                    .lookup(page)
+                    .expect("cached lines have mapped pages");
+                self.push_ring(c, RingPayload::Writeback { line: ev.line, home });
+            }
+        }
+    }
+
+    /// Handle a completed DRAM access at chip `c` (a read miss, or a
+    /// fetch-on-write).
+    fn process_mem_completion(&mut self, c: usize, d: DramRequest) {
+        let chip_id = ChipId(c as u8);
+        let is_write = d.request.access.kind.is_write();
+        // Fill the slice the miss came from (memory-side, or SM-side local).
+        if d.from_local_slice {
+            if let Some(s) = d.slice {
+                let line = d.request.access.addr.line(self.cfg.line_size);
+                let sector = self.sector_of(&d.request.access);
+                let ev = self.chips[c].slices[s as usize].cache.fill(
+                    line,
+                    sector,
+                    DataHome::Local,
+                    is_write,
+                );
+                self.handle_eviction(c, ev);
+            }
+            if let Some(s) = d.slice {
+                let line = d.request.access.addr.line(self.cfg.line_size);
+                self.drain_merged(c, s as usize, line, None);
+            }
+            if is_write {
+                // The fetch-on-write completed; the store is absorbed here.
+                self.absorb_write();
+                return;
+            }
+        }
+        let origin = if d.request.origin.chip == chip_id {
+            ResponseOrigin::LocalMem
+        } else {
+            ResponseOrigin::RemoteMem
+        };
+        self.emit_response(c, d.request, origin);
+    }
+
+    /// Create and route a response from chip `c` towards the requester
+    /// (a read's data, or a remote fetch-on-write's line).
+    fn emit_response(&mut self, c: usize, req: Request, origin: ResponseOrigin) {
+        let chip_id = ChipId(c as u8);
+        let requester = req.origin.chip;
+        debug_assert!(
+            req.access.kind == AccessKind::Read || requester != chip_id,
+            "local writes absorb at slices or memory, never via responses"
+        );
+        let fill = if requester == chip_id {
+            FillAction::None
+        } else {
+            match self.org {
+                // SM-side replicates on the way back; so do the tiered
+                // organizations' remote pools. SAC replicates only in
+                // SM-side mode (remote responses can only exist in SM-side
+                // mode for SAC when they come from remote memory).
+                LlcOrgKind::SmSide => FillAction::FillLocalSlice,
+                LlcOrgKind::StaticHalf | LlcOrgKind::Dynamic => FillAction::FillLocalSlice,
+                LlcOrgKind::MemorySide => FillAction::None,
+                LlcOrgKind::Sac => match self.route_mode() {
+                    RouteMode::SmSide => FillAction::FillLocalSlice,
+                    _ => FillAction::None,
+                },
+            }
+        };
+        let env = RspEnvelope {
+            rsp: Response {
+                id: req.id,
+                dest: req.origin,
+                access: req.access,
+                origin,
+            },
+            fill,
+        };
+        if requester == chip_id {
+            self.chips[c].pending_rsp.push_back(env);
+        } else {
+            self.push_ring(c, RingPayload::Rsp(env));
+        }
+    }
+
+    /// Deliver a response to its SM cluster on chip `c`.
+    fn deliver_response(&mut self, c: usize, env: RspEnvelope) {
+        debug_assert_eq!(env.rsp.dest.chip.index(), c);
+        let cl = env.rsp.dest.index as usize;
+        self.chips[c].clusters[cl].complete_read(&env.rsp.access);
+        let idx = ResponseOrigin::ALL
+            .iter()
+            .position(|&o| o == env.rsp.origin)
+            .expect("known origin");
+        self.responses_by_origin[idx] += 1;
+        self.in_flight -= 1;
+    }
+
+    /// Queue a payload for the inter-chip ring (bounded; requests check the
+    /// bound before issue, internal traffic may exceed it briefly).
+    fn push_ring(&mut self, c: usize, payload: RingPayload) {
+        self.chips[c].pending_ring.push_back(payload);
+    }
+
+    fn ring_dest(&self, p: &RingPayload, from: ChipId) -> ChipId {
+        let d = match p {
+            RingPayload::Req(env) => env.req.home,
+            RingPayload::Rsp(env) => env.rsp.dest.chip,
+            RingPayload::Writeback { home, .. } => *home,
+            RingPayload::Inval { target, .. } => *target,
+        };
+        debug_assert_ne!(d, from, "ring payloads must cross chips");
+        d
+    }
+
+    fn ring_phase(&mut self, now: u64) {
+        let line_size = self.cfg.line_size;
+        // Egress: retry, drain pending into the egress pipe, pipe into ring.
+        for c in 0..self.chips.len() {
+            let from = ChipId(c as u8);
+            if let Some(p) = self.chips[c].ring_retry.take() {
+                let dest = self.ring_dest(&p, from);
+                let bytes = p.wire_bytes(line_size);
+                if let Err(p) = self.ring.try_send(from, dest, p, bytes) {
+                    self.chips[c].ring_retry = Some(p);
+                }
+            }
+            while let Some(p) = self.chips[c].pending_ring.front() {
+                let bytes = p.wire_bytes(line_size);
+                let p = *p;
+                if self.chips[c].ring_egress.try_push(p, bytes).is_err() {
+                    break;
+                }
+                self.chips[c].pending_ring.pop_front();
+            }
+            self.chips[c].ring_egress.tick(now);
+            while self.chips[c].ring_retry.is_none() {
+                let Some(p) = self.chips[c].ring_egress.pop_ready(now) else {
+                    break;
+                };
+                let dest = self.ring_dest(&p, from);
+                let bytes = p.wire_bytes(line_size);
+                if let Err(p) = self.ring.try_send(from, dest, p, bytes) {
+                    self.chips[c].ring_retry = Some(p);
+                }
+            }
+        }
+
+        self.ring.tick(now);
+
+        // Arrivals.
+        for c in 0..self.chips.len() {
+            let chip_id = ChipId(c as u8);
+            for p in self.ring.pop_arrivals(chip_id, now) {
+                match p {
+                    RingPayload::Req(env) => match env.stage {
+                        ReqStage::ToHomeSlice => self.chips[c].pending_req.push_back(env),
+                        ReqStage::ToHomeMemBypass => {
+                            let bytes = env.wire_bytes();
+                            self.chips[c]
+                                .bypass_to_mem
+                                .try_push(env, bytes)
+                                .ok()
+                                .expect("bypass pipe is unbounded");
+                        }
+                        ReqStage::ToLocalSlice => unreachable!("local-slice requests never ride the ring"),
+                    },
+                    RingPayload::Rsp(env) => {
+                        let is_write = env.rsp.access.kind.is_write();
+                        if env.fill == FillAction::FillLocalSlice {
+                            let line = env.rsp.access.addr.line(self.cfg.line_size);
+                            let sector = self.sector_of(&env.rsp.access);
+                            let s = self.slice_of(line);
+                            let ev = self.chips[c].slices[s].cache.fill(
+                                line,
+                                sector,
+                                DataHome::Remote,
+                                is_write,
+                            );
+                            self.handle_eviction(c, ev);
+                            self.directory_fill(c, line);
+                            self.drain_merged(c, s, line, Some(env.rsp.origin));
+                        }
+                        if is_write {
+                            // A completed remote fetch-on-write: the store
+                            // is absorbed into the (now dirty) local replica.
+                            self.absorb_write();
+                        } else {
+                            self.chips[c].pending_rsp.push_back(env);
+                        }
+                    }
+                    RingPayload::Writeback { line, home } => {
+                        debug_assert_eq!(home, chip_id);
+                        self.chips[c].memory.push_writeback(line);
+                    }
+                    RingPayload::Inval { line, target } => {
+                        debug_assert_eq!(target, chip_id);
+                        let s = self.slice_of(line);
+                        self.chips[c].slices[s].cache.invalidate(line);
+                    }
+                }
+            }
+        }
+    }
+
+    fn controller_phase(&mut self, now: u64) {
+        // SAC reconfiguration state machine.
+        if self.sac.is_some() {
+            match self.pause {
+                Pause::Running => {
+                    let record = self.sac.as_mut().expect("sac").tick(now);
+                    if let Some(r) = record {
+                        if r.mode == LlcMode::SmSide {
+                            self.pause = Pause::SacDrain;
+                        }
+                    }
+                }
+                Pause::SacDrain => {
+                    if self.machine_quiescent() {
+                        let needs_flush = self.sac.as_mut().expect("sac").drain_complete();
+                        if needs_flush {
+                            // §3.6: write back and invalidate *dirty* lines;
+                            // clean home-slice contents remain valid under
+                            // SM-side routing (same slice hash).
+                            self.start_llc_dirty_writeback();
+                            self.pause = Pause::SacFlush;
+                        } else {
+                            self.pause = Pause::Running;
+                        }
+                    }
+                    self.overhead_cycles += 1;
+                }
+                Pause::SacFlush => {
+                    if self.machine_quiescent() {
+                        self.sac.as_mut().expect("sac").flush_complete();
+                        self.pause = Pause::Running;
+                    }
+                    self.overhead_cycles += 1;
+                }
+            }
+        }
+
+        // Dynamic way-split adaptation.
+        if self.dynamic.is_some() {
+            let ring_bytes = self.ring.bytes_sent();
+            let mem_bytes = self.mem_bytes_total();
+            if let Some(ways) = self
+                .dynamic
+                .as_mut()
+                .expect("dynamic")
+                .maybe_adjust(now, ring_bytes, mem_bytes)
+            {
+                for chip in &mut self.chips {
+                    for slice in &mut chip.slices {
+                        slice.cache.set_partition(ways);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Write back every dirty LLC line while keeping contents resident
+    /// (SAC memory-side → SM-side reconfiguration).
+    fn start_llc_dirty_writeback(&mut self) {
+        for c in 0..self.chips.len() {
+            for s in 0..self.cfg.slices_per_chip {
+                let dirty = self.chips[c].slices[s].cache.writeback_all_dirty();
+                for line in dirty {
+                    self.writeback_to_home(c, line);
+                }
+            }
+        }
+    }
+
+    /// Write back and invalidate every dirty LLC line (software-coherence
+    /// kernel boundaries for SM-side contents).
+    fn start_llc_flush(&mut self) {
+        for c in 0..self.chips.len() {
+            for s in 0..self.cfg.slices_per_chip {
+                let dirty = self.chips[c].slices[s].cache.flush_all();
+                for line in dirty {
+                    self.writeback_to_home(c, line);
+                }
+            }
+        }
+    }
+
+    fn writeback_to_home(&mut self, c: usize, line: LineAddr) {
+        let page = line.page(self.cfg.line_size, self.cfg.page_size);
+        let home = self
+            .page_table
+            .lookup(page)
+            .expect("cached lines have mapped pages");
+        if home.index() == c {
+            self.chips[c].memory.push_writeback(line);
+        } else {
+            self.push_ring(c, RingPayload::Writeback { line, home });
+        }
+    }
+
+    /// Kernel-boundary software coherence (§2.1, §4) and SAC revert (§3.6).
+    fn kernel_boundary(&mut self) {
+        // L1s are invalidated under both coherence schemes (write-through,
+        // so no traffic).
+        for chip in &mut self.chips {
+            for cluster in &mut chip.clusters {
+                cluster.flush_l1();
+            }
+        }
+
+        let sm_mode_active = self.route_mode() == RouteMode::SmSide;
+        match self.cfg.coherence {
+            CoherenceKind::Software => {
+                // The SM-side LLC (and the tiered organizations' remote
+                // pools) must be flushed and invalidated.
+                match self.org {
+                    LlcOrgKind::SmSide => self.start_llc_flush(),
+                    LlcOrgKind::Sac if sm_mode_active => self.start_llc_flush(),
+                    LlcOrgKind::StaticHalf | LlcOrgKind::Dynamic => {
+                        for c in 0..self.chips.len() {
+                            for s in 0..self.cfg.slices_per_chip {
+                                let dirty =
+                                    self.chips[c].slices[s].cache.flush_home(DataHome::Remote);
+                                for line in dirty {
+                                    self.writeback_to_home(c, line);
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            CoherenceKind::Hardware => {
+                // The directory kept replicas coherent during the kernel;
+                // remote replicas are dropped without bulk writeback
+                // traffic, which is why reconfiguration is cheaper (§5.6).
+                for chip in &mut self.chips {
+                    for slice in &mut chip.slices {
+                        slice.cache.flush_home(DataHome::Remote);
+                    }
+                }
+                self.directory.clear();
+            }
+        }
+
+        // SAC reverts to memory-side: drain (the flush above already ran if
+        // software coherence required it).
+        if let Some(sac) = self.sac.as_mut() {
+            if sac.end_kernel() {
+                // Draining happens below together with the flush traffic.
+            }
+        }
+
+        // Let all writebacks and invalidations drain.
+        while !self.machine_quiescent() {
+            self.tick(false);
+        }
+        if let Some(sac) = self.sac.as_mut() {
+            sac.drain_complete();
+        }
+    }
+
+    fn sample_occupancy(&mut self) {
+        let mut local = 0usize;
+        let mut remote = 0usize;
+        let mut cap = 0usize;
+        for chip in &self.chips {
+            let (l, r, c) = chip.llc_occupancy();
+            local += l;
+            remote += r;
+            cap += c;
+        }
+        let valid = local + remote;
+        if valid > 0 {
+            self.occ_local += local as f64 / valid as f64;
+            self.occ_fill += valid as f64 / cap.max(1) as f64;
+            self.occ_samples += 1;
+        }
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let mut l1 = mcgpu_cache::CacheStats::default();
+        let mut llc = mcgpu_cache::CacheStats::default();
+        for chip in &self.chips {
+            l1.merge(&chip.l1_stats());
+            llc.merge(&chip.llc_stats());
+        }
+        RunStats {
+            organization: self.org,
+            cycles: self.cycle,
+            reads: self.cluster_reads_total(),
+            writes: self.writes_done,
+            l1,
+            llc,
+            responses_by_origin: self.responses_by_origin,
+            llc_local_fraction: if self.occ_samples > 0 {
+                self.occ_local / self.occ_samples as f64
+            } else {
+                1.0
+            },
+            llc_occupancy: if self.occ_samples > 0 {
+                self.occ_fill / self.occ_samples as f64
+            } else {
+                0.0
+            },
+            ring_bytes: self.ring.bytes_sent(),
+            dram_reads: self.chips.iter().map(|c| c.memory.served_reads()).sum(),
+            dram_writes: self.chips.iter().map(|c| c.memory.served_writes()).sum(),
+            overhead_cycles: self.overhead_cycles,
+            max_in_flight: self.max_in_flight,
+            kernels: self.kernels.clone(),
+            sac_history: self
+                .sac
+                .as_ref()
+                .map(|s| s.history().to_vec())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgpu_trace::{generate, profiles, TraceParams};
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::experiment_baseline()
+    }
+
+    fn run(org: LlcOrgKind, bench: &str) -> RunStats {
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name(bench).unwrap(), &TraceParams::quick());
+        SimBuilder::new(c).organization(org).build().run(&wl).unwrap()
+    }
+
+    #[test]
+    fn all_organizations_complete_the_same_work() {
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let mut totals = Vec::new();
+        for org in LlcOrgKind::ALL {
+            let stats = SimBuilder::new(c.clone())
+                .organization(org)
+                .build()
+                .run(&wl)
+                .unwrap();
+            assert!(stats.cycles > 0, "{org}");
+            totals.push((org, stats.reads + stats.writes));
+        }
+        let first = totals[0].1;
+        for (org, t) in totals {
+            assert_eq!(t, first, "work mismatch for {org}");
+        }
+    }
+
+    #[test]
+    fn responses_match_reads_minus_l1_hits_and_merges() {
+        let s = run(LlcOrgKind::MemorySide, "SN");
+        let delivered: u64 = s.responses_by_origin.iter().sum();
+        // Every delivered response completes >= 1 read; reads completed also
+        // include L1 hits, so delivered <= reads.
+        assert!(delivered > 0);
+        assert!(delivered <= s.reads, "delivered {delivered} > reads {}", s.reads);
+    }
+
+    #[test]
+    fn memory_side_caches_only_local_data() {
+        let s = run(LlcOrgKind::MemorySide, "CFD");
+        assert!(
+            s.llc_local_fraction > 0.999,
+            "memory-side local fraction {}",
+            s.llc_local_fraction
+        );
+    }
+
+    #[test]
+    fn sm_side_caches_remote_data_for_sharing_workloads() {
+        let s = run(LlcOrgKind::SmSide, "CFD");
+        assert!(
+            s.llc_local_fraction < 0.9,
+            "SM-side should hold remote data, local fraction {}",
+            s.llc_local_fraction
+        );
+    }
+
+    #[test]
+    fn sac_records_a_decision_per_kernel() {
+        let s = run(LlcOrgKind::Sac, "SN");
+        assert_eq!(
+            s.sac_history.len(),
+            profiles::by_name("SN").unwrap().total_kernels()
+        );
+        assert!(s.kernels.iter().all(|k| k.sac_mode.is_some()));
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let err = SimBuilder::new(c)
+            .organization(LlcOrgKind::MemorySide)
+            .max_cycles(100)
+            .build()
+            .run(&wl)
+            .unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn hardware_coherence_runs_clean() {
+        let mut c = cfg();
+        c.coherence = CoherenceKind::Hardware;
+        let wl = generate(&c, &profiles::by_name("RN").unwrap(), &TraceParams::quick());
+        let s = SimBuilder::new(c)
+            .organization(LlcOrgKind::SmSide)
+            .build()
+            .run(&wl)
+            .unwrap();
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn sectored_machine_runs_clean() {
+        let mut c = cfg();
+        c.sectored = true;
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        for org in [LlcOrgKind::MemorySide, LlcOrgKind::Sac] {
+            let s = SimBuilder::new(c.clone())
+                .organization(org)
+                .build()
+                .run(&wl)
+                .unwrap();
+            assert!(s.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn two_chip_machine_runs_clean() {
+        let mut c = cfg();
+        c.chips = 2;
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let s = SimBuilder::new(c)
+            .organization(LlcOrgKind::Sac)
+            .build()
+            .run(&wl)
+            .unwrap();
+        assert!(s.cycles > 0);
+    }
+}

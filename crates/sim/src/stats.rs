@@ -1,0 +1,189 @@
+//! End-to-end run statistics.
+
+use mcgpu_cache::CacheStats;
+use mcgpu_types::{LlcOrgKind, ResponseOrigin};
+use sac::controller::KernelRecord;
+
+/// Statistics of one kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelStats {
+    /// Kernel index within the workload.
+    pub index: usize,
+    /// Cycles spent executing this kernel (including reconfiguration).
+    pub cycles: u64,
+    /// Accesses completed.
+    pub accesses: u64,
+    /// The LLC mode used for the bulk of the kernel (`None` for
+    /// non-reconfigurable organizations).
+    pub sac_mode: Option<sac::LlcMode>,
+}
+
+impl KernelStats {
+    /// Performance proxy: completed accesses per cycle.
+    pub fn perf(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.accesses as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Complete statistics of one simulated workload run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunStats {
+    /// The LLC organization simulated.
+    pub organization: LlcOrgKind,
+    /// Total cycles including kernel-boundary coherence and SAC
+    /// reconfiguration overheads.
+    pub cycles: u64,
+    /// Read accesses completed.
+    pub reads: u64,
+    /// Write accesses completed.
+    pub writes: u64,
+    /// Aggregated L1 statistics.
+    pub l1: CacheStats,
+    /// Aggregated LLC statistics.
+    pub llc: CacheStats,
+    /// Read responses delivered, by data origin (Fig. 10 legend order:
+    /// local LLC, remote LLC, local memory, remote memory).
+    pub responses_by_origin: [u64; 4],
+    /// Mean fraction of resident LLC lines holding local-partition data,
+    /// sampled periodically (Fig. 9); the remainder is remote data.
+    pub llc_local_fraction: f64,
+    /// Mean LLC occupancy (valid lines / capacity), sampled periodically.
+    pub llc_occupancy: f64,
+    /// Total bytes moved over the inter-chip ring.
+    pub ring_bytes: u64,
+    /// DRAM reads served.
+    pub dram_reads: u64,
+    /// DRAM writes + writebacks served.
+    pub dram_writes: u64,
+    /// Cycles spent draining/flushing for SAC reconfigurations and
+    /// kernel-boundary coherence.
+    pub overhead_cycles: u64,
+    /// High-water mark of simultaneously outstanding requests (MLP proxy).
+    pub max_in_flight: u64,
+    /// Per-kernel statistics.
+    pub kernels: Vec<KernelStats>,
+    /// SAC decision history (empty for other organizations).
+    pub sac_history: Vec<KernelRecord>,
+}
+
+impl RunStats {
+    /// Performance proxy: completed accesses per cycle. Speedups between
+    /// organizations running the *same* workload are cycle ratios, which
+    /// this exposes directly.
+    pub fn perf(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            (self.reads + self.writes) as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of this run over `baseline` on the same workload
+    /// (cycle-count ratio).
+    pub fn speedup_over(&self, baseline: &RunStats) -> f64 {
+        debug_assert_eq!(
+            self.reads + self.writes,
+            baseline.reads + baseline.writes,
+            "speedup requires identical workloads"
+        );
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Effective LLC bandwidth proxy (Fig. 1c / Fig. 10): read responses
+    /// delivered per cycle, regardless of origin.
+    pub fn effective_llc_bandwidth(&self) -> f64 {
+        let total: u64 = self.responses_by_origin.iter().sum();
+        if self.cycles == 0 {
+            0.0
+        } else {
+            total as f64 / self.cycles as f64
+        }
+    }
+
+    /// Responses per cycle from one origin (Fig. 10 breakdown).
+    pub fn response_rate(&self, origin: ResponseOrigin) -> f64 {
+        let idx = ResponseOrigin::ALL
+            .iter()
+            .position(|&o| o == origin)
+            .expect("origin in ALL");
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.responses_by_origin[idx] as f64 / self.cycles as f64
+        }
+    }
+
+    /// LLC miss rate over the run (Fig. 1b).
+    pub fn llc_miss_rate(&self) -> f64 {
+        self.llc.miss_rate()
+    }
+}
+
+/// Harmonic mean of positive values, as the paper uses for average speedups.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let denom: f64 = values.iter().map(|v| 1.0 / v.max(1e-12)).sum();
+    values.len() as f64 / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+        // HM of 1 and 3 is 1.5.
+        assert!((harmonic_mean(&[1.0, 3.0]) - 1.5).abs() < 1e-12);
+        // HM is dominated by small values.
+        assert!(harmonic_mean(&[0.5, 10.0]) < 1.0);
+    }
+
+    fn stats(cycles: u64, reads: u64) -> RunStats {
+        RunStats {
+            organization: LlcOrgKind::MemorySide,
+            cycles,
+            reads,
+            writes: 0,
+            l1: CacheStats::default(),
+            llc: CacheStats::default(),
+            responses_by_origin: [10, 20, 30, 40],
+            llc_local_fraction: 1.0,
+            llc_occupancy: 0.5,
+            ring_bytes: 0,
+            dram_reads: 0,
+            dram_writes: 0,
+            overhead_cycles: 0,
+            max_in_flight: 0,
+            kernels: Vec::new(),
+            sac_history: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn perf_and_speedup() {
+        let fast = stats(100, 1000);
+        let slow = stats(400, 1000);
+        assert!((fast.perf() - 10.0).abs() < 1e-12);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn origin_rates_sum_to_effective_bandwidth() {
+        let s = stats(100, 1000);
+        let sum: f64 = ResponseOrigin::ALL
+            .iter()
+            .map(|&o| s.response_rate(o))
+            .sum();
+        assert!((sum - s.effective_llc_bandwidth()).abs() < 1e-12);
+        assert!((s.response_rate(ResponseOrigin::RemoteMem) - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the workload generator's invariants.
+
+use mcgpu_trace::{generate, profiles, SharingClass, TraceParams};
+use mcgpu_types::MachineConfig;
+use proptest::prelude::*;
+
+fn cfg() -> MachineConfig {
+    MachineConfig::experiment_baseline()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated address falls inside the layout's footprint, for any
+    /// benchmark and input scale.
+    #[test]
+    fn addresses_stay_in_footprint(
+        bench_idx in 0usize..16,
+        scale_exp in -3i32..=2,
+        seed in any::<u64>(),
+    ) {
+        let c = cfg();
+        let p = &profiles::all_profiles()[bench_idx];
+        let params = TraceParams {
+            total_accesses: 4_000,
+            seed,
+            input_scale: 2f64.powi(scale_exp),
+        };
+        let wl = generate(&c, p, &params);
+        let limit = wl.layout.footprint_bytes();
+        for k in &wl.kernels {
+            for stream in &k.per_cluster {
+                for a in stream {
+                    prop_assert!(a.addr.raw() < limit,
+                        "{}: {:#x} outside footprint {:#x}", p.name, a.addr.raw(), limit);
+                }
+            }
+        }
+    }
+
+    /// Pool access fractions approximately match the profile's behaviour
+    /// knobs (within sampling noise).
+    #[test]
+    fn pool_fractions_match_profile(bench_idx in 0usize..16) {
+        let c = cfg();
+        let p = &profiles::all_profiles()[bench_idx];
+        let params = TraceParams {
+            total_accesses: 40_000,
+            ..TraceParams::quick()
+        };
+        let wl = generate(&c, p, &params);
+        // Expected fractions weighted over the kernel sequence.
+        let expected_true: f64 = p.kernels.iter().map(|k| k.weight * k.f_true).sum();
+        let mut true_count = 0usize;
+        let mut total = 0usize;
+        for (_, a) in wl.merged_stream() {
+            total += 1;
+            if wl.layout.classify(a.addr.line(c.line_size)) == SharingClass::TrueShared {
+                true_count += 1;
+            }
+        }
+        let measured = true_count as f64 / total as f64;
+        prop_assert!((measured - expected_true).abs() < 0.05,
+            "{}: f_true expected {:.2} measured {:.2}", p.name, expected_true, measured);
+    }
+
+    /// Kernel count and stream shapes are structurally consistent.
+    #[test]
+    fn kernel_structure_is_consistent(bench_idx in 0usize..16, seed in any::<u64>()) {
+        let c = cfg();
+        let p = &profiles::all_profiles()[bench_idx];
+        let params = TraceParams {
+            total_accesses: 8_000,
+            seed,
+            input_scale: 1.0,
+        };
+        let wl = generate(&c, p, &params);
+        prop_assert_eq!(wl.kernels.len(), p.total_kernels());
+        let clusters = c.chips * c.clusters_per_chip;
+        for k in &wl.kernels {
+            prop_assert_eq!(k.per_cluster.len(), clusters);
+            // Streams within a kernel are balanced (equal length).
+            let n = k.per_cluster[0].len();
+            prop_assert!(k.per_cluster.iter().all(|s| s.len() == n));
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! Machine configuration (Table 3 of the paper) and design-space scaling.
+//!
+//! All bandwidths are stored in GB/s. The simulated GPU clock is 1 GHz, so
+//! **1 GB/s equals exactly 1 byte/cycle** — the simulator consumes these
+//! values directly as per-cycle byte budgets.
+
+use crate::error::ConfigError;
+use crate::ids::ChipId;
+
+/// Bandwidth unit marker: 1 GB/s == 1 byte/cycle at the 1 GHz GPU clock.
+pub const GB_S: f64 = 1.0;
+
+/// The five LLC organizations compared in the paper's evaluation (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LlcOrgKind {
+    /// Baseline: each slice caches data of the local memory partition on
+    /// behalf of all chips (Fig. 3a).
+    MemorySide,
+    /// Two-NoC SM-side organization: each chip's slices cache whatever its
+    /// own SMs access, local or remote (Fig. 3b).
+    SmSide,
+    /// The L1.5 "Static LLC" of Arunkumar et al.: half the capacity caches
+    /// local data, half caches remote data.
+    StaticHalf,
+    /// The Dynamic LLC of Milic et al.: the local/remote way split adapts at
+    /// run time to balance local-memory vs inter-chip bandwidth.
+    Dynamic,
+    /// Sharing-Aware Caching: per-kernel choice between `MemorySide` and
+    /// `SmSide` driven by the EAB model.
+    Sac,
+}
+
+impl LlcOrgKind {
+    /// All five organizations, in the paper's presentation order.
+    pub const ALL: [LlcOrgKind; 5] = [
+        LlcOrgKind::MemorySide,
+        LlcOrgKind::SmSide,
+        LlcOrgKind::StaticHalf,
+        LlcOrgKind::Dynamic,
+        LlcOrgKind::Sac,
+    ];
+
+    /// Short label used in reports and figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            LlcOrgKind::MemorySide => "memory-side",
+            LlcOrgKind::SmSide => "SM-side",
+            LlcOrgKind::StaticHalf => "static",
+            LlcOrgKind::Dynamic => "dynamic",
+            LlcOrgKind::Sac => "SAC",
+        }
+    }
+}
+
+impl std::fmt::Display for LlcOrgKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Coherence protocol for SM-side-capable configurations (§5.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CoherenceKind {
+    /// Software-managed: flush + invalidate at kernel boundaries (baseline).
+    #[default]
+    Software,
+    /// Hardware directory: sharers tracked at the home partition; a write
+    /// invalidates all remote copies.
+    Hardware,
+}
+
+/// Memory interface generation (Fig. 14 "memory interface" sweep).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemoryInterface {
+    /// GDDR5-class: 0.9 TB/s aggregate.
+    Gddr5,
+    /// GDDR6-class: 1.75 TB/s aggregate (baseline).
+    #[default]
+    Gddr6,
+    /// HBM2-class: 2.8 TB/s aggregate.
+    Hbm2,
+}
+
+impl MemoryInterface {
+    /// Aggregate DRAM bandwidth of the whole machine, in GB/s.
+    pub fn total_gbs(self) -> f64 {
+        match self {
+            MemoryInterface::Gddr5 => 900.0,
+            MemoryInterface::Gddr6 => 1750.0,
+            MemoryInterface::Hbm2 => 2800.0,
+        }
+    }
+
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemoryInterface::Gddr5 => "GDDR5",
+            MemoryInterface::Gddr6 => "GDDR6",
+            MemoryInterface::Hbm2 => "HBM2",
+        }
+    }
+}
+
+/// Uniform down-scaling of the simulated machine so full figure sweeps run in
+/// minutes instead of days.
+///
+/// * `topology` divides unit counts (SM clusters, LLC slices, DRAM channels
+///   per chip) and aggregate bandwidths (NoC bisection, inter-chip links) —
+///   per-unit bandwidths are unchanged, so every bandwidth *ratio* the
+///   paper's EAB argument rests on is preserved.
+/// * `capacity` divides storage capacities (LLC) and, in `mcgpu-trace`,
+///   workload footprints — so every working-set ÷ capacity ratio is
+///   preserved. L1 capacity is scaled by `capacity / topology` so the total
+///   L1 : LLC ratio per chip is also preserved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ScaleFactor {
+    /// Divisor for unit counts and aggregate bandwidths.
+    pub topology: u32,
+    /// Divisor for capacities and workload footprints.
+    pub capacity: u32,
+}
+
+impl ScaleFactor {
+    /// No scaling: the exact Table 3 machine.
+    pub const UNIT: ScaleFactor = ScaleFactor {
+        topology: 1,
+        capacity: 1,
+    };
+
+    /// The default scale used by the experiment harness: 8 SM clusters,
+    /// 4 LLC slices and 2 DRAM channels per chip; capacities and footprints
+    /// divided by 16.
+    pub const EXPERIMENT: ScaleFactor = ScaleFactor {
+        topology: 4,
+        capacity: 16,
+    };
+}
+
+impl Default for ScaleFactor {
+    fn default() -> Self {
+        ScaleFactor::UNIT
+    }
+}
+
+/// Full machine configuration (Table 3 plus latency parameters).
+///
+/// Construct with [`MachineConfig::paper_baseline`] (unscaled Table 3) or
+/// [`MachineConfig::experiment_baseline`] (scaled for fast sweeps) and adjust
+/// fields before calling [`MachineConfig::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of GPU chips (Table 3: 4).
+    pub chips: usize,
+    /// SM clusters per chip; one cluster is two SMs sharing a NoC port.
+    pub clusters_per_chip: usize,
+    /// LLC slices per chip.
+    pub slices_per_chip: usize,
+    /// DRAM channels per chip (one memory partition per chip).
+    pub channels_per_chip: usize,
+
+    /// Cache line size in bytes (128).
+    pub line_size: u64,
+    /// Memory page size in bytes (4 KiB, first-touch allocated).
+    pub page_size: u64,
+    /// Sectors per cache line when `sectored` is set (4).
+    pub sectors_per_line: u32,
+    /// Whether caches are sectored (Fig. 14 sweep; baseline: conventional).
+    pub sectored: bool,
+
+    /// Private L1 capacity per SM cluster, bytes.
+    pub l1_bytes_per_cluster: u64,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// LLC capacity per chip, bytes (4 MiB).
+    pub llc_bytes_per_chip: u64,
+    /// LLC associativity.
+    pub llc_assoc: usize,
+
+    /// Intra-chip NoC bisection bandwidth per chip, GB/s (4 TB/s).
+    pub noc_bisection_gbs: f64,
+    /// Per-LLC-slice bandwidth, GB/s (16 TB/s ÷ 64 slices = 250).
+    pub llc_slice_gbs: f64,
+    /// Per-DRAM-channel bandwidth, GB/s (1.75 TB/s ÷ 32 = 54.6875).
+    pub dram_channel_gbs: f64,
+    /// Inter-chip bandwidth per adjacent chip pair, per direction, GB/s.
+    /// Baseline: 3 links × 64 GB/s bidirectional = 96 GB/s per direction.
+    pub interchip_pair_gbs: f64,
+    /// Physical links per adjacent pair in the ring (3).
+    pub links_per_pair: usize,
+
+    /// L1 hit latency, cycles.
+    pub l1_hit_latency: u64,
+    /// One-way intra-chip NoC traversal latency, cycles.
+    pub noc_latency: u64,
+    /// LLC access latency, cycles.
+    pub llc_latency: u64,
+    /// DRAM access latency, cycles.
+    pub dram_latency: u64,
+    /// One-way inter-chip hop latency, cycles.
+    pub link_latency: u64,
+
+    /// Outstanding-miss registers per SM cluster.
+    pub mshrs_per_cluster: usize,
+    /// Memory instructions an SM cluster can issue per cycle.
+    pub issue_width: usize,
+
+    /// Coherence protocol for SM-side configurations.
+    pub coherence: CoherenceKind,
+    /// Memory interface generation (adjusts `dram_channel_gbs`).
+    pub memory_interface: MemoryInterface,
+    /// Scale applied relative to Table 3.
+    pub scale: ScaleFactor,
+}
+
+impl MachineConfig {
+    /// The unscaled Table 3 baseline.
+    pub fn paper_baseline() -> Self {
+        MachineConfig {
+            chips: 4,
+            clusters_per_chip: 32,
+            slices_per_chip: 16,
+            channels_per_chip: 8,
+            line_size: 128,
+            page_size: 4096,
+            sectors_per_line: 4,
+            sectored: false,
+            l1_bytes_per_cluster: 256 << 10, // 2 SMs x 128 KB
+            l1_assoc: 8,
+            llc_bytes_per_chip: 4 << 20,
+            llc_assoc: 16,
+            noc_bisection_gbs: 4096.0,
+            llc_slice_gbs: 250.0,
+            dram_channel_gbs: 1750.0 / 32.0,
+            interchip_pair_gbs: 96.0,
+            links_per_pair: 3,
+            l1_hit_latency: 28,
+            noc_latency: 20,
+            llc_latency: 90,
+            dram_latency: 250,
+            link_latency: 80,
+            mshrs_per_cluster: 64,
+            issue_width: 1,
+            coherence: CoherenceKind::Software,
+            memory_interface: MemoryInterface::Gddr6,
+            scale: ScaleFactor::UNIT,
+        }
+    }
+
+    /// The scaled baseline used by the experiment harness
+    /// ([`ScaleFactor::EXPERIMENT`]).
+    pub fn experiment_baseline() -> Self {
+        Self::paper_baseline().scaled(ScaleFactor::EXPERIMENT)
+    }
+
+    /// Apply a [`ScaleFactor`], producing a smaller machine with identical
+    /// bandwidth and capacity ratios (see [`ScaleFactor`] docs).
+    ///
+    /// # Panics
+    /// Panics if scaling would reduce any unit count below one.
+    pub fn scaled(mut self, scale: ScaleFactor) -> Self {
+        let t = scale.topology as usize;
+        let c = scale.capacity as u64;
+        assert!(t >= 1 && c >= 1, "scale factors must be >= 1");
+        assert!(
+            self.clusters_per_chip >= t && self.slices_per_chip >= t && self.channels_per_chip >= t,
+            "topology scale too large for machine"
+        );
+        self.clusters_per_chip /= t;
+        self.slices_per_chip /= t;
+        self.channels_per_chip = (self.channels_per_chip / t).max(1);
+        self.noc_bisection_gbs /= t as f64;
+        self.interchip_pair_gbs /= t as f64;
+        self.llc_bytes_per_chip /= c;
+        // Keep total-L1 : LLC per chip constant: clusters shrank by t, so the
+        // per-cluster L1 only shrinks by c / t.
+        self.l1_bytes_per_cluster = self.l1_bytes_per_cluster * t as u64 / c;
+        // Keep the chip's total outstanding-miss capability (and hence its
+        // latency-tolerance : bandwidth ratio) constant: fewer clusters each
+        // get proportionally more MSHRs.
+        self.mshrs_per_cluster *= t;
+        self.scale = scale;
+        self
+    }
+
+    /// Override the memory interface, rescaling per-channel DRAM bandwidth.
+    pub fn with_memory_interface(mut self, iface: MemoryInterface) -> Self {
+        let baseline_total = MemoryInterface::Gddr6.total_gbs();
+        let factor = iface.total_gbs() / baseline_total;
+        self.dram_channel_gbs = (1750.0 / 32.0) * factor;
+        self.memory_interface = iface;
+        self
+    }
+
+    /// Validate internal consistency.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.chips < 2 {
+            return Err(ConfigError::new("need at least 2 chips"));
+        }
+        if self.chips > 8 {
+            return Err(ConfigError::new("ring topology supports at most 8 chips"));
+        }
+        if !self.line_size.is_power_of_two() || !self.page_size.is_power_of_two() {
+            return Err(ConfigError::new("line and page sizes must be powers of two"));
+        }
+        if self.page_size < self.line_size {
+            return Err(ConfigError::new("page size must be >= line size"));
+        }
+        if self.slices_per_chip == 0 || self.clusters_per_chip == 0 || self.channels_per_chip == 0
+        {
+            return Err(ConfigError::new("unit counts must be positive"));
+        }
+        if self.llc_bytes_per_chip % (self.slices_per_chip as u64) != 0 {
+            return Err(ConfigError::new("LLC capacity must divide evenly over slices"));
+        }
+        let slice_bytes = self.llc_bytes_per_chip / self.slices_per_chip as u64;
+        let set_bytes = self.llc_assoc as u64 * self.line_size;
+        if slice_bytes % set_bytes != 0 {
+            return Err(ConfigError::new("LLC slice must hold a whole number of sets"));
+        }
+        if self.l1_bytes_per_cluster % (self.l1_assoc as u64 * self.line_size) != 0 {
+            return Err(ConfigError::new("L1 must hold a whole number of sets"));
+        }
+        if self.sectors_per_line == 0 || self.line_size % self.sectors_per_line as u64 != 0 {
+            return Err(ConfigError::new("sectors must divide the line size"));
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Derived quantities.
+    // ------------------------------------------------------------------
+
+    /// Total LLC capacity of the machine, bytes.
+    pub fn total_llc_bytes(&self) -> u64 {
+        self.llc_bytes_per_chip * self.chips as u64
+    }
+
+    /// LLC slice capacity, bytes.
+    pub fn llc_slice_bytes(&self) -> u64 {
+        self.llc_bytes_per_chip / self.slices_per_chip as u64
+    }
+
+    /// Total LLC slices in the machine.
+    pub fn total_slices(&self) -> usize {
+        self.chips * self.slices_per_chip
+    }
+
+    /// Total DRAM bandwidth, GB/s.
+    pub fn total_dram_gbs(&self) -> f64 {
+        self.dram_channel_gbs * (self.chips * self.channels_per_chip) as f64
+    }
+
+    /// Raw LLC bandwidth per chip, GB/s (`B_LLC` of the EAB model).
+    pub fn llc_gbs_per_chip(&self) -> f64 {
+        self.llc_slice_gbs * self.slices_per_chip as f64
+    }
+
+    /// Intra-chip NoC bandwidth per chip, GB/s (`B_intra`).
+    pub fn intra_gbs_per_chip(&self) -> f64 {
+        self.noc_bisection_gbs
+    }
+
+    /// Inter-chip bandwidth available to one chip per direction, GB/s
+    /// (`B_inter`): two ring neighbours.
+    pub fn inter_gbs_per_chip(&self) -> f64 {
+        2.0 * self.interchip_pair_gbs
+    }
+
+    /// DRAM bandwidth per chip (one memory partition), GB/s (`B_mem`).
+    pub fn mem_gbs_per_chip(&self) -> f64 {
+        self.dram_channel_gbs * self.channels_per_chip as f64
+    }
+
+    // ------------------------------------------------------------------
+    // Ring topology.
+    // ------------------------------------------------------------------
+
+    /// The two ring neighbours of `chip` (clockwise, counter-clockwise).
+    pub fn ring_neighbors(&self, chip: ChipId) -> (ChipId, ChipId) {
+        let n = self.chips;
+        let i = chip.index();
+        (
+            ChipId(((i + 1) % n) as u8),
+            ChipId(((i + n - 1) % n) as u8),
+        )
+    }
+
+    /// Number of ring hops between two chips along the shortest path.
+    pub fn ring_distance(&self, from: ChipId, to: ChipId) -> usize {
+        let n = self.chips;
+        let cw = (to.index() + n - from.index()) % n;
+        cw.min(n - cw)
+    }
+
+    /// The next hop from `from` towards `to` along the shortest ring path.
+    /// Ties (diametrically opposite chips) are broken towards the clockwise
+    /// direction for even `from`, counter-clockwise for odd `from`, which
+    /// balances load over both directions.
+    ///
+    /// # Panics
+    /// Panics if `from == to`.
+    pub fn ring_next_hop(&self, from: ChipId, to: ChipId) -> ChipId {
+        assert_ne!(from, to, "no hop needed");
+        let n = self.chips;
+        let cw = (to.index() + n - from.index()) % n;
+        let ccw = n - cw;
+        let clockwise = match cw.cmp(&ccw) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => from.index() % 2 == 0,
+        };
+        if clockwise {
+            ChipId(((from.index() + 1) % n) as u8)
+        } else {
+            ChipId(((from.index() + n - 1) % n) as u8)
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        Self::paper_baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table3() {
+        let c = MachineConfig::paper_baseline();
+        c.validate().unwrap();
+        assert_eq!(c.chips, 4);
+        assert_eq!(c.chips * c.clusters_per_chip * 2, 256); // 256 SMs
+        assert_eq!(c.total_llc_bytes(), 16 << 20); // 16 MB LLC
+        assert_eq!(c.total_slices(), 64);
+        assert!((c.total_dram_gbs() - 1750.0).abs() < 1e-9);
+        assert!((c.llc_gbs_per_chip() * 4.0 - 16000.0).abs() < 1e-9); // 16 TB/s
+        assert!((c.inter_gbs_per_chip() - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_preserves_ratios() {
+        let base = MachineConfig::paper_baseline();
+        let s = base.clone().scaled(ScaleFactor::EXPERIMENT);
+        s.validate().unwrap();
+        // Bandwidth ratios.
+        let r0 = base.intra_gbs_per_chip() / base.inter_gbs_per_chip();
+        let r1 = s.intra_gbs_per_chip() / s.inter_gbs_per_chip();
+        assert!((r0 - r1).abs() < 1e-9);
+        // Demand/bandwidth: clusters per chip vs bisection.
+        let d0 = base.clusters_per_chip as f64 / base.noc_bisection_gbs;
+        let d1 = s.clusters_per_chip as f64 / s.noc_bisection_gbs;
+        assert!((d0 - d1).abs() < 1e-9);
+        // L1-total : LLC ratio per chip.
+        let l0 = (base.clusters_per_chip as u64 * base.l1_bytes_per_cluster) as f64
+            / base.llc_bytes_per_chip as f64;
+        let l1 = (s.clusters_per_chip as u64 * s.l1_bytes_per_cluster) as f64
+            / s.llc_bytes_per_chip as f64;
+        assert!((l0 - l1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_interfaces_rescale_channels() {
+        let c = MachineConfig::paper_baseline().with_memory_interface(MemoryInterface::Hbm2);
+        assert!((c.total_dram_gbs() - 2800.0).abs() < 1e-6);
+        let c = MachineConfig::paper_baseline().with_memory_interface(MemoryInterface::Gddr5);
+        assert!((c.total_dram_gbs() - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ring_distance_and_hops() {
+        let c = MachineConfig::paper_baseline();
+        assert_eq!(c.ring_distance(ChipId(0), ChipId(1)), 1);
+        assert_eq!(c.ring_distance(ChipId(0), ChipId(2)), 2);
+        assert_eq!(c.ring_distance(ChipId(0), ChipId(3)), 1);
+        assert_eq!(c.ring_distance(ChipId(3), ChipId(0)), 1);
+        // Next hop always reduces distance.
+        for a in ChipId::all(4) {
+            for b in ChipId::all(4) {
+                if a == b {
+                    continue;
+                }
+                let hop = c.ring_next_hop(a, b);
+                if hop != b {
+                    assert!(c.ring_distance(hop, b) < c.ring_distance(a, b));
+                } else {
+                    assert_eq!(c.ring_distance(a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_chip_ring() {
+        let mut c = MachineConfig::paper_baseline();
+        c.chips = 2;
+        c.validate().unwrap();
+        assert_eq!(c.ring_distance(ChipId(0), ChipId(1)), 1);
+        assert_eq!(c.ring_next_hop(ChipId(0), ChipId(1)), ChipId(1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut c = MachineConfig::paper_baseline();
+        c.page_size = 64; // < line size
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_baseline();
+        c.chips = 1;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_baseline();
+        c.sectors_per_line = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn llc_org_labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            LlcOrgKind::ALL.iter().map(|o| o.label()).collect();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(LlcOrgKind::Sac.to_string(), "SAC");
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// A machine or workload configuration was internally inconsistent.
+///
+/// # Example
+/// ```
+/// use mcgpu_types::MachineConfig;
+///
+/// let mut cfg = MachineConfig::paper_baseline();
+/// cfg.page_size = 64; // smaller than the 128 B line
+/// let err = cfg.validate().unwrap_err();
+/// assert!(err.to_string().contains("page size"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Create an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.to_string(), "invalid configuration: boom");
+    }
+
+    #[test]
+    fn is_send_sync_error() {
+        fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_err(ConfigError::new("x"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Common vocabulary types for the multi-chip GPU simulator.
+//!
+//! This crate defines the identifiers, address arithmetic, packet formats and
+//! machine configuration shared by every other crate in the workspace. It has
+//! no dependencies and models the baseline system of Table 3 of the SAC paper
+//! (Zhang et al., ISCA 2023): a 4-chip GPU in which every chip hosts SM
+//! clusters, LLC slices and memory channels, connected by an intra-chip
+//! crossbar NoC and an inter-chip ring.
+//!
+//! # Example
+//!
+//! ```
+//! use mcgpu_types::{MachineConfig, Address};
+//!
+//! let cfg = MachineConfig::paper_baseline();
+//! assert_eq!(cfg.chips, 4);
+//! assert_eq!(cfg.total_llc_bytes(), 16 << 20);
+//!
+//! let a = Address::new(0x1_0040);
+//! assert_eq!(a.line(cfg.line_size).index(), 0x1_0040 / 128);
+//! ```
+
+pub mod addr;
+pub mod budget;
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod packet;
+pub mod pipe;
+
+pub use addr::{Address, LineAddr, PageAddr, SectorId};
+pub use budget::BandwidthBudget;
+pub use config::{
+    CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, ScaleFactor, GB_S,
+};
+pub use error::ConfigError;
+pub use ids::{ChannelId, ChipId, ClusterId, SliceId};
+pub use packet::{AccessKind, MemAccess, Request, RequestId, Response, ResponseOrigin};
+pub use pipe::Pipe;

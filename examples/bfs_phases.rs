@@ -1,0 +1,40 @@
+//! BFS time-varying behaviour (the paper's Fig. 12): watch instantaneous
+//! throughput as SAC alternates between memory-side (K1) and SM-side (K2)
+//! kernels.
+//!
+//! ```text
+//! cargo run --release --example bfs_phases
+//! ```
+
+use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::{LlcOrgKind, MachineConfig};
+
+fn main() {
+    let cfg = MachineConfig::experiment_baseline();
+    let profile = profiles::by_name("BFS").expect("profile");
+    let wl = generate(&cfg, &profile, &TraceParams::standard());
+
+    let mut sim = SimBuilder::new(cfg)
+        .organization(LlcOrgKind::Sac)
+        .build();
+    let mut last = 0u64;
+    println!("{:>9} {:>12} {:>8}", "cycle", "accesses/cyc", "active");
+    let window = 10_000;
+    let stats = sim
+        .run_observed(&wl, window, |cycle, done, active| {
+            println!(
+                "{:>9} {:>12.2} {:>8}",
+                cycle,
+                (done - last) as f64 / window as f64,
+                active
+            );
+            last = done;
+        })
+        .expect("run");
+
+    println!("\nSAC per-kernel decisions (K1 = frontier sweep, K2 = hot frontier):");
+    for (i, r) in stats.sac_history.iter().enumerate() {
+        println!("  kernel {i} ({}): {}", if i % 2 == 0 { "K1" } else { "K2" }, r.mode);
+    }
+}

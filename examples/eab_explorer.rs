@@ -1,0 +1,45 @@
+//! Explore the EAB analytical model (no simulation): a decision map over
+//! the sharing spectrum, showing where the model flips between the
+//! memory-side and SM-side organizations.
+//!
+//! ```text
+//! cargo run --example eab_explorer
+//! ```
+
+use mcgpu_types::MachineConfig;
+use sac::eab::{ArchBandwidth, EabInputs, EabModel};
+use sac::LlcMode;
+
+fn main() {
+    let arch = ArchBandwidth::from_config(&MachineConfig::paper_baseline());
+    let model = EabModel::new(arch);
+    println!(
+        "machine: B_intra={:.0} B_inter={:.0} B_LLC={:.0} B_mem={:.1} GB/s per chip\n",
+        arch.b_intra, arch.b_inter, arch.b_llc, arch.b_mem
+    );
+    println!("decision map (rows: R_local; cols: predicted SM-side hit rate;");
+    println!("memory-side hit fixed at 0.60, LSUs at 0.85; S = SM-side, m = memory-side)\n");
+    print!("        ");
+    for hs in (0..=10).map(|i| i as f64 / 10.0) {
+        print!("{hs:>5.1}");
+    }
+    println!();
+    for rl in (0..=10).map(|i| i as f64 / 10.0) {
+        print!("rl={rl:<4.1} ");
+        for hs in (0..=10).map(|i| i as f64 / 10.0) {
+            let inputs = EabInputs {
+                r_local: rl,
+                llc_hit_memory_side: 0.60,
+                llc_hit_sm_side: hs,
+                lsu_memory_side: 0.85,
+                lsu_sm_side: 0.85,
+            };
+            let d = model.decide(&inputs, 0.05);
+            print!("{:>5}", if d == LlcMode::SmSide { "S" } else { "m" });
+        }
+        println!();
+    }
+    println!("\nreading the map: with lots of remote traffic (low R_local), replication");
+    println!("wins unless it destroys the hit rate; purely local workloads never");
+    println!("justify the reconfiguration (theta keeps the memory-side default).");
+}

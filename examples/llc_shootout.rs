@@ -1,0 +1,62 @@
+//! Compare all five LLC organizations on one benchmark.
+//!
+//! ```text
+//! cargo run --release --example llc_shootout [BENCH]
+//! ```
+//!
+//! BENCH defaults to SN; any Table 4 name works (RN, AN, SN, CFD, BFS, 3DC,
+//! BS, BT, SRAD, GEMM, LUD, STEN, 3MM, BP, DWT, NN).
+
+use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::{LlcOrgKind, MachineConfig, ResponseOrigin};
+
+fn main() {
+    let bench = std::env::args().nth(1).unwrap_or_else(|| "SN".into());
+    let Some(profile) = profiles::by_name(&bench) else {
+        eprintln!("unknown benchmark {bench}");
+        std::process::exit(2);
+    };
+    let cfg = MachineConfig::experiment_baseline();
+    let wl = generate(&cfg, &profile, &TraceParams::standard());
+    println!(
+        "{bench} ({} preferred in the paper), {} accesses\n",
+        profile.preference.label(),
+        wl.total_accesses()
+    );
+    println!(
+        "{:12} {:>9} {:>8} {:>9} {:>9} {:>10} {:>10}",
+        "organization", "cycles", "speedup", "LLC miss", "local frac", "eff.bw/cyc", "ring B/cyc"
+    );
+    let mut base = None;
+    for org in LlcOrgKind::ALL {
+        let s = SimBuilder::new(cfg.clone())
+            .organization(org)
+            .build()
+            .run(&wl)
+            .expect("run");
+        let speedup = base
+            .map(|b: u64| b as f64 / s.cycles as f64)
+            .unwrap_or(1.0);
+        if base.is_none() {
+            base = Some(s.cycles);
+        }
+        println!(
+            "{:12} {:>9} {:>8.2} {:>9.2} {:>10.2} {:>10.2} {:>10.0}",
+            org.label(),
+            s.cycles,
+            speedup,
+            s.llc_miss_rate(),
+            s.llc_local_fraction,
+            s.effective_llc_bandwidth(),
+            s.ring_bytes as f64 / s.cycles as f64,
+        );
+        if org == LlcOrgKind::Sac {
+            let origins: Vec<String> = ResponseOrigin::ALL
+                .iter()
+                .map(|&o| format!("{} {:.2}", o.label(), s.response_rate(o)))
+                .collect();
+            println!("             SAC response origins/cycle: {}", origins.join(", "));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: simulate one workload under SAC and see the per-kernel
+//! decisions the EAB model makes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::{LlcOrgKind, MachineConfig};
+
+fn main() {
+    // A scaled-down version of the paper's Table 3 machine (all bandwidth
+    // and capacity ratios preserved; see DESIGN.md).
+    let cfg = MachineConfig::experiment_baseline();
+
+    // BFS alternates a memory-side-preferred kernel (K1) and an
+    // SM-side-preferred kernel (K2) — the paper's Fig. 12 example.
+    let profile = profiles::by_name("BFS").expect("BFS is a Table 4 benchmark");
+    let workload = generate(&cfg, &profile, &TraceParams::standard());
+    println!(
+        "generated {} ({} kernels, {} accesses, footprint {:.1} MiB scaled)",
+        workload.name,
+        workload.kernels.len(),
+        workload.total_accesses(),
+        workload.layout.footprint_bytes() as f64 / (1 << 20) as f64,
+    );
+
+    // Run the memory-side baseline and SAC.
+    let baseline = SimBuilder::new(cfg.clone())
+        .organization(LlcOrgKind::MemorySide)
+        .build()
+        .run(&workload)
+        .expect("baseline run");
+    let sac = SimBuilder::new(cfg)
+        .organization(LlcOrgKind::Sac)
+        .build()
+        .run(&workload)
+        .expect("SAC run");
+
+    println!("\nper-kernel EAB decisions:");
+    for (i, r) in sac.sac_history.iter().enumerate() {
+        println!(
+            "  kernel {i}: {:11}  (EAB memory-side {:>4.0} vs SM-side {:>4.0} GB/s, R_local {:.2})",
+            r.mode.label(),
+            r.eab_memory_side,
+            r.eab_sm_side,
+            r.inputs.r_local,
+        );
+    }
+    println!(
+        "\nSAC: {} cycles vs memory-side {} cycles -> {:.2}x speedup",
+        sac.cycles,
+        baseline.cycles,
+        sac.speedup_over(&baseline)
+    );
+}

@@ -1,0 +1,118 @@
+//! Design-space smoke tests: every Fig. 14 configuration axis runs cleanly
+//! and conserves work.
+
+use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface};
+
+fn params() -> TraceParams {
+    TraceParams {
+        total_accesses: 30_000,
+        ..TraceParams::quick()
+    }
+}
+
+fn check(cfg: MachineConfig, bench: &str) {
+    cfg.validate().expect("valid configuration");
+    let wl = generate(&cfg, &profiles::by_name(bench).expect("profile"), &params());
+    let expected = wl.total_accesses() as u64;
+    for org in [LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac] {
+        let s = SimBuilder::new(cfg.clone())
+            .organization(org)
+            .build()
+            .run(&wl)
+            .unwrap_or_else(|e| panic!("{bench}/{org}: {e}"));
+        assert_eq!(s.reads + s.writes, expected, "{bench}/{org}");
+    }
+}
+
+#[test]
+fn interchip_bandwidth_sweep() {
+    for factor in [0.5, 2.0, 8.0] {
+        let mut cfg = MachineConfig::experiment_baseline();
+        cfg.interchip_pair_gbs *= factor;
+        check(cfg, "SN");
+    }
+}
+
+#[test]
+fn llc_capacity_sweep() {
+    for factor in [0.5, 2.0] {
+        let mut cfg = MachineConfig::experiment_baseline();
+        cfg.llc_bytes_per_chip = (cfg.llc_bytes_per_chip as f64 * factor) as u64;
+        check(cfg, "RN");
+    }
+}
+
+#[test]
+fn memory_interfaces() {
+    for iface in [MemoryInterface::Gddr5, MemoryInterface::Hbm2] {
+        let mut cfg = MachineConfig::experiment_baseline().with_memory_interface(iface);
+        cfg.dram_channel_gbs /= cfg.scale.topology as f64;
+        check(cfg, "SRAD");
+    }
+}
+
+#[test]
+fn hardware_coherence() {
+    let mut cfg = MachineConfig::experiment_baseline();
+    cfg.coherence = CoherenceKind::Hardware;
+    check(cfg, "RN");
+}
+
+#[test]
+fn two_chip_machine() {
+    let mut cfg = MachineConfig::experiment_baseline();
+    cfg.chips = 2;
+    check(cfg, "SN");
+}
+
+#[test]
+fn sectored_caches() {
+    let mut cfg = MachineConfig::experiment_baseline();
+    cfg.sectored = true;
+    check(cfg, "CFD");
+}
+
+#[test]
+fn page_sizes() {
+    for ps in [2048u64, 8192] {
+        let mut cfg = MachineConfig::experiment_baseline();
+        cfg.page_size = ps;
+        check(cfg, "BS");
+    }
+}
+
+#[test]
+fn interchip_bandwidth_shrinks_sac_gain() {
+    // Fig. 14's headline trend: with abundant inter-chip bandwidth, caching
+    // remote data locally matters less, so SM-side's (and SAC's) advantage
+    // over memory-side shrinks.
+    let bench = profiles::by_name("SN").expect("profile");
+    let p = TraceParams {
+        total_accesses: 60_000,
+        ..TraceParams::quick()
+    };
+    let speedup_at = |factor: f64| {
+        let mut cfg = MachineConfig::experiment_baseline();
+        cfg.interchip_pair_gbs *= factor;
+        let wl = generate(&cfg, &bench, &p);
+        let mem = SimBuilder::new(cfg.clone())
+            .organization(LlcOrgKind::MemorySide)
+            .build()
+            .run(&wl)
+            .expect("mem");
+        let sm = SimBuilder::new(cfg)
+            .organization(LlcOrgKind::SmSide)
+            .build()
+            .run(&wl)
+            .expect("sm");
+        sm.speedup_over(&mem)
+    };
+    let narrow = speedup_at(1.0);
+    let wide = speedup_at(8.0);
+    assert!(
+        wide < narrow,
+        "8x inter-chip bandwidth should shrink the SM-side advantage: {narrow:.2} -> {wide:.2}"
+    );
+}

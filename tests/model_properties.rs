@@ -1,0 +1,183 @@
+//! Property-based tests for SAC's analytical components, checked against
+//! reference implementations.
+
+use mcgpu_types::{ChipId, LineAddr};
+use proptest::prelude::*;
+use sac::counters::lsu;
+use sac::eab::{ArchBandwidth, EabInputs, EabModel};
+use sac::{Crd, LlcMode};
+
+fn arch_strategy() -> impl Strategy<Value = ArchBandwidth> {
+    (
+        100.0f64..8192.0,
+        8.0f64..1024.0,
+        100.0f64..8192.0,
+        32.0f64..2048.0,
+    )
+        .prop_map(|(b_intra, b_inter, b_llc, b_mem)| ArchBandwidth {
+            b_intra,
+            b_inter,
+            b_llc,
+            b_mem,
+        })
+}
+
+fn inputs_strategy() -> impl Strategy<Value = EabInputs> {
+    (
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.01f64..=1.0,
+        0.01f64..=1.0,
+    )
+        .prop_map(|(r_local, hm, hs, lm, ls)| EabInputs {
+            r_local,
+            llc_hit_memory_side: hm,
+            llc_hit_sm_side: hs,
+            lsu_memory_side: lm,
+            lsu_sm_side: ls,
+        })
+}
+
+proptest! {
+    /// The EAB never exceeds its structural bounds and is always finite and
+    /// non-negative.
+    #[test]
+    fn eab_respects_structural_bounds(arch in arch_strategy(), inputs in inputs_strategy()) {
+        let m = EabModel::new(arch);
+        let mem = m.eab_memory_side(&inputs);
+        let sm = m.eab_sm_side(&inputs);
+        prop_assert!(mem.is_finite() && mem >= 0.0);
+        prop_assert!(sm.is_finite() && sm >= 0.0);
+        // Memory-side: local side bounded by B_intra, remote by B_inter.
+        prop_assert!(mem <= arch.b_intra + arch.b_inter + 1e-9);
+        // SM-side: both sides share the intra-chip NoC.
+        prop_assert!(sm <= arch.b_intra + 1e-9);
+    }
+
+    /// Raising the predicted SM-side hit rate never lowers the SM-side EAB.
+    #[test]
+    fn eab_monotone_in_sm_hit_rate(
+        arch in arch_strategy(),
+        inputs in inputs_strategy(),
+        delta in 0.0f64..=0.5,
+    ) {
+        let m = EabModel::new(arch);
+        let lo = m.eab_sm_side(&inputs);
+        let raised = EabInputs {
+            llc_hit_sm_side: (inputs.llc_hit_sm_side + delta).min(1.0),
+            ..inputs
+        };
+        let hi = m.eab_sm_side(&raised);
+        prop_assert!(hi + 1e-9 >= lo, "hit ↑ but EAB {lo} -> {hi}");
+    }
+
+    /// The decision is exactly the θ-threshold comparison of the two EABs.
+    #[test]
+    fn decision_matches_eab_comparison(
+        arch in arch_strategy(),
+        inputs in inputs_strategy(),
+        theta in 0.0f64..=0.5,
+    ) {
+        let m = EabModel::new(arch);
+        let expected = if m.eab_sm_side(&inputs) > m.eab_memory_side(&inputs) * (1.0 + theta) {
+            LlcMode::SmSide
+        } else {
+            LlcMode::MemorySide
+        };
+        prop_assert_eq!(m.decide(&inputs, theta), expected);
+    }
+
+    /// With no remote traffic the organizations are equivalent and θ keeps
+    /// the memory-side default.
+    #[test]
+    fn all_local_never_reconfigures(arch in arch_strategy(), inputs in inputs_strategy()) {
+        let m = EabModel::new(arch);
+        let local = EabInputs { r_local: 1.0, llc_hit_sm_side: inputs.llc_hit_memory_side,
+            lsu_sm_side: inputs.lsu_memory_side, ..inputs };
+        prop_assert_eq!(m.decide(&local, 0.05), LlcMode::MemorySide);
+    }
+
+    /// LSU is always in [1/N, 1] when any requests exist.
+    #[test]
+    fn lsu_in_range(counts in proptest::collection::vec(0u64..10_000, 1..64)) {
+        let v = lsu(&counts);
+        let n = counts.len() as f64;
+        prop_assert!(v <= 1.0 + 1e-12);
+        if counts.iter().any(|&c| c > 0) {
+            prop_assert!(v >= 1.0 / n - 1e-12);
+        }
+    }
+
+    /// An unsampled-set-free CRD (sampling every set) must agree exactly
+    /// with a reference per-line directory of the same geometry.
+    #[test]
+    fn crd_matches_reference_directory(
+        accesses in proptest::collection::vec((0u64..64, 0u8..4), 1..400),
+    ) {
+        // 4 sets x 4 ways, sampling a 4-set LLC: everything is sampled.
+        let mut crd = Crd::new(4, 4, 1, 4);
+        let mut reference = ReferenceDirectory::new(4, 4);
+        for &(line, chip) in &accesses {
+            let got = crd.observe(LineAddr(line), None, ChipId(chip));
+            let want = reference.observe(line, chip);
+            prop_assert_eq!(got, Some(want), "line {} chip {}", line, chip);
+        }
+    }
+}
+
+/// A straightforward per-set LRU directory with per-chip presence bits —
+/// the semantics the CRD hardware is meant to implement.
+struct ReferenceDirectory {
+    sets: Vec<Vec<(u64, u8, u64)>>, // (tag, presence, stamp)
+    ways: usize,
+    clock: u64,
+    num_sets: usize,
+}
+
+impl ReferenceDirectory {
+    fn new(sets: usize, ways: usize) -> Self {
+        ReferenceDirectory {
+            sets: vec![Vec::new(); sets],
+            ways,
+            clock: 0,
+            num_sets: sets,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        // Mirror the CRD's mixing hash.
+        let mut x = line;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x % self.num_sets as u64) as usize
+    }
+
+    fn observe(&mut self, line: u64, chip: u8) -> bool {
+        self.clock += 1;
+        let set_idx = self.set_of(line);
+        let ways = self.ways;
+        let clock = self.clock;
+        let set = &mut self.sets[set_idx];
+        if let Some(entry) = set.iter_mut().find(|e| e.0 == line) {
+            let hit = entry.1 & (1 << chip) != 0;
+            entry.1 |= 1 << chip;
+            entry.2 = clock;
+            return hit;
+        }
+        if set.len() == ways {
+            let lru = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.2)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            set.remove(lru);
+        }
+        set.push((line, 1 << chip, clock));
+        false
+    }
+}
