@@ -81,6 +81,7 @@ fn bench_simulator(c: &mut Criterion) {
                 SimBuilder::new(cfg.clone())
                     .organization(org)
                     .build()
+                    .expect("valid machine configuration")
                     .run(black_box(&wl))
                     .unwrap()
             })

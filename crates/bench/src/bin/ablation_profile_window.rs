@@ -3,8 +3,8 @@
 //! scaled machine the transient covers more of the window, so the default
 //! is stretched (see `SacConfig::for_machine`).
 
-use mcgpu_trace::{generate, profiles};
 use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles};
 use mcgpu_types::LlcOrgKind;
 use sac::SacConfig;
 
@@ -13,22 +13,49 @@ const SUBSET: [&str; 4] = ["SN", "RN", "SRAD", "LUD"];
 fn main() {
     let cfg = sac_bench::experiment_config();
     let params = sac_bench::trace_params();
-    println!("{:6} {:>8} | {:>8} {:>10} | modes", "bench", "window", "speedup", "ovh cycles");
+    println!(
+        "{:6} {:>8} | {:>8} {:>10} | modes",
+        "bench", "window", "speedup", "ovh cycles"
+    );
     for name in SUBSET {
         let p = profiles::by_name(name).expect("profile");
         let wl = generate(&cfg, &p, &params);
-        let mem = SimBuilder::new(cfg.clone()).organization(LlcOrgKind::MemorySide).build().run(&wl).unwrap();
+        let mem = SimBuilder::new(cfg.clone())
+            .organization(LlcOrgKind::MemorySide)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap();
         for window in [1_000u64, 2_000, 4_000, 8_000, 16_000] {
             let s = SimBuilder::new(cfg.clone())
                 .organization(LlcOrgKind::Sac)
-                .sac_config(SacConfig { profile_window: window, ..SacConfig::for_machine(&cfg) })
+                .sac_config(SacConfig {
+                    profile_window: window,
+                    ..SacConfig::for_machine(&cfg)
+                })
                 .build()
+                .expect("valid machine configuration")
                 .run(&wl)
                 .unwrap();
-            let modes: String = s.sac_history.iter()
-                .map(|k| if k.mode == sac::LlcMode::SmSide { 'S' } else { 'M' })
+            let modes: String = s
+                .sac_history
+                .iter()
+                .map(|k| {
+                    if k.mode == sac::LlcMode::SmSide {
+                        'S'
+                    } else {
+                        'M'
+                    }
+                })
                 .collect();
-            println!("{:6} {:>8} | {:>8.2} {:>10} | [{}]", name, window, s.speedup_over(&mem), s.overhead_cycles, modes);
+            println!(
+                "{:6} {:>8} | {:>8.2} {:>10} | [{}]",
+                name,
+                window,
+                s.speedup_over(&mem),
+                s.overhead_cycles,
+                modes
+            );
         }
         println!();
     }

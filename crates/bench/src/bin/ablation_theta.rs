@@ -2,8 +2,8 @@
 //! the sensitivity analysis for space). Sweeps θ and reports SAC's speedup
 //! and decisions on a mixed subset.
 
-use mcgpu_trace::{generate, profiles};
 use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles};
 use mcgpu_types::LlcOrgKind;
 use sac::SacConfig;
 
@@ -17,18 +17,38 @@ fn main() {
     for name in SUBSET {
         let p = profiles::by_name(name).expect("profile");
         let wl = generate(&cfg, &p, &params);
-        let mem = SimBuilder::new(cfg.clone()).organization(LlcOrgKind::MemorySide).build().run(&wl).unwrap();
+        let mem = SimBuilder::new(cfg.clone())
+            .organization(LlcOrgKind::MemorySide)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap();
         for theta in [0.0, 0.05, 0.2, 0.5, 2.0] {
             let s = SimBuilder::new(cfg.clone())
                 .organization(LlcOrgKind::Sac)
                 .sac_config(SacConfig { theta, ..base_sac })
                 .build()
+                .expect("valid machine configuration")
                 .run(&wl)
                 .unwrap();
-            let modes: String = s.sac_history.iter()
-                .map(|k| if k.mode == sac::LlcMode::SmSide { 'S' } else { 'M' })
+            let modes: String = s
+                .sac_history
+                .iter()
+                .map(|k| {
+                    if k.mode == sac::LlcMode::SmSide {
+                        'S'
+                    } else {
+                        'M'
+                    }
+                })
                 .collect();
-            println!("{:6} {:>6.2} | {:>8.2} | [{}]", name, theta, s.speedup_over(&mem), modes);
+            println!(
+                "{:6} {:>6.2} | {:>8.2} | [{}]",
+                name,
+                theta,
+                s.speedup_over(&mem),
+                modes
+            );
         }
         println!();
     }

@@ -4,9 +4,16 @@
 
 use mcgpu_trace::profiles::Preference;
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{experiment_config, group_speedup, harmonic_mean, run_suite, trace_params, BenchRows};
+use sac_bench::{
+    experiment_config, group_speedup, harmonic_mean, run_suite, trace_params, BenchRows,
+};
 
-fn group_metric(rows: &[BenchRows], org: LlcOrgKind, pref: Preference, f: impl Fn(&mcgpu_sim::RunStats) -> f64) -> f64 {
+fn group_metric(
+    rows: &[BenchRows],
+    org: LlcOrgKind,
+    pref: Preference,
+    f: impl Fn(&mcgpu_sim::RunStats) -> f64,
+) -> f64 {
     let v: Vec<f64> = rows
         .iter()
         .filter(|r| r.profile.preference == pref)
@@ -22,20 +29,24 @@ fn main() {
     println!("(a) performance normalized to memory-side (harmonic mean):");
     println!("{:14} {:>6} {:>6} {:>6}", "organization", "SP", "MP", "all");
     for org in LlcOrgKind::ALL {
-        println!("{:14} {:>6.2} {:>6.2} {:>6.2}",
+        println!(
+            "{:14} {:>6.2} {:>6.2} {:>6.2}",
             org.label(),
             group_speedup(&rows, org, Some(Preference::SmSide)),
             group_speedup(&rows, org, Some(Preference::MemorySide)),
-            group_speedup(&rows, org, None));
+            group_speedup(&rows, org, None)
+        );
     }
 
     println!("\n(b) LLC miss rate (arithmetic mean):");
     println!("{:14} {:>6} {:>6}", "organization", "SP", "MP");
     for org in LlcOrgKind::ALL {
-        println!("{:14} {:>6.2} {:>6.2}",
+        println!(
+            "{:14} {:>6.2} {:>6.2}",
             org.label(),
             group_metric(&rows, org, Preference::SmSide, |s| s.llc_miss_rate()),
-            group_metric(&rows, org, Preference::MemorySide, |s| s.llc_miss_rate()));
+            group_metric(&rows, org, Preference::MemorySide, |s| s.llc_miss_rate())
+        );
     }
 
     println!("\n(c) effective LLC bandwidth, responses/cycle normalized to memory-side:");
@@ -45,11 +56,18 @@ fn main() {
             let v: Vec<f64> = rows
                 .iter()
                 .filter(|r| r.profile.preference == pref)
-                .map(|r| r.stats(org).effective_llc_bandwidth()
-                    / r.stats(LlcOrgKind::MemorySide).effective_llc_bandwidth())
+                .map(|r| {
+                    r.stats(org).effective_llc_bandwidth()
+                        / r.stats(LlcOrgKind::MemorySide).effective_llc_bandwidth()
+                })
                 .collect();
             harmonic_mean(&v)
         };
-        println!("{:14} {:>6.2} {:>6.2}", org.label(), norm(Preference::SmSide), norm(Preference::MemorySide));
+        println!(
+            "{:14} {:>6.2} {:>6.2}",
+            org.label(),
+            norm(Preference::SmSide),
+            norm(Preference::MemorySide)
+        );
     }
 }

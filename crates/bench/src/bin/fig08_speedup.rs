@@ -9,22 +9,40 @@ fn main() {
     let cfg = experiment_config();
     let rows = run_suite(&cfg, &trace_params(), &LlcOrgKind::ALL);
 
-    println!("{:6} {:>4} | {:>8} {:>8} {:>8} {:>8} {:>8} | SAC modes",
-        "bench", "pref", "mem-side", "SM-side", "static", "dynamic", "SAC");
+    println!(
+        "{:6} {:>4} | {:>8} {:>8} {:>8} {:>8} {:>8} | SAC modes",
+        "bench", "pref", "mem-side", "SM-side", "static", "dynamic", "SAC"
+    );
     for r in &rows {
         let modes: String = r
             .stats(LlcOrgKind::Sac)
             .sac_history
             .iter()
-            .map(|k| if k.mode == sac::LlcMode::SmSide { 'S' } else { 'M' })
+            .map(|k| {
+                if k.mode == sac::LlcMode::SmSide {
+                    'S'
+                } else {
+                    'M'
+                }
+            })
             .collect();
-        println!("{:6} {:>4} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | [{}]",
-            r.profile.name, r.profile.preference.label(),
-            r.speedup(LlcOrgKind::MemorySide), r.speedup(LlcOrgKind::SmSide),
-            r.speedup(LlcOrgKind::StaticHalf), r.speedup(LlcOrgKind::Dynamic),
-            r.speedup(LlcOrgKind::Sac), modes);
+        println!(
+            "{:6} {:>4} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | [{}]",
+            r.profile.name,
+            r.profile.preference.label(),
+            r.speedup(LlcOrgKind::MemorySide),
+            r.speedup(LlcOrgKind::SmSide),
+            r.speedup(LlcOrgKind::StaticHalf),
+            r.speedup(LlcOrgKind::Dynamic),
+            r.speedup(LlcOrgKind::Sac),
+            modes
+        );
     }
-    for (label, pref) in [("SP", Some(Preference::SmSide)), ("MP", Some(Preference::MemorySide)), ("all", None)] {
+    for (label, pref) in [
+        ("SP", Some(Preference::SmSide)),
+        ("MP", Some(Preference::MemorySide)),
+        ("all", None),
+    ] {
         print!("hmean {label:>4} |");
         for org in LlcOrgKind::ALL {
             print!(" {:>8.2}", group_speedup(&rows, org, pref));
@@ -32,9 +50,20 @@ fn main() {
         println!();
     }
     let sac_all = group_speedup(&rows, LlcOrgKind::Sac, None);
-    println!("\nSAC vs memory-side: {:+.0}%   (paper: +76%)", (sac_all - 1.0) * 100.0);
-    for (org, paper) in [(LlcOrgKind::SmSide, "+12%"), (LlcOrgKind::StaticHalf, "+31%"), (LlcOrgKind::Dynamic, "+18%")] {
+    println!(
+        "\nSAC vs memory-side: {:+.0}%   (paper: +76%)",
+        (sac_all - 1.0) * 100.0
+    );
+    for (org, paper) in [
+        (LlcOrgKind::SmSide, "+12%"),
+        (LlcOrgKind::StaticHalf, "+31%"),
+        (LlcOrgKind::Dynamic, "+18%"),
+    ] {
         let other = group_speedup(&rows, org, None);
-        println!("SAC vs {:11}: {:+.0}%   (paper: {paper})", org.label(), (sac_all / other - 1.0) * 100.0);
+        println!(
+            "SAC vs {:11}: {:+.0}%   (paper: {paper})",
+            org.label(),
+            (sac_all / other - 1.0) * 100.0
+        );
     }
 }

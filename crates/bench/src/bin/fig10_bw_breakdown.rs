@@ -11,8 +11,10 @@ fn main() {
     for r in &rows {
         println!("{} ({}):", r.profile.name, r.profile.preference.label());
         let base = r.stats(LlcOrgKind::MemorySide).effective_llc_bandwidth();
-        println!("  {:12} {:>10} {:>10} {:>10} {:>10} {:>8}",
-            "org", "local LLC", "remote LLC", "local mem", "remote mem", "total");
+        println!(
+            "  {:12} {:>10} {:>10} {:>10} {:>10} {:>8}",
+            "org", "local LLC", "remote LLC", "local mem", "remote mem", "total"
+        );
         for org in LlcOrgKind::ALL {
             let s = r.stats(org);
             print!("  {:12}", org.label());

@@ -14,8 +14,10 @@ fn main() {
     let windows_cycles = [1_000usize, 10_000, 100_000];
     println!("mean per-window working set in paper-equivalent MB (SM-side organization);");
     println!("machine total LLC at paper scale = 16 MB\n");
-    println!("{:6} {:>4} | {:>9} | {:>8} {:>8} {:>8} | {:>8}",
-        "bench", "pref", "window", "true", "false", "non", "total");
+    println!(
+        "{:6} {:>4} | {:>9} | {:>8} {:>8} {:>8} | {:>8}",
+        "bench", "pref", "window", "true", "false", "non", "total"
+    );
     for p in profiles::all_profiles() {
         let rows = run_benchmark(&cfg, &p, &params, &[LlcOrgKind::SmSide]);
         let rate = rows.stats(LlcOrgKind::SmSide).perf();
@@ -27,10 +29,16 @@ fn main() {
         let curve = analysis::working_set_curve(&cfg, &wl, &windows_accesses);
         for (i, (_, ws)) in curve.iter().enumerate() {
             let ws = ws.to_paper_scale(&cfg);
-            println!("{:6} {:>4} | {:>7}cy | {:>8.1} {:>8.1} {:>8.1} | {:>8.1}",
+            println!(
+                "{:6} {:>4} | {:>7}cy | {:>8.1} {:>8.1} {:>8.1} | {:>8.1}",
                 if i == 0 { p.name } else { "" },
                 if i == 0 { p.preference.label() } else { "" },
-                windows_cycles[i], ws.true_mb, ws.false_mb, ws.non_mb, ws.total_mb());
+                windows_cycles[i],
+                ws.true_mb,
+                ws.false_mb,
+                ws.non_mb,
+                ws.total_mb()
+            );
         }
     }
 }

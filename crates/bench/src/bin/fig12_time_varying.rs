@@ -19,19 +19,28 @@ fn main() {
     let sm = rows.stats(LlcOrgKind::SmSide);
     let sac = rows.stats(LlcOrgKind::Sac);
     println!("BFS per-kernel performance relative to memory-side:");
-    println!("{:>7} {:>10} {:>10} {:>10} {:>10}", "kernel", "phase", "SM-side", "SAC", "SAC mode");
+    println!(
+        "{:>7} {:>10} {:>10} {:>10} {:>10}",
+        "kernel", "phase", "SM-side", "SAC", "SAC mode"
+    );
     for i in 0..mem.kernels.len() {
         let phase = if i % 2 == 0 { "K1" } else { "K2" };
         let base = mem.kernels[i].perf();
-        let mode = sac.kernels[i]
-            .sac_mode
-            .map(|m| m.label())
-            .unwrap_or("-");
-        println!("{:>7} {:>10} {:>10.2} {:>10.2} {:>10}",
-            i, phase, sm.kernels[i].perf() / base, sac.kernels[i].perf() / base, mode);
+        let mode = sac.kernels[i].sac_mode.map(|m| m.label()).unwrap_or("-");
+        println!(
+            "{:>7} {:>10} {:>10.2} {:>10.2} {:>10}",
+            i,
+            phase,
+            sm.kernels[i].perf() / base,
+            sac.kernels[i].perf() / base,
+            mode
+        );
     }
-    println!("\nwhole-application speedup vs memory-side: SM-side {:.2}x, SAC {:.2}x",
-        rows.speedup(LlcOrgKind::SmSide), rows.speedup(LlcOrgKind::Sac));
+    println!(
+        "\nwhole-application speedup vs memory-side: SM-side {:.2}x, SAC {:.2}x",
+        rows.speedup(LlcOrgKind::SmSide),
+        rows.speedup(LlcOrgKind::Sac)
+    );
     println!("(the paper's point: K1 prefers memory-side, K2 prefers SM-side, and SAC");
     println!(" picks per kernel — beating the static choice of either organization.)");
 }

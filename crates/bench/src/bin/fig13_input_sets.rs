@@ -3,12 +3,17 @@
 //! crossover: large inputs make replication thrash (memory-side wins),
 //! small inputs make replication fit (SM-side wins).
 
-use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_types::{LlcOrgKind, MachineConfig};
 
 fn run(cfg: &MachineConfig, wl: &mcgpu_trace::Workload, org: LlcOrgKind) -> mcgpu_sim::RunStats {
-    SimBuilder::new(cfg.clone()).organization(org).build().run(wl).unwrap()
+    SimBuilder::new(cfg.clone())
+        .organization(org)
+        .build()
+        .expect("valid machine configuration")
+        .run(wl)
+        .unwrap()
 }
 
 fn main() {
@@ -24,20 +29,40 @@ fn main() {
         (&mp[..], mp_scales, "memory-side preferred"),
     ] {
         println!("== {label} benchmarks ==");
-        println!("{:6} {:>8} | {:>8} {:>8} | SAC modes", "bench", "input", "SM-side", "SAC");
+        println!(
+            "{:6} {:>8} | {:>8} {:>8} | SAC modes",
+            "bench", "input", "SM-side", "SAC"
+        );
         for name in names {
             let p = profiles::by_name(name).expect("profile");
             for &scale in scales {
-                let params = TraceParams { input_scale: scale, ..base };
+                let params = TraceParams {
+                    input_scale: scale,
+                    ..base
+                };
                 let wl = generate(&cfg, &p, &params);
                 let mem = run(&cfg, &wl, LlcOrgKind::MemorySide);
                 let sm = run(&cfg, &wl, LlcOrgKind::SmSide);
                 let sac = run(&cfg, &wl, LlcOrgKind::Sac);
-                let modes: String = sac.sac_history.iter()
-                    .map(|k| if k.mode == sac::LlcMode::SmSide { 'S' } else { 'M' })
+                let modes: String = sac
+                    .sac_history
+                    .iter()
+                    .map(|k| {
+                        if k.mode == sac::LlcMode::SmSide {
+                            'S'
+                        } else {
+                            'M'
+                        }
+                    })
                     .collect();
-                println!("{:6} {:>7}x | {:>8.2} {:>8.2} | [{}]",
-                    name, scale, sm.speedup_over(&mem), sac.speedup_over(&mem), modes);
+                println!(
+                    "{:6} {:>7}x | {:>8.2} {:>8.2} | [{}]",
+                    name,
+                    scale,
+                    sm.speedup_over(&mem),
+                    sac.speedup_over(&mem),
+                    modes
+                );
             }
             println!();
         }

@@ -4,8 +4,8 @@
 //! harmonic-mean speedup of SM-side and SAC over the memory-side baseline
 //! on a representative benchmark subset (3 SP + 3 MP).
 
-use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface};
 use sac_bench::harmonic_mean;
 
@@ -18,13 +18,23 @@ fn sweep(label: &str, cfg: &MachineConfig, params: &TraceParams) {
         let p = profiles::by_name(name).expect("profile");
         let wl = generate(cfg, &p, params);
         let run = |org| {
-            SimBuilder::new(cfg.clone()).organization(org).build().run(&wl).unwrap()
+            SimBuilder::new(cfg.clone())
+                .organization(org)
+                .build()
+                .expect("valid machine configuration")
+                .run(&wl)
+                .unwrap()
         };
         let mem = run(LlcOrgKind::MemorySide);
         sm.push(run(LlcOrgKind::SmSide).speedup_over(&mem));
         sac.push(run(LlcOrgKind::Sac).speedup_over(&mem));
     }
-    println!("{:36} | SM-side {:>5.2} | SAC {:>5.2}", label, harmonic_mean(&sm), harmonic_mean(&sac));
+    println!(
+        "{:36} | SM-side {:>5.2} | SAC {:>5.2}",
+        label,
+        harmonic_mean(&sm),
+        harmonic_mean(&sac)
+    );
 }
 
 fn main() {
@@ -33,7 +43,13 @@ fn main() {
     println!("harmonic-mean speedup vs memory-side on {:?}:\n", SUBSET);
 
     println!("-- inter-chip bandwidth (default marked *) --");
-    for (label, factor) in [("PCIe-class (0.5x)", 0.5), ("NVLink2-class (1x) *", 1.0), ("NVLink3-class (2x)", 2.0), ("MCM-class (4x)", 4.0), ("MCM-class (8x)", 8.0)] {
+    for (label, factor) in [
+        ("PCIe-class (0.5x)", 0.5),
+        ("NVLink2-class (1x) *", 1.0),
+        ("NVLink3-class (2x)", 2.0),
+        ("MCM-class (4x)", 4.0),
+        ("MCM-class (8x)", 8.0),
+    ] {
         let mut c = base.clone();
         c.interchip_pair_gbs *= factor;
         sweep(label, &c, &params);
@@ -47,11 +63,19 @@ fn main() {
     }
 
     println!("\n-- memory interface --");
-    for iface in [MemoryInterface::Gddr5, MemoryInterface::Gddr6, MemoryInterface::Hbm2] {
+    for iface in [
+        MemoryInterface::Gddr5,
+        MemoryInterface::Gddr6,
+        MemoryInterface::Hbm2,
+    ] {
         let mut c = base.clone().with_memory_interface(iface);
         // Rescale channel bandwidth to the scaled machine.
         c.dram_channel_gbs /= base.scale.topology as f64;
-        let star = if iface == MemoryInterface::Gddr6 { " *" } else { "" };
+        let star = if iface == MemoryInterface::Gddr6 {
+            " *"
+        } else {
+            ""
+        };
         sweep(&format!("{}{}", iface.label(), star), &c, &params);
     }
 
@@ -59,7 +83,11 @@ fn main() {
     for coh in [CoherenceKind::Software, CoherenceKind::Hardware] {
         let mut c = base.clone();
         c.coherence = coh;
-        let star = if coh == CoherenceKind::Software { " *" } else { "" };
+        let star = if coh == CoherenceKind::Software {
+            " *"
+        } else {
+            ""
+        };
         sweep(&format!("{:?}{}", coh, star), &c, &params);
     }
 

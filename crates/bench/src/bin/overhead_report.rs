@@ -12,9 +12,18 @@ fn main() {
         ("conventional", HardwareOverhead::paper_conventional()),
         ("sectored", HardwareOverhead::paper_sectored()),
     ] {
-        println!("{label:13}: CRD {} B + LSU counters {} B + scalar counters {} B = {} B  (paper: {})",
-            o.crd_bytes(), o.lsu_counter_bytes(), o.scalar_counter_bytes(), o.total_bytes(),
-            if o.crd_bytes() == 544 { "620 B" } else { "812 B" });
+        println!(
+            "{label:13}: CRD {} B + LSU counters {} B + scalar counters {} B = {} B  (paper: {})",
+            o.crd_bytes(),
+            o.lsu_counter_bytes(),
+            o.scalar_counter_bytes(),
+            o.total_bytes(),
+            if o.crd_bytes() == 544 {
+                "620 B"
+            } else {
+                "812 B"
+            }
+        );
     }
 
     println!("\n== NoC physical model (DSENT-lite, calibrated to the paper's deltas) ==");
@@ -22,11 +31,20 @@ fn main() {
     let mem = m.memory_side();
     let (a_sm, p_sm) = m.sm_side().relative_to(&mem);
     let (a_sac, p_sac) = m.sac().relative_to(&mem);
-    println!("SM-side two-NoC vs memory-side : area {:+.0}%  power {:+.0}%   (paper: +18% / +21%)",
-        (a_sm - 1.0) * 100.0, (p_sm - 1.0) * 100.0);
-    println!("SAC bypassing vs memory-side   : area {:+.1}%  power {:+.1}%   (paper: +1.9% / +1.6%)",
-        (a_sac - 1.0) * 100.0, (p_sac - 1.0) * 100.0);
+    println!(
+        "SM-side two-NoC vs memory-side : area {:+.0}%  power {:+.0}%   (paper: +18% / +21%)",
+        (a_sm - 1.0) * 100.0,
+        (p_sm - 1.0) * 100.0
+    );
+    println!(
+        "SAC bypassing vs memory-side   : area {:+.1}%  power {:+.1}%   (paper: +1.9% / +1.6%)",
+        (a_sac - 1.0) * 100.0,
+        (p_sac - 1.0) * 100.0
+    );
     let (p_save, a_save) = m.sac_savings_vs_sm_side();
-    println!("SAC savings vs SM-side         : power -{:.0}%  area -{:.0}%   (paper: -21% / -18%)",
-        p_save * 100.0, a_save * 100.0);
+    println!(
+        "SAC savings vs SM-side         : power -{:.0}%  area -{:.0}%   (paper: -21% / -18%)",
+        p_save * 100.0,
+        a_save * 100.0
+    );
 }

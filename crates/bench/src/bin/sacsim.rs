@@ -6,13 +6,15 @@
 //!
 //! ORG in {mem, sm, static, dynamic, sac}. Prints the full run statistics.
 
-use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_sim::SimBuilder;
+use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_types::{CoherenceKind, LlcOrgKind, ResponseOrigin};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn main() {
@@ -44,26 +46,54 @@ fn main() {
     }
 
     let Some(profile) = profiles::by_name(&bench) else {
-        eprintln!("unknown benchmark {bench}; known: {:?}",
-            profiles::all_profiles().iter().map(|p| p.name).collect::<Vec<_>>());
+        eprintln!(
+            "unknown benchmark {bench}; known: {:?}",
+            profiles::all_profiles()
+                .iter()
+                .map(|p| p.name)
+                .collect::<Vec<_>>()
+        );
         std::process::exit(2);
     };
     let wl = generate(&cfg, &profile, &params);
-    let stats = SimBuilder::new(cfg).organization(org).build().run(&wl).expect("run");
+    let stats = SimBuilder::new(cfg)
+        .organization(org)
+        .build()
+        .expect("valid machine configuration")
+        .run(&wl)
+        .expect("run");
 
-    println!("benchmark          : {} ({} accesses, input x{})", bench, wl.total_accesses(), params.input_scale);
+    println!(
+        "benchmark          : {} ({} accesses, input x{})",
+        bench,
+        wl.total_accesses(),
+        params.input_scale
+    );
     println!("organization       : {}", org.label());
     println!("cycles             : {}", stats.cycles);
     println!("performance        : {:.3} accesses/cycle", stats.perf());
     println!("L1 miss rate       : {:.3}", stats.l1.miss_rate());
     println!("LLC miss rate      : {:.3}", stats.llc_miss_rate());
     println!("LLC local fraction : {:.3}", stats.llc_local_fraction);
-    println!("effective LLC bw   : {:.3} responses/cycle", stats.effective_llc_bandwidth());
+    println!(
+        "effective LLC bw   : {:.3} responses/cycle",
+        stats.effective_llc_bandwidth()
+    );
     for o in ResponseOrigin::ALL {
-        println!("  from {:10}    : {:.3}/cycle", o.label(), stats.response_rate(o));
+        println!(
+            "  from {:10}    : {:.3}/cycle",
+            o.label(),
+            stats.response_rate(o)
+        );
     }
-    println!("ring traffic       : {:.1} B/cycle", stats.ring_bytes as f64 / stats.cycles as f64);
-    println!("DRAM reads/writes  : {} / {}", stats.dram_reads, stats.dram_writes);
+    println!(
+        "ring traffic       : {:.1} B/cycle",
+        stats.ring_bytes as f64 / stats.cycles as f64
+    );
+    println!(
+        "DRAM reads/writes  : {} / {}",
+        stats.dram_reads, stats.dram_writes
+    );
     println!("overhead cycles    : {}", stats.overhead_cycles);
     if !stats.sac_history.is_empty() {
         println!("SAC decisions:");

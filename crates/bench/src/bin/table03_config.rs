@@ -6,26 +6,59 @@ use mcgpu_types::MachineConfig;
 fn print_cfg(label: &str, c: &MachineConfig) {
     println!("== {label} ==");
     println!("  chips                  : {}", c.chips);
-    println!("  SMs                    : {} per chip, {} total", c.clusters_per_chip * 2, c.chips * c.clusters_per_chip * 2);
-    println!("  SM clusters            : {} per chip", c.clusters_per_chip);
+    println!(
+        "  SMs                    : {} per chip, {} total",
+        c.clusters_per_chip * 2,
+        c.chips * c.clusters_per_chip * 2
+    );
+    println!(
+        "  SM clusters            : {} per chip",
+        c.clusters_per_chip
+    );
     println!("  GPU frequency          : 1 GHz (1 GB/s == 1 B/cycle)");
-    println!("  inter-chip bandwidth   : {:.0} GB/s per chip pair per direction ({} links/pair)", c.interchip_pair_gbs, c.links_per_pair);
-    println!("  LLC bandwidth          : {} slices x {:.0} GB/s = {:.0} GB/s total",
-        c.total_slices(), c.llc_slice_gbs, c.llc_slice_gbs * c.total_slices() as f64);
-    println!("  DRAM bandwidth         : {} channels, {:.2} TB/s total ({})",
-        c.chips * c.channels_per_chip, c.total_dram_gbs() / 1000.0, c.memory_interface.label());
-    println!("  L1 data cache          : {} KiB per cluster, {}-way", c.l1_bytes_per_cluster >> 10, c.l1_assoc);
-    println!("  LLC capacity           : {} B lines, {} KiB per chip, {} KiB total, {}-way",
-        c.line_size, c.llc_bytes_per_chip >> 10, c.total_llc_bytes() >> 10, c.llc_assoc);
+    println!(
+        "  inter-chip bandwidth   : {:.0} GB/s per chip pair per direction ({} links/pair)",
+        c.interchip_pair_gbs, c.links_per_pair
+    );
+    println!(
+        "  LLC bandwidth          : {} slices x {:.0} GB/s = {:.0} GB/s total",
+        c.total_slices(),
+        c.llc_slice_gbs,
+        c.llc_slice_gbs * c.total_slices() as f64
+    );
+    println!(
+        "  DRAM bandwidth         : {} channels, {:.2} TB/s total ({})",
+        c.chips * c.channels_per_chip,
+        c.total_dram_gbs() / 1000.0,
+        c.memory_interface.label()
+    );
+    println!(
+        "  L1 data cache          : {} KiB per cluster, {}-way",
+        c.l1_bytes_per_cluster >> 10,
+        c.l1_assoc
+    );
+    println!(
+        "  LLC capacity           : {} B lines, {} KiB per chip, {} KiB total, {}-way",
+        c.line_size,
+        c.llc_bytes_per_chip >> 10,
+        c.total_llc_bytes() >> 10,
+        c.llc_assoc
+    );
     println!("  page size / allocation : {} B, first-touch", c.page_size);
     println!("  CTA allocation         : distributed CTA scheduling (bounded wave)");
     println!("  coherence              : {:?}", c.coherence);
     println!("  MSHRs per cluster      : {}", c.mshrs_per_cluster);
-    println!("  scale                  : topology /{}, capacity /{}", c.scale.topology, c.scale.capacity);
+    println!(
+        "  scale                  : topology /{}, capacity /{}",
+        c.scale.topology, c.scale.capacity
+    );
     println!();
 }
 
 fn main() {
     print_cfg("Table 3 (paper baseline)", &MachineConfig::paper_baseline());
-    print_cfg("Experiment baseline (scaled; all ratios preserved)", &sac_bench::experiment_config());
+    print_cfg(
+        "Experiment baseline (scaled; all ratios preserved)",
+        &sac_bench::experiment_config(),
+    );
 }

@@ -7,14 +7,24 @@ use mcgpu_trace::{analysis, generate, profiles};
 fn main() {
     let cfg = sac_bench::experiment_config();
     let params = sac_bench::trace_params();
-    println!("{:6} {:>8} | {:>9} {:>9} | {:>8} {:>8} | {:>8} {:>8}",
-        "bench", "CTAs", "fp(paper)", "fp(meas)", "TS(paper)", "TS(meas)", "FS(paper)", "FS(meas)");
+    println!(
+        "{:6} {:>8} | {:>9} {:>9} | {:>8} {:>8} | {:>8} {:>8}",
+        "bench", "CTAs", "fp(paper)", "fp(meas)", "TS(paper)", "TS(meas)", "FS(paper)", "FS(meas)"
+    );
     for p in profiles::all_profiles() {
         let wl = generate(&cfg, &p, &params);
         let m = analysis::characterize(&cfg, &wl);
-        println!("{:6} {:>8} | {:>9.0} {:>9.0} | {:>8.0} {:>8.1} | {:>8.0} {:>8.1}",
-            p.name, p.ctas, p.footprint_mb, m.footprint_mb,
-            p.true_shared_mb, m.true_shared_mb, p.false_shared_mb, m.false_shared_mb);
+        println!(
+            "{:6} {:>8} | {:>9.0} {:>9.0} | {:>8.0} {:>8.1} | {:>8.0} {:>8.1}",
+            p.name,
+            p.ctas,
+            p.footprint_mb,
+            m.footprint_mb,
+            p.true_shared_mb,
+            m.true_shared_mb,
+            p.false_shared_mb,
+            m.false_shared_mb
+        );
     }
     println!("\n(measured = from the generated trace, rescaled to paper-equivalent MB;");
     println!(" measured footprint covers only pages the trace volume actually touches)");

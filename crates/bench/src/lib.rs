@@ -84,6 +84,7 @@ pub fn run_benchmark(
             let stats = SimBuilder::new(cfg.clone())
                 .organization(org)
                 .build()
+                .expect("valid machine configuration")
                 .run(&workload)
                 .unwrap_or_else(|e| panic!("{}/{org}: {e}", profile.name));
             (org, stats)

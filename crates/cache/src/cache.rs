@@ -103,7 +103,7 @@ impl CacheConfig {
     pub fn num_sets(&self) -> usize {
         let set_bytes = self.assoc as u64 * self.line_size;
         assert!(
-            self.capacity_bytes % set_bytes == 0 && self.capacity_bytes > 0,
+            self.capacity_bytes.is_multiple_of(set_bytes) && self.capacity_bytes > 0,
             "capacity must be a multiple of assoc * line_size"
         );
         (self.capacity_bytes / set_bytes) as usize
@@ -231,7 +231,12 @@ impl SetAssocCache {
 
     /// Look up `line` (and `sector` if sectored), updating LRU and stats.
     /// `write` marks the line dirty on a hit.
-    pub fn lookup(&mut self, line: LineAddr, sector: Option<SectorId>, write: bool) -> LookupOutcome {
+    pub fn lookup(
+        &mut self,
+        line: LineAddr,
+        sector: Option<SectorId>,
+        write: bool,
+    ) -> LookupOutcome {
         self.clock += 1;
         let mask = self.sector_mask(sector);
         let set = self.set_index(line);
@@ -311,10 +316,7 @@ impl SetAssocCache {
         let victim_idx = pool
             .clone()
             .find(|&i| !ways[i].valid)
-            .unwrap_or_else(|| {
-                pool.min_by_key(|&i| ways[i].stamp)
-                    .expect("non-empty pool")
-            });
+            .unwrap_or_else(|| pool.min_by_key(|&i| ways[i].stamp).expect("non-empty pool"));
         let victim = &mut ways[victim_idx];
         let evicted = if victim.valid {
             self.stats.evictions += 1;
@@ -536,7 +538,9 @@ mod tests {
             LookupOutcome::SectorMiss
         );
         // Sector fill does not evict the line.
-        assert!(c.fill(LineAddr(5), Some(SectorId(2)), DataHome::Local, false).is_none());
+        assert!(c
+            .fill(LineAddr(5), Some(SectorId(2)), DataHome::Local, false)
+            .is_none());
         assert_eq!(
             c.lookup(LineAddr(5), Some(SectorId(2)), false),
             LookupOutcome::Hit
@@ -588,7 +592,9 @@ mod tests {
         let mut c = SetAssocCache::new(cfg);
         let mut evictions = 0;
         for i in 0..64u64 {
-            if c.fill(LineAddr(i * 64), None, DataHome::Local, false).is_some() {
+            if c.fill(LineAddr(i * 64), None, DataHome::Local, false)
+                .is_some()
+            {
                 evictions += 1;
             }
         }

@@ -17,7 +17,7 @@
 //! reaches the corresponding quiescent points.
 
 use crate::counters::ProfileCollector;
-use crate::eab::{EabInputs, EabModel};
+use crate::eab::{ArchBandwidth, EabInputs, EabModel};
 use crate::LlcMode;
 
 /// SAC tuning parameters.
@@ -32,6 +32,16 @@ pub struct SacConfig {
     /// This guards against deciding from an empty sample when the machine
     /// is drained or saturated during the nominal window.
     pub min_samples: u64,
+    /// Length in cycles of each post-decision progress-monitoring window
+    /// (graceful degradation, §resilience). `0` disables monitoring.
+    pub monitor_window: u64,
+    /// A monitoring window counts as *slow* when its work rate falls below
+    /// this fraction of the rate measured right after the decision. Two
+    /// consecutive slow windows trigger a re-profile.
+    pub divergence_threshold: f64,
+    /// Maximum number of divergence-triggered re-decisions per kernel;
+    /// prevents oscillation when the machine keeps degrading.
+    pub max_redecisions: u32,
 }
 
 impl Default for SacConfig {
@@ -40,6 +50,9 @@ impl Default for SacConfig {
             profile_window: 2000,
             theta: 0.05,
             min_samples: 1000,
+            monitor_window: 16_384,
+            divergence_threshold: 0.5,
+            max_redecisions: 2,
         }
     }
 }
@@ -102,6 +115,10 @@ pub struct KernelRecord {
     pub mode: LlcMode,
     /// L1-miss requests observed during the measured half of the window.
     pub requests_observed: u64,
+    /// `true` when the decision was a forced memory-side fallback because
+    /// the extended profiling window still held too few samples to trust
+    /// the EAB model.
+    pub fallback: bool,
 }
 
 /// The per-kernel SAC reconfiguration state machine. See the
@@ -113,8 +130,24 @@ pub struct SacController {
     state: SacState,
     collector: ProfileCollector,
     kernel_start: u64,
+    /// Anchor of the *current* profiling attempt (equals `kernel_start`
+    /// for the first profile, the re-profile start for later ones); bounds
+    /// the window-extension logic.
+    profile_anchor: u64,
     warmup_reset_done: bool,
     history: Vec<KernelRecord>,
+    /// Progress monitor: start of the current monitoring window as
+    /// `(cycle, work)`, if one is open.
+    monitor_start: Option<(u64, u64)>,
+    /// Work rate measured in the first window after the decision.
+    baseline_rate: Option<f64>,
+    /// Consecutive windows below the divergence threshold.
+    slow_windows: u32,
+    /// Divergence-triggered re-decisions taken for the current kernel.
+    redecisions: u32,
+    /// Re-enter profiling (rather than idle running) once the revert drain
+    /// out of SM-side completes.
+    reprofile_after_drain: bool,
 }
 
 impl SacController {
@@ -135,9 +168,23 @@ impl SacController {
             state: SacState::Idle,
             collector: ProfileCollector::new(chips, total_slices, llc_sets_per_chip, sectored),
             kernel_start: 0,
+            profile_anchor: 0,
             warmup_reset_done: false,
             history: Vec::new(),
+            monitor_start: None,
+            baseline_rate: None,
+            slow_windows: 0,
+            redecisions: 0,
+            reprofile_after_drain: false,
         }
+    }
+
+    /// Replace the EAB model's architectural bandwidths. The simulator
+    /// calls this when injected faults change the machine's effective
+    /// bandwidth, so later decisions reason about the degraded machine
+    /// rather than the nominal one.
+    pub fn update_arch(&mut self, arch: ArchBandwidth) {
+        self.model = EabModel::new(arch);
     }
 
     /// The controller's configuration.
@@ -156,7 +203,9 @@ impl SacController {
     pub fn mode(&self) -> LlcMode {
         match self.state {
             SacState::Running { mode } => mode,
-            SacState::Draining { to: LlcMode::MemorySide } => LlcMode::SmSide,
+            SacState::Draining {
+                to: LlcMode::MemorySide,
+            } => LlcMode::SmSide,
             _ => LlcMode::MemorySide,
         }
     }
@@ -176,10 +225,94 @@ impl SacController {
     pub fn begin_kernel(&mut self, now: u64) {
         self.collector.reset();
         self.kernel_start = now;
+        self.profile_anchor = now;
         self.warmup_reset_done = false;
+        self.monitor_start = None;
+        self.baseline_rate = None;
+        self.slow_windows = 0;
+        self.redecisions = 0;
+        self.reprofile_after_drain = false;
         self.state = SacState::Profiling {
             until: now + self.config.profile_window,
         };
+    }
+
+    /// Discard the running decision and profile again from `now` — the
+    /// graceful-degradation path taken when observed progress diverges from
+    /// the profiled expectation. Requires the machine to already be routing
+    /// memory-side (profiling is defined in that configuration).
+    fn enter_reprofile(&mut self, now: u64) {
+        self.collector.reset();
+        self.profile_anchor = now;
+        self.warmup_reset_done = false;
+        self.monitor_start = None;
+        self.baseline_rate = None;
+        self.slow_windows = 0;
+        self.state = SacState::Profiling {
+            until: now + self.config.profile_window,
+        };
+    }
+
+    /// Feed the progress monitor: `work` is a monotonic count of completed
+    /// requests. Returns `true` when the controller needs the simulator to
+    /// drain in-flight requests (divergence detected while running
+    /// SM-side); the simulator must then pause issue and signal
+    /// [`drain_complete`](SacController::drain_complete) at quiescence.
+    ///
+    /// While running memory-side, a detected divergence re-enters profiling
+    /// directly (no reconfiguration needed) and `false` is returned.
+    pub fn observe_progress(&mut self, now: u64, work: u64) -> bool {
+        if self.config.monitor_window == 0 {
+            return false;
+        }
+        let SacState::Running { mode } = self.state else {
+            self.monitor_start = None;
+            return false;
+        };
+        let Some((start_cycle, start_work)) = self.monitor_start else {
+            self.monitor_start = Some((now, work));
+            return false;
+        };
+        if now - start_cycle < self.config.monitor_window {
+            return false;
+        }
+        let rate = work.saturating_sub(start_work) as f64 / (now - start_cycle) as f64;
+        self.monitor_start = Some((now, work));
+        let Some(base) = self.baseline_rate else {
+            self.baseline_rate = Some(rate);
+            return false;
+        };
+        if rate >= self.config.divergence_threshold * base {
+            self.slow_windows = 0;
+            if rate > base {
+                // The machine got faster than the post-decision baseline
+                // (e.g. warm caches): raise the bar so later degradation is
+                // still detected.
+                self.baseline_rate = Some(rate);
+            }
+            return false;
+        }
+        self.slow_windows += 1;
+        if self.slow_windows < 2 || self.redecisions >= self.config.max_redecisions {
+            return false;
+        }
+        self.redecisions += 1;
+        self.slow_windows = 0;
+        match mode {
+            LlcMode::MemorySide => {
+                self.enter_reprofile(now);
+                false
+            }
+            LlcMode::SmSide => {
+                // Must revert to memory-side before profiling: drain, then
+                // re-enter profiling from drain_complete.
+                self.reprofile_after_drain = true;
+                self.state = SacState::Draining {
+                    to: LlcMode::MemorySide,
+                };
+                true
+            }
+        }
     }
 
     /// Advance to cycle `now`. When the profiling window closes, the EAB
@@ -191,7 +324,7 @@ impl SacController {
         };
         if now >= until
             && self.collector.total_requests() < self.config.min_samples
-            && now < self.kernel_start + 8 * self.config.profile_window
+            && now < self.profile_anchor + 8 * self.config.profile_window
         {
             // Not enough observations yet (drained or saturated machine):
             // extend the window rather than deciding on noise.
@@ -215,7 +348,17 @@ impl SacController {
         let inputs = self.collector.inputs();
         let eab_mem = self.model.eab_memory_side(&inputs);
         let eab_sm = self.model.eab_sm_side(&inputs);
-        let mode = self.model.decide(&inputs, self.config.theta);
+        // Even the extended window can close with too few observations (a
+        // machine wedged by faults, or a kernel with almost no L1 misses).
+        // The EAB inputs are then noise: fall back to memory-side, the
+        // configuration every other state is reached from, instead of
+        // trusting the model.
+        let fallback = self.collector.total_requests() < self.config.min_samples;
+        let mode = if fallback {
+            LlcMode::MemorySide
+        } else {
+            self.model.decide(&inputs, self.config.theta)
+        };
         let record = KernelRecord {
             start_cycle: self.kernel_start,
             decision_cycle: now,
@@ -224,6 +367,7 @@ impl SacController {
             eab_sm_side: eab_sm,
             mode,
             requests_observed: self.collector.total_requests(),
+            fallback,
         };
         self.history.push(record);
         self.state = match mode {
@@ -231,26 +375,37 @@ impl SacController {
             LlcMode::MemorySide => SacState::Running {
                 mode: LlcMode::MemorySide,
             },
-            LlcMode::SmSide => SacState::Draining { to: LlcMode::SmSide },
+            LlcMode::SmSide => SacState::Draining {
+                to: LlcMode::SmSide,
+            },
         };
         Some(record)
     }
 
-    /// The simulator signals that all in-flight requests have completed.
-    /// Returns `true` when an LLC flush must happen next (switching *into*
-    /// SM-side); reverting to memory-side completes immediately.
-    pub fn drain_complete(&mut self) -> bool {
+    /// The simulator signals at cycle `now` that all in-flight requests
+    /// have completed. Returns `true` when an LLC flush must happen next
+    /// (switching *into* SM-side); reverting to memory-side completes
+    /// immediately — into steady running, or back into profiling when the
+    /// drain was triggered by the divergence monitor.
+    pub fn drain_complete(&mut self, now: u64) -> bool {
         match self.state {
-            SacState::Draining { to: LlcMode::SmSide } => {
+            SacState::Draining {
+                to: LlcMode::SmSide,
+            } => {
                 self.state = SacState::Flushing;
                 true
             }
             SacState::Draining {
                 to: LlcMode::MemorySide,
             } => {
-                self.state = SacState::Running {
-                    mode: LlcMode::MemorySide,
-                };
+                if self.reprofile_after_drain {
+                    self.reprofile_after_drain = false;
+                    self.enter_reprofile(now);
+                } else {
+                    self.state = SacState::Running {
+                        mode: LlcMode::MemorySide,
+                    };
+                }
                 false
             }
             _ => false,
@@ -276,7 +431,9 @@ impl SacController {
             SacState::Running {
                 mode: LlcMode::SmSide
             } | SacState::Flushing
-                | SacState::Draining { to: LlcMode::SmSide }
+                | SacState::Draining {
+                    to: LlcMode::SmSide
+                }
         );
         if needs_revert {
             self.state = SacState::Draining {
@@ -285,6 +442,11 @@ impl SacController {
         } else {
             self.state = SacState::Idle;
         }
+        // The kernel is over: any pending divergence reaction dies with it.
+        self.reprofile_after_drain = false;
+        self.monitor_start = None;
+        self.baseline_rate = None;
+        self.slow_windows = 0;
         needs_revert
     }
 
@@ -325,8 +487,8 @@ mod tests {
                 home,
                 LineAddr(i % 16), // tiny hot set: CRD predicts high hit rate
                 None,
-                (home.index() * 16) as usize,
-                (requester.index() * 16 + (i % 16) as usize) as usize,
+                home.index() * 16,
+                requester.index() * 16 + (i % 16) as usize,
             );
             c.collector_mut().observe_memside_llc(i % 2 == 0);
         }
@@ -342,17 +504,22 @@ mod tests {
         assert!(c.tick(500).is_none(), "window still open");
         let rec = c.tick(2100).expect("window closed");
         assert_eq!(rec.mode, LlcMode::SmSide);
-        assert_eq!(c.state(), SacState::Draining { to: LlcMode::SmSide });
+        assert_eq!(
+            c.state(),
+            SacState::Draining {
+                to: LlcMode::SmSide
+            }
+        );
         // Still memory-side while draining + flushing.
         assert_eq!(c.mode(), LlcMode::MemorySide);
-        assert!(c.drain_complete(), "switching to SM-side needs a flush");
+        assert!(c.drain_complete(2200), "switching to SM-side needs a flush");
         assert_eq!(c.state(), SacState::Flushing);
         c.flush_complete();
         assert_eq!(c.mode(), LlcMode::SmSide);
         // Kernel ends: revert drain back to memory-side.
         assert!(c.end_kernel());
         assert_eq!(c.mode(), LlcMode::SmSide, "still SM-side until drained");
-        assert!(!c.drain_complete());
+        assert!(!c.drain_complete(9000));
         assert_eq!(c.mode(), LlcMode::MemorySide);
     }
 
@@ -414,10 +581,244 @@ mod tests {
             feed_sm_side_friendly(&mut c);
             c.tick(k * 10_000 + 2000).expect("decision");
             if c.end_kernel() {
-                c.drain_complete();
+                c.drain_complete(k * 10_000 + 3000);
             }
         }
         assert_eq!(c.history().len(), 3);
         assert!(c.history().iter().all(|r| r.mode == LlcMode::SmSide));
+    }
+
+    /// Drive the monitor through windows at the given per-window work
+    /// rates, starting at `start`; returns `(cycle after the last window,
+    /// whether any observation requested a drain)`.
+    fn feed_windows(c: &mut SacController, start: u64, rates: &[u64]) -> (u64, bool) {
+        let w = c.config().monitor_window;
+        let mut now = start;
+        let mut work = 0;
+        let mut drain = c.observe_progress(now, work); // opens the first window
+        for &r in rates {
+            now += w;
+            work += r * w;
+            drain |= c.observe_progress(now, work);
+        }
+        (now, drain)
+    }
+
+    #[test]
+    fn sustained_divergence_reenters_profiling_from_memory_side() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        // Local traffic: decision is memory-side.
+        for i in 0..100u64 {
+            c.collector_mut().observe_request(
+                ChipId(0),
+                ChipId(0),
+                LineAddr(i),
+                None,
+                (i % 64) as usize,
+                (i % 64) as usize,
+            );
+            c.collector_mut().observe_memside_llc(true);
+        }
+        c.tick(2000).expect("decision");
+        // Baseline window at 10 work/cycle, then a sustained collapse to 1.
+        let (now, drain) = feed_windows(&mut c, 2000, &[10, 10, 1, 1]);
+        assert!(!drain, "memory-side re-profile needs no drain");
+        assert_eq!(
+            c.state(),
+            SacState::Profiling {
+                until: now + c.config().profile_window
+            }
+        );
+        assert_eq!(
+            c.history().len(),
+            1,
+            "no new decision until the window closes"
+        );
+    }
+
+    #[test]
+    fn divergence_while_sm_side_requests_drain_then_reprofiles() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        feed_sm_side_friendly(&mut c);
+        c.tick(2000).expect("decision");
+        c.drain_complete(2100);
+        c.flush_complete();
+        assert_eq!(c.mode(), LlcMode::SmSide);
+        let (now, drain) = feed_windows(&mut c, 2200, &[10, 10, 1, 1]);
+        assert!(drain, "leaving SM-side requires a drain");
+        assert_eq!(
+            c.state(),
+            SacState::Draining {
+                to: LlcMode::MemorySide
+            }
+        );
+        assert_eq!(c.mode(), LlcMode::SmSide, "still SM-side until drained");
+        assert!(!c.drain_complete(now + 500), "revert needs no flush");
+        assert!(c.is_profiling(), "drain completion re-enters profiling");
+        assert_eq!(c.mode(), LlcMode::MemorySide);
+    }
+
+    #[test]
+    fn transient_slowdowns_do_not_trigger_reprofiling() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        feed_sm_side_friendly(&mut c);
+        c.tick(2000).expect("decision");
+        c.drain_complete(2100);
+        c.flush_complete();
+        // Single slow windows separated by recoveries: never two in a row.
+        let (_, drain) = feed_windows(&mut c, 2200, &[10, 1, 10, 1, 10, 1, 10]);
+        assert!(!drain);
+        assert_eq!(
+            c.state(),
+            SacState::Running {
+                mode: LlcMode::SmSide
+            }
+        );
+    }
+
+    #[test]
+    fn redecisions_are_bounded_per_kernel() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        for i in 0..100u64 {
+            c.collector_mut().observe_request(
+                ChipId(0),
+                ChipId(0),
+                LineAddr(i),
+                None,
+                (i % 64) as usize,
+                (i % 64) as usize,
+            );
+            c.collector_mut().observe_memside_llc(true);
+        }
+        let max = c.config().max_redecisions;
+        let mut now = c.tick(2000).expect("decision").decision_cycle;
+        for round in 0..max + 2 {
+            let (end, _) = feed_windows(&mut c, now, &[10, 10, 1, 1]);
+            now = end;
+            if round < max {
+                assert!(c.is_profiling(), "redecision {round} should re-profile");
+                // Close the re-profile window with the same local pattern.
+                for i in 0..100u64 {
+                    c.collector_mut().observe_request(
+                        ChipId(0),
+                        ChipId(0),
+                        LineAddr(i),
+                        None,
+                        (i % 64) as usize,
+                        (i % 64) as usize,
+                    );
+                    c.collector_mut().observe_memside_llc(true);
+                }
+                now += c.config().profile_window;
+                c.tick(now).expect("redecision");
+            } else {
+                assert!(
+                    matches!(c.state(), SacState::Running { .. }),
+                    "round {round}: redecision budget exhausted, keep running"
+                );
+            }
+        }
+        assert_eq!(c.history().len(), (max + 1) as usize);
+    }
+
+    #[test]
+    fn insufficient_samples_fall_back_to_memory_side() {
+        let model = EabModel::new(ArchBandwidth {
+            b_intra: 4096.0,
+            b_inter: 192.0,
+            b_llc: 4000.0,
+            b_mem: 437.5,
+        });
+        let config = SacConfig {
+            min_samples: 1000,
+            ..SacConfig::default()
+        };
+        let mut c = SacController::new(config, model, 4, 64, 128, false);
+        c.begin_kernel(0);
+        // A strongly SM-side-friendly but tiny sample: far below
+        // min_samples even at the 8x-extended window.
+        for i in 0..10u64 {
+            let requester = ChipId((i % 4) as u8);
+            let home = ChipId(((i + 1) % 4) as u8);
+            c.collector_mut().observe_request(
+                requester,
+                home,
+                LineAddr(i % 4),
+                None,
+                home.index() * 16,
+                requester.index() * 16,
+            );
+            c.collector_mut().observe_memside_llc(true);
+        }
+        assert!(c.tick(2000).is_none(), "window extends, no decision yet");
+        let rec = c
+            .tick(8 * c.config().profile_window)
+            .expect("extension cap forces a decision");
+        assert!(rec.fallback);
+        assert_eq!(rec.mode, LlcMode::MemorySide);
+        assert_eq!(
+            c.state(),
+            SacState::Running {
+                mode: LlcMode::MemorySide
+            }
+        );
+    }
+
+    #[test]
+    fn update_arch_changes_later_decisions() {
+        let mut c = controller();
+        c.begin_kernel(0);
+        feed_sm_side_friendly(&mut c);
+        assert_eq!(c.tick(2000).expect("decision").mode, LlcMode::SmSide);
+        c.end_kernel();
+        c.drain_complete(2500);
+        // The SM-side EAB is bounded by the intra-chip NoC end to end
+        // (Table 1): collapse it and the same profile must now decide
+        // memory-side, proving later decisions use the updated model.
+        c.update_arch(ArchBandwidth {
+            b_intra: 8.0,
+            b_inter: 192.0,
+            b_llc: 4000.0,
+            b_mem: 437.5,
+        });
+        c.begin_kernel(10_000);
+        feed_sm_side_friendly(&mut c);
+        assert_eq!(
+            c.tick(12_000).expect("decision").mode,
+            LlcMode::MemorySide,
+            "a degraded machine flips the decision"
+        );
+    }
+
+    #[test]
+    fn degraded_links_strengthen_sm_side_preference() {
+        // Fault-model sanity: memory-side remote traffic is capped by
+        // B_inter outright, while SM-side replication only pays B_inter on
+        // misses — so a degraded link widens the SM-side margin.
+        let base = ArchBandwidth {
+            b_intra: 4096.0,
+            b_inter: 192.0,
+            b_llc: 4000.0,
+            b_mem: 437.5,
+        };
+        let degraded = ArchBandwidth {
+            b_inter: 192.0 * 0.1,
+            ..base
+        };
+        let i = EabInputs {
+            r_local: 0.3,
+            llc_hit_memory_side: 0.6,
+            llc_hit_sm_side: 0.6,
+            lsu_memory_side: 0.6,
+            lsu_sm_side: 0.95,
+        };
+        let margin = |m: &EabModel| m.eab_sm_side(&i) / m.eab_memory_side(&i);
+        let healthy = margin(&EabModel::new(base));
+        let broken = margin(&EabModel::new(degraded));
+        assert!(broken > healthy, "degradation widens the SM-side margin");
     }
 }

@@ -52,7 +52,12 @@ impl ProfileCollector {
     /// Create a collector for `chips` chips with `total_slices` LLC slices
     /// machine-wide, each per-chip LLC having `llc_sets_per_chip` sets
     /// (for CRD set sampling). `sectored` selects the larger CRD blocks.
-    pub fn new(chips: usize, total_slices: usize, llc_sets_per_chip: usize, sectored: bool) -> Self {
+    pub fn new(
+        chips: usize,
+        total_slices: usize,
+        llc_sets_per_chip: usize,
+        sectored: bool,
+    ) -> Self {
         ProfileCollector {
             crds: (0..chips)
                 .map(|_| {
@@ -129,7 +134,11 @@ impl ProfileCollector {
             hits += crd.hits();
             reqs += crd.requests();
         }
-        let hit_sm = if reqs == 0 { hit_mem } else { hits as f64 / reqs as f64 };
+        let hit_sm = if reqs == 0 {
+            hit_mem
+        } else {
+            hits as f64 / reqs as f64
+        };
         EabInputs {
             r_local,
             llc_hit_memory_side: hit_mem,
@@ -143,11 +152,8 @@ impl ProfileCollector {
     /// Total counter + CRD storage in bytes per chip (§3.6).
     pub fn storage_bytes_per_chip(&self) -> usize {
         let slices_per_chip = self.mem_side_slices.len() / self.crds.len().max(1);
-        crate::overhead::HardwareOverhead::new(
-            self.crds[0].storage_bytes(),
-            slices_per_chip,
-        )
-        .total_bytes()
+        crate::overhead::HardwareOverhead::new(self.crds[0].storage_bytes(), slices_per_chip)
+            .total_bytes()
     }
 
     /// Reset the rate counters but keep the CRD directory contents warm:

@@ -124,7 +124,12 @@ impl Crd {
     ///
     /// # Panics
     /// Panics if `chip` exceeds [`MAX_CHIPS`].
-    pub fn observe(&mut self, line: LineAddr, sector: Option<SectorId>, chip: ChipId) -> Option<bool> {
+    pub fn observe(
+        &mut self,
+        line: LineAddr,
+        sector: Option<SectorId>,
+        chip: ChipId,
+    ) -> Option<bool> {
         assert!(chip.index() < MAX_CHIPS);
         let llc_set = self.llc_set_of(line);
         // Sample the first `sets.len()` LLC sets (a fixed 1/N sample).

@@ -79,8 +79,8 @@ fn window_extends_until_min_samples() {
     let model = EabModel::new(arch());
     let config = SacConfig {
         profile_window: 100,
-        theta: 0.05,
         min_samples: 50,
+        ..SacConfig::default()
     };
     let mut ctl = SacController::new(config, model, 4, 64, 128, false);
     ctl.begin_kernel(0);
@@ -107,8 +107,8 @@ fn window_gives_up_after_hard_cap() {
     let model = EabModel::new(arch());
     let config = SacConfig {
         profile_window: 100,
-        theta: 0.05,
         min_samples: 1_000_000, // unreachable
+        ..SacConfig::default()
     };
     let mut ctl = SacController::new(config, model, 4, 64, 128, false);
     ctl.begin_kernel(0);

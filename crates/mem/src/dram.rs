@@ -28,6 +28,10 @@ pub struct DramRequest {
 #[derive(Debug, Clone)]
 pub struct MemoryPartition {
     channels: Vec<Pipe<DramRequest>>,
+    /// Channels still accepting traffic; a failed channel's queue is
+    /// redistributed and it stops being a PAE target.
+    channel_alive: Vec<bool>,
+    base_channel_gbs: f64,
     line_size: u64,
     served_reads: u64,
     served_writes: u64,
@@ -45,15 +49,96 @@ impl MemoryPartition {
             channels: (0..channels)
                 .map(|_| Pipe::new(channel_gbs, latency, None))
                 .collect(),
+            channel_alive: vec![true; channels],
+            base_channel_gbs: channel_gbs,
             line_size,
             served_reads: 0,
             served_writes: 0,
         }
     }
 
-    /// Number of channels.
+    /// Number of channels (including failed ones).
     pub fn num_channels(&self) -> usize {
         self.channels.len()
+    }
+
+    /// Number of channels still serving traffic.
+    pub fn live_channels(&self) -> usize {
+        self.channel_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// The PAE target channel for `line`, skipping dead channels: the hash
+    /// picks among live channels, so a failure re-spreads its traffic over
+    /// the survivors deterministically.
+    ///
+    /// # Panics
+    /// Panics if every channel has failed — the engine's fault plan is
+    /// validated to keep at least the machine alive, and a fully dead
+    /// partition would silently absorb requests otherwise.
+    fn target_channel(&self, line: LineAddr) -> usize {
+        let live = self.live_channels();
+        assert!(
+            live > 0,
+            "invariant violated: memory partition has no live DRAM channels"
+        );
+        let pick = interleave::channel_index(line, live);
+        self.channel_alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .nth(pick)
+            .map(|(i, _)| i)
+            .expect("nth(pick) exists: pick < live channel count")
+    }
+
+    /// Throttle every live channel to `factor` of its configured bandwidth
+    /// (thermal throttling of the whole stack). In-flight accesses finish
+    /// at their original timing.
+    pub fn throttle(&mut self, factor: f64) {
+        let rate = self.base_channel_gbs * factor;
+        for (ch, alive) in self.channels.iter_mut().zip(&self.channel_alive) {
+            if *alive {
+                ch.set_rate(rate);
+            }
+        }
+    }
+
+    /// Fail one channel: it stops being a PAE target and everything queued
+    /// or in flight on it is re-issued to the surviving channels (conserved,
+    /// re-paying queueing but not losing requests).
+    ///
+    /// Failing the last live channel is rejected (no-op returning `false`)
+    /// — a chip with zero DRAM would wedge every organization identically,
+    /// which is not an interesting experiment and would violate the
+    /// request-conservation property.
+    pub fn fail_channel(&mut self, channel: usize) -> bool {
+        if !self.channel_alive[channel] || self.live_channels() == 1 {
+            return false;
+        }
+        self.channel_alive[channel] = false;
+        for dreq in self.channels[channel].drain() {
+            self.repush(dreq);
+        }
+        true
+    }
+
+    /// Route `dreq` to its (live) PAE channel, charging the right byte cost.
+    fn repush(&mut self, dreq: DramRequest) {
+        let line = dreq.request.access.addr.line(self.line_size);
+        let ch = self.target_channel(line);
+        let bytes = if dreq.request.id == mcgpu_types::RequestId(u64::MAX) {
+            self.line_size // writeback sentinel: full dirty line
+        } else {
+            match dreq.request.access.kind {
+                AccessKind::Read => self.line_size,
+                AccessKind::Write => mcgpu_types::packet::WRITE_PAYLOAD_BYTES,
+            }
+        };
+        // DRAM channels are unbounded queues: backpressure is applied
+        // upstream by the LLC/NoC queues in the simulator.
+        self.channels[ch]
+            .try_push(dreq, bytes)
+            .expect("unbounded channel queue");
     }
 
     /// Enqueue a request; the channel is chosen by the PAE hash of the line
@@ -61,24 +146,12 @@ impl MemoryPartition {
     /// (write-through traffic ultimately writes a full line's sector burst —
     /// we charge the 32 B coalesced sector).
     pub fn push(&mut self, dreq: DramRequest) {
-        let line = dreq.request.access.addr.line(self.line_size);
-        let ch = interleave::channel_index(line, self.channels.len());
-        let bytes = match dreq.request.access.kind {
-            AccessKind::Read => self.line_size,
-            AccessKind::Write => mcgpu_types::packet::WRITE_PAYLOAD_BYTES,
-        };
-        // DRAM channels are unbounded queues: backpressure is applied
-        // upstream by the LLC/NoC queues in the simulator.
-        self.channels[ch]
-            .try_push(dreq, bytes)
-            .ok()
-            .expect("unbounded channel queue");
+        self.repush(dreq);
     }
 
     /// Enqueue a raw writeback of `line` (dirty eviction) without an
     /// originating request; consumes bandwidth but produces no response.
     pub fn push_writeback(&mut self, line: LineAddr) {
-        let ch = interleave::channel_index(line, self.channels.len());
         // A writeback moves a full dirty line. We model it as a bandwidth
         // consumer only: push a sentinel that is dropped on completion.
         let sentinel = DramRequest {
@@ -91,10 +164,7 @@ impl MemoryPartition {
             from_local_slice: true,
             slice: None,
         };
-        self.channels[ch]
-            .try_push(sentinel, self.line_size)
-            .ok()
-            .expect("unbounded channel queue");
+        self.repush(sentinel);
     }
 
     /// Advance all channels one cycle.
@@ -227,6 +297,57 @@ mod tests {
         }
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].request.id, RequestId(7));
+    }
+
+    #[test]
+    fn failed_channel_redistributes_and_conserves() {
+        let mut mp = MemoryPartition::new(4, 16.0, 0, 128);
+        for i in 0..64 {
+            mp.push(req(i, i * 128, false));
+        }
+        let queued = mp.len();
+        assert!(mp.fail_channel(1));
+        assert_eq!(mp.len(), queued, "failure must not lose requests");
+        let mut completed = 0;
+        for now in 0..2000 {
+            mp.tick(now);
+            completed += mp.pop_ready(now).len();
+        }
+        assert_eq!(completed, 64, "every request still completes");
+        assert_eq!(mp.live_channels(), 3);
+        // Dead channels never receive new traffic.
+        assert!(!mp.fail_channel(1), "double-failing is a no-op");
+    }
+
+    #[test]
+    fn last_live_channel_cannot_fail() {
+        let mut mp = MemoryPartition::new(2, 16.0, 0, 128);
+        assert!(mp.fail_channel(0));
+        assert!(!mp.fail_channel(1), "last channel must survive");
+        assert_eq!(mp.live_channels(), 1);
+        mp.push(req(1, 0x1000, false));
+        mp.tick(0);
+        assert_eq!(mp.pop_ready(0).len(), 1);
+    }
+
+    #[test]
+    fn throttle_halves_throughput() {
+        let mut full = MemoryPartition::new(1, 16.0, 0, 128);
+        let mut slow = MemoryPartition::new(1, 16.0, 0, 128);
+        slow.throttle(0.5);
+        for i in 0..200 {
+            full.push(req(i, i * 128, false));
+            slow.push(req(i, i * 128, false));
+        }
+        let (mut cf, mut cs) = (0, 0);
+        for now in 0..800 {
+            full.tick(now);
+            slow.tick(now);
+            cf += full.pop_ready(now).len();
+            cs += slow.pop_ready(now).len();
+        }
+        let ratio = cs as f64 / cf as f64;
+        assert!((0.4..=0.6).contains(&ratio), "cf={cf} cs={cs}");
     }
 
     #[test]

@@ -120,8 +120,14 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(slice_index(LineAddr(1234), 16), slice_index(LineAddr(1234), 16));
-        assert_eq!(channel_index(LineAddr(99), 8), channel_index(LineAddr(99), 8));
+        assert_eq!(
+            slice_index(LineAddr(1234), 16),
+            slice_index(LineAddr(1234), 16)
+        );
+        assert_eq!(
+            channel_index(LineAddr(99), 8),
+            channel_index(LineAddr(99), 8)
+        );
     }
 
     #[test]

@@ -21,7 +21,10 @@ impl PageTable {
     /// # Panics
     /// Panics if `page_size` is not a power of two.
     pub fn new(page_size: u64) -> Self {
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         PageTable {
             page_size,
             homes: HashMap::new(),

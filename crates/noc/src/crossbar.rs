@@ -67,9 +67,7 @@ impl<T> Crossbar<T> {
             return Err(item);
         }
         self.injected_bytes += bytes;
-        self.outputs[port]
-            .try_push(item, bytes)
-            .map_err(|item| item) // cannot happen: can_push checked
+        self.outputs[port].try_push(item, bytes) // cannot happen: can_push checked
     }
 
     /// Whether output `port` can currently accept a packet (ignoring the

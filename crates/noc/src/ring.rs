@@ -40,6 +40,10 @@ pub struct RingNetwork<T> {
     /// `links[from][0]` = clockwise (to chip+1), `links[from][1]` =
     /// counter-clockwise (to chip-1).
     links: Vec<[Pipe<RingPacket<T>>; 2]>,
+    /// `alive[from][dir]`: whether that directed link can carry traffic.
+    /// Links die in pairs (both directions of an adjacency) via
+    /// [`RingNetwork::fail_link`].
+    alive: Vec<[bool; 2]>,
     /// Packets that completed a hop and wait at an intermediate chip for
     /// re-injection, per chip.
     transit: Vec<Vec<RingPacket<T>>>,
@@ -66,6 +70,7 @@ impl<T> RingNetwork<T> {
                     ]
                 })
                 .collect(),
+            alive: vec![[true; 2]; n],
             transit: (0..n).map(|_| Vec::new()).collect(),
             arrived: (0..n).map(|_| Vec::new()).collect(),
             topo: cfg.clone(),
@@ -84,16 +89,97 @@ impl<T> RingNetwork<T> {
         }
     }
 
+    /// Whether every directed link on the path from `from` to `dest` going
+    /// `dir` (0 = clockwise, 1 = counter-clockwise) is alive.
+    fn path_alive(&self, from: usize, dest: usize, dir: usize) -> bool {
+        let mut c = from;
+        while c != dest {
+            if !self.alive[c][dir] {
+                return false;
+            }
+            c = if dir == 0 {
+                (c + 1) % self.chips
+            } else {
+                (c + self.chips - 1) % self.chips
+            };
+        }
+        true
+    }
+
+    /// The direction a packet from `from` to `dest` should take: the
+    /// shortest-path direction when its whole path is alive, the long way
+    /// around when only that survives, `None` when the ring is partitioned
+    /// between the two chips.
+    fn route_dir(&self, from: ChipId, dest: ChipId) -> Option<usize> {
+        let preferred = self.direction(from, dest);
+        if self.path_alive(from.index(), dest.index(), preferred) {
+            return Some(preferred);
+        }
+        let other = 1 - preferred;
+        if self.path_alive(from.index(), dest.index(), other) {
+            return Some(other);
+        }
+        None
+    }
+
+    /// The directed-link index at `a` of the adjacency `a <-> b`.
+    ///
+    /// # Panics
+    /// Panics if `a` and `b` are not ring-adjacent — callers must hand in a
+    /// validated fault plan.
+    fn dir_towards(&self, a: ChipId, b: ChipId) -> usize {
+        if b.index() == (a.index() + 1) % self.chips {
+            0
+        } else if b.index() == (a.index() + self.chips - 1) % self.chips {
+            1
+        } else {
+            panic!("invariant violated: link fault endpoints {a:?} and {b:?} are not ring-adjacent")
+        }
+    }
+
+    /// Degrade the adjacency `a <-> b` to `factor` of its configured
+    /// bandwidth, in both directions. Queued and in-flight packets are
+    /// unaffected; future packets transmit at the reduced rate.
+    pub fn degrade_link(&mut self, a: ChipId, b: ChipId, factor: f64) {
+        let rate = self.topo.interchip_pair_gbs * factor;
+        let d_ab = self.dir_towards(a, b);
+        let d_ba = self.dir_towards(b, a);
+        self.links[a.index()][d_ab].set_rate(rate);
+        self.links[b.index()][d_ba].set_rate(rate);
+    }
+
+    /// Fail the adjacency `a <-> b` in both directions. Packets queued or
+    /// in flight on the dead links are returned to their sending chip and
+    /// re-routed the long way around — conserved, not dropped.
+    pub fn fail_link(&mut self, a: ChipId, b: ChipId) {
+        for (from, to) in [(a, b), (b, a)] {
+            let dir = self.dir_towards(from, to);
+            self.alive[from.index()][dir] = false;
+            let stranded = self.links[from.index()][dir].drain();
+            self.transit[from.index()].extend(stranded);
+        }
+    }
+
+    /// Whether the adjacency `a <-> b` is alive (in the `a -> b` direction;
+    /// failures always take both).
+    pub fn link_alive(&self, a: ChipId, b: ChipId) -> bool {
+        self.alive[a.index()][self.dir_towards(a, b)]
+    }
+
     /// Inject a packet at `from` destined for `to`.
     ///
     /// # Errors
-    /// Returns the payload back when the outgoing link queue is full.
+    /// Returns the payload back when the outgoing link queue is full, or
+    /// when link failures have left no live path from `from` to `to`
+    /// (backpressure either way — the caller retries).
     ///
     /// # Panics
     /// Panics if `from == to`.
     pub fn try_send(&mut self, from: ChipId, to: ChipId, payload: T, bytes: u64) -> Result<(), T> {
         assert_ne!(from, to, "ring packets must cross chips");
-        let dir = self.direction(from, to);
+        let Some(dir) = self.route_dir(from, to) else {
+            return Err(payload);
+        };
         let pkt = RingPacket {
             dest: to,
             bytes,
@@ -109,23 +195,32 @@ impl<T> RingNetwork<T> {
 
     /// Whether `from` can currently inject a packet towards `to`.
     pub fn can_send(&self, from: ChipId, to: ChipId) -> bool {
-        let dir = self.direction(from, to);
-        self.links[from.index()][dir].can_push()
+        match self.route_dir(from, to) {
+            Some(dir) => self.links[from.index()][dir].can_push(),
+            None => false,
+        }
     }
 
     /// Advance one cycle: move link traffic, land arrivals, and re-inject
     /// transit packets onto their next hop.
     pub fn tick(&mut self, now: u64) {
         // Re-inject packets waiting at intermediate chips first so they get
-        // this cycle's bandwidth.
+        // this cycle's bandwidth. Routing is re-evaluated every hop, so
+        // packets stranded by a link failure take the surviving direction;
+        // with no live path they wait here (conserved) until one returns or
+        // the engine's watchdog declares the machine wedged.
         for chip in 0..self.chips {
             let waiting = std::mem::take(&mut self.transit[chip]);
             for pkt in waiting {
                 let from = ChipId(chip as u8);
-                let dir = self.direction(from, pkt.dest);
-                let bytes = pkt.bytes;
-                if let Err(p) = self.links[chip][dir].try_push(pkt, bytes) {
-                    self.transit[chip].push(p);
+                match self.route_dir(from, pkt.dest) {
+                    Some(dir) => {
+                        let bytes = pkt.bytes;
+                        if let Err(p) = self.links[chip][dir].try_push(pkt, bytes) {
+                            self.transit[chip].push(p);
+                        }
+                    }
+                    None => self.transit[chip].push(pkt),
                 }
             }
         }
@@ -173,6 +268,17 @@ impl<T> RingNetwork<T> {
     /// Whether the network is completely idle.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Packets currently held at `chip`: queued or in flight on its two
+    /// outgoing links, waiting in transit, or landed but not yet popped.
+    /// Used for deadlock diagnostics.
+    pub fn chip_load(&self, chip: ChipId) -> usize {
+        let i = chip.index();
+        self.links[i][0].len()
+            + self.links[i][1].len()
+            + self.transit[i].len()
+            + self.arrived[i].len()
     }
 
     /// Packets delivered to their final destination so far.
@@ -269,6 +375,90 @@ mod tests {
         let mut got = Vec::new();
         run_until_empty(&mut ring, &mut got, 2000);
         assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn failed_link_reroutes_the_long_way() {
+        let c = cfg();
+        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 16);
+        ring.fail_link(ChipId(0), ChipId(1));
+        assert!(!ring.link_alive(ChipId(0), ChipId(1)));
+        // 0 -> 1 must now take 0 -> 3 -> 2 -> 1: three hops instead of one.
+        ring.try_send(ChipId(0), ChipId(1), 42, 16).unwrap();
+        let mut arrival = None;
+        for now in 0..2000 {
+            ring.tick(now);
+            if !ring.pop_arrivals(ChipId(1), now).is_empty() {
+                arrival = Some(now);
+                break;
+            }
+        }
+        let t = arrival.expect("rerouted packet must still arrive");
+        assert!(
+            t >= 3 * c.link_latency,
+            "long way around is three hops, got {t}"
+        );
+        assert_eq!(ring.delivered(), 1);
+    }
+
+    #[test]
+    fn fail_link_conserves_queued_packets() {
+        let mut c = cfg();
+        c.interchip_pair_gbs = 16.0;
+        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 16);
+        // Queue several packets on 0 -> 1, then kill the link before they move.
+        for i in 0..8 {
+            ring.try_send(ChipId(0), ChipId(1), i, 128).unwrap();
+        }
+        ring.fail_link(ChipId(0), ChipId(1));
+        let mut got = Vec::new();
+        run_until_empty(&mut ring, &mut got, 5000);
+        assert_eq!(got.len(), 8, "every stranded packet must be re-delivered");
+        assert!(got.iter().all(|&(chip, _)| chip == 1));
+    }
+
+    #[test]
+    fn partitioned_ring_refuses_injection_but_holds_packets() {
+        let c = cfg();
+        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 16);
+        ring.try_send(ChipId(0), ChipId(2), 5, 16).unwrap();
+        // Cut both directions out of the packet's current region.
+        ring.fail_link(ChipId(0), ChipId(1));
+        ring.fail_link(ChipId(3), ChipId(0));
+        assert!(!ring.can_send(ChipId(0), ChipId(2)));
+        assert_eq!(ring.try_send(ChipId(0), ChipId(2), 6, 16), Err(6));
+        for now in 0..500 {
+            ring.tick(now);
+        }
+        // The stranded packet is conserved, not silently dropped.
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.delivered(), 0);
+    }
+
+    #[test]
+    fn degraded_link_halves_throughput() {
+        let mut c = cfg();
+        c.interchip_pair_gbs = 16.0;
+        c.link_latency = 0;
+        let mut full: RingNetwork<u32> = RingNetwork::new(&c, 4);
+        let mut degraded: RingNetwork<u32> = RingNetwork::new(&c, 4);
+        degraded.degrade_link(ChipId(0), ChipId(1), 0.5);
+        let mut counts = [0usize; 2];
+        for (k, ring) in [&mut full, &mut degraded].into_iter().enumerate() {
+            let mut sent = 0;
+            for now in 0..1000 {
+                ring.tick(now);
+                if ring.try_send(ChipId(0), ChipId(1), sent, 128).is_ok() {
+                    sent += 1;
+                }
+                counts[k] += ring.pop_arrivals(ChipId(1), now).len();
+            }
+        }
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!(
+            (0.4..=0.6).contains(&ratio),
+            "half-rate link should move ~half the packets: {counts:?}"
+        );
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct LlcSlice {
     /// line index. The key is inserted when the fetch is initiated and
     /// drained when the line arrives.
     pub pending: std::collections::HashMap<u64, Vec<ReqEnvelope>>,
+    /// Fused off by fault injection: the slice no longer holds or allocates
+    /// lines (every lookup misses, fills are dropped), but its service pipe
+    /// and MSHRs keep draining so no request is lost.
+    pub disabled: bool,
     line_size: u64,
 }
 
@@ -38,6 +42,7 @@ impl LlcSlice {
             cache: SetAssocCache::new(ccfg),
             service: Pipe::new(cfg.llc_slice_gbs, cfg.llc_latency, Some(SLICE_QUEUE)),
             pending: std::collections::HashMap::new(),
+            disabled: false,
             line_size: cfg.line_size,
         }
     }

@@ -2,9 +2,7 @@
 //! write-through L1 with MSHRs.
 
 use mcgpu_cache::{CacheConfig, DataHome, LookupOutcome, SetAssocCache};
-use mcgpu_types::{
-    AccessKind, ClusterId, LineAddr, MachineConfig, MemAccess, SectorId,
-};
+use mcgpu_types::{AccessKind, ClusterId, LineAddr, MachineConfig, MemAccess, SectorId};
 use std::collections::HashMap;
 
 /// One SM cluster (two SMs sharing a NoC port): issues the accesses of its
@@ -94,53 +92,48 @@ impl Cluster {
             self.gap_remaining -= 1;
             return None;
         }
-        loop {
-            let acc = *self.trace.get(self.cursor)?;
-            let line = acc.addr.line(self.line_size);
-            let sector = self.sector_of(&acc);
-            match acc.kind {
-                AccessKind::Read => {
-                    match self.l1.lookup(line, sector, false) {
-                        LookupOutcome::Hit => {
-                            self.cursor += 1;
-                            self.reads_done += 1;
-                            self.gap_remaining = self.compute_gap;
-                            if self.gap_remaining > 0 {
-                                return None;
-                            }
-                            // Zero-gap clusters may hit repeatedly; issue at
-                            // most one instruction per `issue` call to model
-                            // the issue width.
-                            return None;
-                        }
-                        LookupOutcome::Miss | LookupOutcome::SectorMiss => {
-                            if let Some(merged) = self.mshrs.get_mut(&line.index()) {
-                                // Merge into the outstanding miss.
-                                *merged += 1;
-                                self.cursor += 1;
-                                self.gap_remaining = self.compute_gap;
-                                return Some((acc, false));
-                            }
-                            if self.mshrs.len() >= self.mshr_limit {
-                                return None; // stall: no MSHR free
-                            }
-                            self.mshrs.insert(line.index(), 1);
+        let acc = *self.trace.get(self.cursor)?;
+        let line = acc.addr.line(self.line_size);
+        let sector = self.sector_of(&acc);
+        match acc.kind {
+            AccessKind::Read => {
+                match self.l1.lookup(line, sector, false) {
+                    LookupOutcome::Hit => {
+                        self.cursor += 1;
+                        self.reads_done += 1;
+                        self.gap_remaining = self.compute_gap;
+                        // Zero-gap clusters may hit repeatedly; issue at
+                        // most one instruction per `issue` call to model
+                        // the issue width.
+                        None
+                    }
+                    LookupOutcome::Miss | LookupOutcome::SectorMiss => {
+                        if let Some(merged) = self.mshrs.get_mut(&line.index()) {
+                            // Merge into the outstanding miss.
+                            *merged += 1;
                             self.cursor += 1;
                             self.gap_remaining = self.compute_gap;
-                            return Some((acc, true));
+                            return Some((acc, false));
                         }
+                        if self.mshrs.len() >= self.mshr_limit {
+                            return None; // stall: no MSHR free
+                        }
+                        self.mshrs.insert(line.index(), 1);
+                        self.cursor += 1;
+                        self.gap_remaining = self.compute_gap;
+                        Some((acc, true))
                     }
                 }
-                AccessKind::Write => {
-                    // Write-through, no write-allocate: update the line in
-                    // place if present (kept clean; the LLC owns dirtiness)
-                    // and always send the write onward.
-                    let _ = self.l1.lookup(line, sector, false);
-                    self.cursor += 1;
-                    self.writes_issued += 1;
-                    self.gap_remaining = self.compute_gap;
-                    return Some((acc, true));
-                }
+            }
+            AccessKind::Write => {
+                // Write-through, no write-allocate: update the line in
+                // place if present (kept clean; the LLC owns dirtiness)
+                // and always send the write onward.
+                let _ = self.l1.lookup(line, sector, false);
+                self.cursor += 1;
+                self.writes_issued += 1;
+                self.gap_remaining = self.compute_gap;
+                Some((acc, true))
             }
         }
     }

@@ -10,8 +10,8 @@ use mcgpu_mem::{interleave, DramRequest, PageTable};
 use mcgpu_noc::RingNetwork;
 use mcgpu_trace::Workload;
 use mcgpu_types::{
-    AccessKind, ChipId, CoherenceKind, LineAddr, LlcOrgKind, MachineConfig, MemAccess, Request,
-    RequestId, Response, ResponseOrigin,
+    AccessKind, ChipId, CoherenceKind, ConfigError, FaultKind, FaultPlan, LineAddr, LlcOrgKind,
+    MachineConfig, MemAccess, Request, RequestId, Response, ResponseOrigin,
 };
 use sac::eab::{ArchBandwidth, EabModel};
 use sac::{LlcMode, SacConfig, SacController};
@@ -25,6 +25,19 @@ pub enum SimError {
         /// The budget that was exceeded.
         limit: u64,
     },
+    /// The forward-progress watchdog fired: no request retired anywhere in
+    /// the machine for a whole watchdog window. Carries a diagnostic
+    /// snapshot of where the in-flight work is stuck.
+    Deadlock {
+        /// Cycle at which the watchdog gave up.
+        cycle: u64,
+        /// The progress-free window length that triggered it.
+        window: u64,
+        /// Where the stuck work sits, per chip.
+        snapshot: Box<DeadlockSnapshot>,
+    },
+    /// The simulator could not be built or run from the given inputs.
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for SimError {
@@ -33,11 +46,107 @@ impl std::fmt::Display for SimError {
             SimError::CycleLimit { limit } => {
                 write!(f, "simulation exceeded the cycle limit of {limit}")
             }
+            SimError::Deadlock {
+                cycle,
+                window,
+                snapshot,
+            } => {
+                write!(
+                    f,
+                    "no forward progress for {window} cycles (deadlock at cycle {cycle}): {snapshot}"
+                )
+            }
+            SimError::Config(e) => write!(f, "{e}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Where in-flight work was sitting when the forward-progress watchdog
+/// fired. Every field is a queue depth (entries, not bytes) captured at the
+/// moment of the abort.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeadlockSnapshot {
+    /// Requests issued but never completed, machine-wide.
+    pub in_flight: u64,
+    /// Why issue was paused, if it was (`"running"`, `"sac-drain"`,
+    /// `"sac-flush"`).
+    pub pause: String,
+    /// Per-chip queue depths.
+    pub chips: Vec<ChipSnapshot>,
+}
+
+/// One chip's queue depths inside a [`DeadlockSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChipSnapshot {
+    /// The chip index.
+    pub chip: usize,
+    /// Outstanding L1 MSHR entries summed over the chip's clusters.
+    pub cluster_mshrs: usize,
+    /// Entries inside the request crossbar.
+    pub xbar_req: usize,
+    /// Entries inside the response crossbar.
+    pub xbar_rsp: usize,
+    /// Requests queued or in flight at the LLC slice service pipes.
+    pub slice_service: usize,
+    /// Requests merged onto outstanding LLC line fetches (slice MSHRs).
+    pub slice_pending: usize,
+    /// Requests inside the DRAM channel pipes.
+    pub memory: usize,
+    /// Requests on the ring→memory bypass path.
+    pub bypass: usize,
+    /// Payloads waiting to leave the chip for the ring (including the
+    /// egress pipe and retry slot).
+    pub ring_egress: usize,
+    /// Payloads inside the ring fabric charged to this chip (link pipes,
+    /// transit buffers, undelivered arrivals).
+    pub ring_fabric: usize,
+}
+
+impl ChipSnapshot {
+    /// Total stuck entries on this chip.
+    pub fn total(&self) -> usize {
+        self.cluster_mshrs
+            + self.xbar_req
+            + self.xbar_rsp
+            + self.slice_service
+            + self.slice_pending
+            + self.memory
+            + self.bypass
+            + self.ring_egress
+            + self.ring_fabric
+    }
+}
+
+impl std::fmt::Display for DeadlockSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} in flight, pause={}", self.in_flight, self.pause)?;
+        for c in &self.chips {
+            write!(
+                f,
+                "; chip{}: mshr={} xbar={}+{} slice={}+{} mem={} bypass={} ring={}+{}",
+                c.chip,
+                c.cluster_mshrs,
+                c.xbar_req,
+                c.xbar_rsp,
+                c.slice_service,
+                c.slice_pending,
+                c.memory,
+                c.bypass,
+                c.ring_egress,
+                c.ring_fabric
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// Why the engine is not issuing new instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +170,14 @@ pub struct SimBuilder {
     sac_cfg: SacConfig,
     max_cycles: u64,
     dynamic_epoch: u64,
+    fault_plan: FaultPlan,
+    watchdog_window: u64,
 }
+
+/// Default forward-progress watchdog window: generous against every
+/// legitimate stall in the model (the longest being a full SAC drain of a
+/// saturated machine) yet 50× shorter than the default cycle budget.
+const WATCHDOG_WINDOW_DEFAULT: u64 = 1_000_000;
 
 impl SimBuilder {
     /// Start from a machine configuration.
@@ -73,6 +189,8 @@ impl SimBuilder {
             sac_cfg,
             max_cycles: 50_000_000,
             dynamic_epoch: 8192,
+            fault_plan: FaultPlan::none(),
+            watchdog_window: WATCHDOG_WINDOW_DEFAULT,
         }
     }
 
@@ -100,13 +218,41 @@ impl SimBuilder {
         self
     }
 
+    /// Inject the given fault schedule during the run.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Override the forward-progress watchdog window: the run aborts with
+    /// [`SimError::Deadlock`] when no request retires for this many
+    /// consecutive cycles. `u64::MAX` disables the watchdog.
+    pub fn watchdog_window(mut self, cycles: u64) -> Self {
+        self.watchdog_window = cycles;
+        self
+    }
+
     /// Build the simulator.
     ///
-    /// # Panics
-    /// Panics if the machine configuration fails validation.
-    pub fn build(self) -> Simulator {
-        self.cfg.validate().expect("invalid machine configuration");
-        Simulator::new(self.cfg, self.org, self.sac_cfg, self.max_cycles, self.dynamic_epoch)
+    /// # Errors
+    /// Returns a [`ConfigError`] when the machine configuration fails
+    /// validation or the fault plan does not fit the machine.
+    pub fn build(self) -> Result<Simulator, ConfigError> {
+        self.cfg.validate()?;
+        self.fault_plan.validate(&self.cfg)?;
+        if self.watchdog_window == 0 {
+            return Err(ConfigError::new(
+                "watchdog window must be positive (use u64::MAX to disable)",
+            ));
+        }
+        if matches!(self.org, LlcOrgKind::StaticHalf | LlcOrgKind::Dynamic)
+            && self.cfg.llc_assoc < 2
+        {
+            return Err(ConfigError::new(
+                "way-partitioned organizations need an LLC with at least 2 ways",
+            ));
+        }
+        Ok(Simulator::new(self))
     }
 }
 
@@ -142,6 +288,23 @@ pub struct Simulator {
     /// Chip-granularity sharer directory for hardware coherence.
     directory: HashMap<u64, u8>,
 
+    // --- resilience ---
+    /// Scheduled hardware degradation, applied as the clock passes each
+    /// event's cycle.
+    fault_plan: FaultPlan,
+    /// Forward-progress watchdog window (`u64::MAX` = disabled).
+    watchdog_window: u64,
+    /// Progress signature at the last cycle that made progress.
+    watchdog_sig: u64,
+    /// Last cycle at which the progress signature changed.
+    watchdog_cycle: u64,
+    /// Remaining bandwidth fraction per inter-chip link pair (`0.0` =
+    /// failed), for the degraded-EAB feed to SAC.
+    link_factor: Vec<f64>,
+    /// Remaining DRAM bandwidth fraction per chip (throttle only; channel
+    /// failures are read off the partitions directly).
+    dram_factor: Vec<f64>,
+
     // --- accumulators ---
     writes_done: u64,
     responses_by_origin: [u64; 4],
@@ -161,13 +324,16 @@ const CTA_WAVE_LEAD: usize = 384;
 const OCC_SAMPLE_PERIOD: u64 = 256;
 
 impl Simulator {
-    fn new(
-        cfg: MachineConfig,
-        org: LlcOrgKind,
-        sac_cfg: SacConfig,
-        max_cycles: u64,
-        dynamic_epoch: u64,
-    ) -> Self {
+    fn new(b: SimBuilder) -> Self {
+        let SimBuilder {
+            cfg,
+            org,
+            sac_cfg,
+            max_cycles,
+            dynamic_epoch,
+            fault_plan,
+            watchdog_window,
+        } = b;
         let chips: Vec<Chip> = ChipId::all(cfg.chips).map(|c| Chip::new(&cfg, c)).collect();
         let ring = RingNetwork::new(&cfg, 32);
         let sac = (org == LlcOrgKind::Sac).then(|| {
@@ -182,7 +348,8 @@ impl Simulator {
                 cfg.sectored,
             )
         });
-        let dynamic = (org == LlcOrgKind::Dynamic).then(|| DynamicCtl::new(cfg.llc_assoc, dynamic_epoch));
+        let dynamic =
+            (org == LlcOrgKind::Dynamic).then(|| DynamicCtl::new(cfg.llc_assoc, dynamic_epoch));
 
         let mut sim = Simulator {
             page_table: PageTable::new(cfg.page_size),
@@ -197,6 +364,12 @@ impl Simulator {
             sac,
             dynamic,
             directory: HashMap::new(),
+            fault_plan,
+            watchdog_window,
+            watchdog_sig: 0,
+            watchdog_cycle: 0,
+            link_factor: vec![1.0; cfg.chips],
+            dram_factor: vec![1.0; cfg.chips],
             writes_done: 0,
             responses_by_origin: [0; 4],
             overhead_cycles: 0,
@@ -224,7 +397,12 @@ impl Simulator {
     fn apply_partitioning(&mut self) {
         let split = match self.org {
             LlcOrgKind::StaticHalf => Some(self.cfg.llc_assoc / 2),
-            LlcOrgKind::Dynamic => Some(self.dynamic.as_ref().expect("dynamic ctl").local_ways()),
+            LlcOrgKind::Dynamic => Some(
+                self.dynamic
+                    .as_ref()
+                    .expect("Dynamic organization implies a dynamic-way controller")
+                    .local_ways(),
+            ),
             _ => None,
         };
         for chip in &mut self.chips {
@@ -242,7 +420,12 @@ impl Simulator {
             LlcOrgKind::MemorySide => RouteMode::MemorySide,
             LlcOrgKind::SmSide => RouteMode::SmSide,
             LlcOrgKind::StaticHalf | LlcOrgKind::Dynamic => RouteMode::Tiered,
-            LlcOrgKind::Sac => match self.sac.as_ref().expect("sac controller").mode() {
+            LlcOrgKind::Sac => match self
+                .sac
+                .as_ref()
+                .expect("SAC organization implies a SAC controller")
+                .mode()
+            {
                 LlcMode::MemorySide => RouteMode::MemorySide,
                 LlcMode::SmSide => RouteMode::SmSide,
             },
@@ -255,9 +438,9 @@ impl Simulator {
     }
 
     fn sector_of(&self, access: &MemAccess) -> Option<mcgpu_types::SectorId> {
-        self.cfg
-            .sectored
-            .then(|| LineAddr::sector_of(access.addr, self.cfg.line_size, self.cfg.sectors_per_line))
+        self.cfg.sectored.then(|| {
+            LineAddr::sector_of(access.addr, self.cfg.line_size, self.cfg.sectors_per_line)
+        })
     }
 
     // ------------------------------------------------------------------
@@ -310,19 +493,17 @@ impl Simulator {
             if let Some(sac) = &mut self.sac {
                 sac.begin_kernel(self.cycle);
             }
-            if self.dynamic.is_some() {
-                let (now, ring_bytes, mem_bytes) =
-                    (self.cycle, self.ring.bytes_sent(), self.mem_bytes_total());
-                self.dynamic
-                    .as_mut()
-                    .expect("dynamic")
-                    .new_kernel(now, ring_bytes, mem_bytes);
+            let (now, ring_bytes, mem_bytes) =
+                (self.cycle, self.ring.bytes_sent(), self.mem_bytes_total());
+            if let Some(dy) = &mut self.dynamic {
+                dy.new_kernel(now, ring_bytes, mem_bytes);
             }
 
             // Execute until the kernel completes.
             while !self.kernel_done() {
                 self.tick(true);
-                if every != u64::MAX && self.cycle % every == 0 {
+                self.check_progress()?;
+                if every != u64::MAX && self.cycle.is_multiple_of(every) {
                     observer(
                         self.cycle,
                         self.cluster_reads_total() + self.writes_done,
@@ -338,7 +519,7 @@ impl Simulator {
 
             // Kernel-boundary coherence + SAC revert (§3.6).
             let boundary_start = self.cycle;
-            self.kernel_boundary();
+            self.kernel_boundary()?;
             self.overhead_cycles += self.cycle - boundary_start;
 
             let sac_mode = self.sac.as_ref().and_then(|s| {
@@ -401,12 +582,186 @@ impl Simulator {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection and the forward-progress watchdog.
+    // ------------------------------------------------------------------
+
+    /// Apply every fault event whose cycle has been reached.
+    fn apply_due_faults(&mut self, now: u64) {
+        let mut any = false;
+        while let Some(e) = self.fault_plan.pop_due(now) {
+            self.apply_fault(e.kind);
+            any = true;
+        }
+        if any {
+            self.refresh_sac_arch();
+        }
+    }
+
+    /// Index of the physical link pair joining ring-adjacent `a` and `b`
+    /// in [`Simulator::link_factor`].
+    fn pair_index(&self, a: ChipId, b: ChipId) -> usize {
+        let (lo, hi) = (a.index().min(b.index()), a.index().max(b.index()));
+        if lo == 0 && hi == self.cfg.chips - 1 {
+            hi // the wrap-around pair
+        } else {
+            lo
+        }
+    }
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LinkDegrade { a, b, factor } => {
+                self.ring.degrade_link(a, b, factor);
+                let p = self.pair_index(a, b);
+                self.link_factor[p] = factor;
+            }
+            FaultKind::LinkFail { a, b } => {
+                self.ring.fail_link(a, b);
+                let p = self.pair_index(a, b);
+                self.link_factor[p] = 0.0;
+            }
+            FaultKind::DramThrottle { chip, factor } => {
+                self.chips[chip.index()].memory.throttle(factor);
+                self.dram_factor[chip.index()] = factor;
+            }
+            FaultKind::DramFail { chip, channel } => {
+                self.chips[chip.index()].memory.fail_channel(channel);
+            }
+            FaultKind::LlcSliceDisable { chip, slice } => {
+                self.disable_slice(chip.index(), slice);
+            }
+        }
+    }
+
+    /// Fuse off one LLC slice: write its dirty lines back home, invalidate
+    /// everything, and stop it from caching. The slice's service pipe and
+    /// MSHRs keep working so queued requests and outstanding fetches drain
+    /// normally — they simply miss from now on.
+    fn disable_slice(&mut self, c: usize, s: usize) {
+        let dirty = self.chips[c].slices[s].cache.flush_all();
+        for line in dirty {
+            self.writeback_to_home(c, line);
+        }
+        self.chips[c].slices[s].disabled = true;
+    }
+
+    /// Re-derive the effective architectural bandwidths from the surviving
+    /// hardware and hand them to the SAC controller, so its EAB decisions
+    /// reason about the machine as it now is.
+    fn refresh_sac_arch(&mut self) {
+        let Some(sac) = self.sac.as_mut() else { return };
+        let base = ArchBandwidth::from_config(&self.cfg);
+        let n = self.cfg.chips as f64;
+        let link_mean = self.link_factor.iter().sum::<f64>() / self.link_factor.len().max(1) as f64;
+        let mem_mean = self
+            .chips
+            .iter()
+            .zip(&self.dram_factor)
+            .map(|(chip, throttle)| {
+                throttle * chip.memory.live_channels() as f64 / chip.memory.num_channels() as f64
+            })
+            .sum::<f64>()
+            / n;
+        let llc_mean = self
+            .chips
+            .iter()
+            .map(|chip| {
+                chip.slices.iter().filter(|s| !s.disabled).count() as f64 / chip.slices.len() as f64
+            })
+            .sum::<f64>()
+            / n;
+        sac.update_arch(ArchBandwidth {
+            b_intra: base.b_intra,
+            b_inter: base.b_inter * link_mean,
+            b_llc: base.b_llc * llc_mean,
+            b_mem: base.b_mem * mem_mean,
+        });
+    }
+
+    /// A monotonic count that changes whenever anything anywhere in the
+    /// machine completes or moves: requests retiring, DRAM serving, ring
+    /// traffic being injected or delivered. If this freezes, the machine is
+    /// wedged.
+    fn progress_signature(&self) -> u64 {
+        let dram: u64 = self
+            .chips
+            .iter()
+            .map(|c| c.memory.served_reads() + c.memory.served_writes())
+            .sum();
+        self.cluster_reads_total()
+            + self.writes_done
+            + self.ring.delivered()
+            + self.ring.bytes_sent()
+            + dram
+    }
+
+    /// Forward-progress watchdog: abort with [`SimError::Deadlock`] when
+    /// the progress signature has not changed for a whole window. Call once
+    /// per tick from every simulation loop (including drains).
+    fn check_progress(&mut self) -> Result<(), SimError> {
+        if self.watchdog_window == u64::MAX {
+            return Ok(());
+        }
+        let sig = self.progress_signature();
+        if sig != self.watchdog_sig {
+            self.watchdog_sig = sig;
+            self.watchdog_cycle = self.cycle;
+            return Ok(());
+        }
+        if self.cycle - self.watchdog_cycle >= self.watchdog_window {
+            return Err(SimError::Deadlock {
+                cycle: self.cycle,
+                window: self.watchdog_window,
+                snapshot: Box::new(self.deadlock_snapshot()),
+            });
+        }
+        Ok(())
+    }
+
+    fn deadlock_snapshot(&self) -> DeadlockSnapshot {
+        let chips = self
+            .chips
+            .iter()
+            .enumerate()
+            .map(|(i, chip)| ChipSnapshot {
+                chip: i,
+                cluster_mshrs: chip.clusters.iter().map(Cluster::outstanding).sum(),
+                xbar_req: chip.xbar_req.len() + chip.pending_req.len(),
+                xbar_rsp: chip.xbar_rsp.len() + chip.pending_rsp.len(),
+                slice_service: chip.slices.iter().map(|s| s.service.len()).sum(),
+                slice_pending: chip
+                    .slices
+                    .iter()
+                    .map(|s| s.pending.values().map(Vec::len).sum::<usize>())
+                    .sum(),
+                memory: chip.memory.len(),
+                bypass: chip.bypass_to_mem.len(),
+                ring_egress: chip.pending_ring.len()
+                    + chip.ring_egress.len()
+                    + usize::from(chip.ring_retry.is_some()),
+                ring_fabric: self.ring.chip_load(chip.id),
+            })
+            .collect();
+        DeadlockSnapshot {
+            in_flight: self.in_flight,
+            pause: match self.pause {
+                Pause::Running => "running",
+                Pause::SacDrain => "sac-drain",
+                Pause::SacFlush => "sac-flush",
+            }
+            .to_string(),
+            chips,
+        }
+    }
+
+    // ------------------------------------------------------------------
     // One cycle.
     // ------------------------------------------------------------------
 
     fn tick(&mut self, allow_issue: bool) {
         self.cycle += 1;
         let now = self.cycle;
+        self.apply_due_faults(now);
         let issuing = allow_issue && self.pause == Pause::Running;
 
         if issuing {
@@ -436,7 +791,6 @@ impl Simulator {
                             self.chips[c].slices[port]
                                 .service
                                 .try_push(env, charge)
-                                .ok()
                                 .expect("can_push checked");
                         }
                         None => break,
@@ -498,7 +852,7 @@ impl Simulator {
 
         // Controllers and sampling.
         self.controller_phase(now);
-        if now % OCC_SAMPLE_PERIOD == 0 {
+        if now.is_multiple_of(OCC_SAMPLE_PERIOD) {
             self.sample_occupancy();
         }
     }
@@ -619,7 +973,13 @@ impl Simulator {
         let is_write = env.req.access.kind.is_write();
         let profiling = self.sac.as_ref().is_some_and(|sc| sc.is_profiling());
 
-        let outcome = self.chips[c].slices[s].cache.lookup(line, sector, is_write);
+        // A disabled (fused-off) slice holds nothing: every request misses
+        // straight through to memory without touching the cache array.
+        let outcome = if self.chips[c].slices[s].disabled {
+            LookupOutcome::Miss
+        } else {
+            self.chips[c].slices[s].cache.lookup(line, sector, is_write)
+        };
         let hit = outcome == LookupOutcome::Hit;
 
         if profiling && env.stage == ReqStage::ToHomeSlice {
@@ -631,7 +991,8 @@ impl Simulator {
             let merged_would_hit =
                 !hit && self.chips[c].slices[s].pending.contains_key(&line.index());
             if let Some(sac) = self.sac.as_mut() {
-                sac.collector_mut().observe_memside_llc(hit || merged_would_hit);
+                sac.collector_mut()
+                    .observe_memside_llc(hit || merged_would_hit);
             }
         }
 
@@ -772,7 +1133,6 @@ impl Simulator {
         }
     }
 
-
     /// Merge `env` onto an outstanding line fetch at slice `s` of chip `c`,
     /// if one exists (slice MSHR). Returns `true` when merged.
     fn try_merge_at_slice(&mut self, c: usize, s: usize, line: LineAddr, env: ReqEnvelope) -> bool {
@@ -786,7 +1146,10 @@ impl Simulator {
 
     /// Register an outstanding fetch for `line` at slice `s` of chip `c`.
     fn begin_fetch(&mut self, c: usize, s: usize, line: LineAddr) {
-        self.chips[c].slices[s].pending.entry(line.index()).or_default();
+        self.chips[c].slices[s]
+            .pending
+            .entry(line.index())
+            .or_default();
     }
 
     /// The line arrived at slice `s` of chip `c`: complete all merged
@@ -806,11 +1169,14 @@ impl Simulator {
         let chip_id = ChipId(c as u8);
         for env in waiters {
             if env.req.access.kind.is_write() {
-                // Dirty the just-filled line and absorb the store.
+                // Dirty the just-filled line and absorb the store (unless
+                // the slice was fused off, in which case nothing is filled).
                 let sector = self.sector_of(&env.req.access);
-                self.chips[c].slices[s]
-                    .cache
-                    .fill(line, sector, DataHome::Local, true);
+                if !self.chips[c].slices[s].disabled {
+                    self.chips[c].slices[s]
+                        .cache
+                        .fill(line, sector, DataHome::Local, true);
+                }
                 self.absorb_write();
             } else {
                 let origin = origin_override.unwrap_or(if env.req.origin.chip == chip_id {
@@ -878,7 +1244,13 @@ impl Simulator {
                     .page_table
                     .lookup(page)
                     .expect("cached lines have mapped pages");
-                self.push_ring(c, RingPayload::Writeback { line: ev.line, home });
+                self.push_ring(
+                    c,
+                    RingPayload::Writeback {
+                        line: ev.line,
+                        home,
+                    },
+                );
             }
         }
     }
@@ -891,15 +1263,19 @@ impl Simulator {
         // Fill the slice the miss came from (memory-side, or SM-side local).
         if d.from_local_slice {
             if let Some(s) = d.slice {
-                let line = d.request.access.addr.line(self.cfg.line_size);
-                let sector = self.sector_of(&d.request.access);
-                let ev = self.chips[c].slices[s as usize].cache.fill(
-                    line,
-                    sector,
-                    DataHome::Local,
-                    is_write,
-                );
-                self.handle_eviction(c, ev);
+                // A slice disabled while this fetch was in flight no longer
+                // allocates; the data still answers the merged requesters.
+                if !self.chips[c].slices[s as usize].disabled {
+                    let line = d.request.access.addr.line(self.cfg.line_size);
+                    let sector = self.sector_of(&d.request.access);
+                    let ev = self.chips[c].slices[s as usize].cache.fill(
+                        line,
+                        sector,
+                        DataHome::Local,
+                        is_write,
+                    );
+                    self.handle_eviction(c, ev);
+                }
             }
             if let Some(s) = d.slice {
                 let line = d.request.access.addr.line(self.cfg.line_size);
@@ -1038,10 +1414,11 @@ impl Simulator {
                             self.chips[c]
                                 .bypass_to_mem
                                 .try_push(env, bytes)
-                                .ok()
                                 .expect("bypass pipe is unbounded");
                         }
-                        ReqStage::ToLocalSlice => unreachable!("local-slice requests never ride the ring"),
+                        ReqStage::ToLocalSlice => {
+                            unreachable!("local-slice requests never ride the ring")
+                        }
                     },
                     RingPayload::Rsp(env) => {
                         let is_write = env.rsp.access.kind.is_write();
@@ -1049,14 +1426,16 @@ impl Simulator {
                             let line = env.rsp.access.addr.line(self.cfg.line_size);
                             let sector = self.sector_of(&env.rsp.access);
                             let s = self.slice_of(line);
-                            let ev = self.chips[c].slices[s].cache.fill(
-                                line,
-                                sector,
-                                DataHome::Remote,
-                                is_write,
-                            );
-                            self.handle_eviction(c, ev);
-                            self.directory_fill(c, line);
+                            if !self.chips[c].slices[s].disabled {
+                                let ev = self.chips[c].slices[s].cache.fill(
+                                    line,
+                                    sector,
+                                    DataHome::Remote,
+                                    is_write,
+                                );
+                                self.handle_eviction(c, ev);
+                                self.directory_fill(c, line);
+                            }
                             self.drain_merged(c, s, line, Some(env.rsp.origin));
                         }
                         if is_write {
@@ -1086,16 +1465,36 @@ impl Simulator {
         if self.sac.is_some() {
             match self.pause {
                 Pause::Running => {
-                    let record = self.sac.as_mut().expect("sac").tick(now);
+                    let record = self
+                        .sac
+                        .as_mut()
+                        .expect("SAC organization implies a SAC controller")
+                        .tick(now);
                     if let Some(r) = record {
                         if r.mode == LlcMode::SmSide {
                             self.pause = Pause::SacDrain;
                         }
                     }
+                    // Graceful degradation: feed the divergence monitor the
+                    // machine's completed-work count; it requests a drain
+                    // when a running SM-side decision stops holding up.
+                    let work = self.cluster_reads_total() + self.writes_done;
+                    if self
+                        .sac
+                        .as_mut()
+                        .expect("SAC organization implies a SAC controller")
+                        .observe_progress(now, work)
+                    {
+                        self.pause = Pause::SacDrain;
+                    }
                 }
                 Pause::SacDrain => {
                     if self.machine_quiescent() {
-                        let needs_flush = self.sac.as_mut().expect("sac").drain_complete();
+                        let needs_flush = self
+                            .sac
+                            .as_mut()
+                            .expect("SAC organization implies a SAC controller")
+                            .drain_complete(now);
                         if needs_flush {
                             // §3.6: write back and invalidate *dirty* lines;
                             // clean home-slice contents remain valid under
@@ -1110,7 +1509,10 @@ impl Simulator {
                 }
                 Pause::SacFlush => {
                     if self.machine_quiescent() {
-                        self.sac.as_mut().expect("sac").flush_complete();
+                        self.sac
+                            .as_mut()
+                            .expect("SAC organization implies a SAC controller")
+                            .flush_complete();
                         self.pause = Pause::Running;
                     }
                     self.overhead_cycles += 1;
@@ -1119,19 +1521,16 @@ impl Simulator {
         }
 
         // Dynamic way-split adaptation.
-        if self.dynamic.is_some() {
-            let ring_bytes = self.ring.bytes_sent();
-            let mem_bytes = self.mem_bytes_total();
-            if let Some(ways) = self
-                .dynamic
-                .as_mut()
-                .expect("dynamic")
-                .maybe_adjust(now, ring_bytes, mem_bytes)
-            {
-                for chip in &mut self.chips {
-                    for slice in &mut chip.slices {
-                        slice.cache.set_partition(ways);
-                    }
+        let ring_bytes = self.ring.bytes_sent();
+        let mem_bytes = self.mem_bytes_total();
+        if let Some(ways) = self
+            .dynamic
+            .as_mut()
+            .and_then(|dy| dy.maybe_adjust(now, ring_bytes, mem_bytes))
+        {
+            for chip in &mut self.chips {
+                for slice in &mut chip.slices {
+                    slice.cache.set_partition(ways);
                 }
             }
         }
@@ -1177,7 +1576,7 @@ impl Simulator {
     }
 
     /// Kernel-boundary software coherence (§2.1, §4) and SAC revert (§3.6).
-    fn kernel_boundary(&mut self) {
+    fn kernel_boundary(&mut self) -> Result<(), SimError> {
         // L1s are invalidated under both coherence schemes (write-through,
         // so no traffic).
         for chip in &mut self.chips {
@@ -1229,13 +1628,18 @@ impl Simulator {
             }
         }
 
-        // Let all writebacks and invalidations drain.
+        // Let all writebacks and invalidations drain. Injected faults can
+        // wedge this drain too (e.g. a partitioned ring holding a remote
+        // writeback), so it runs under the same watchdog as the main loop.
         while !self.machine_quiescent() {
             self.tick(false);
+            self.check_progress()?;
         }
+        let now = self.cycle;
         if let Some(sac) = self.sac.as_mut() {
-            sac.drain_complete();
+            sac.drain_complete(now);
         }
+        Ok(())
     }
 
     fn sample_occupancy(&mut self) {
@@ -1307,8 +1711,17 @@ mod tests {
 
     fn run(org: LlcOrgKind, bench: &str) -> RunStats {
         let c = cfg();
-        let wl = generate(&c, &profiles::by_name(bench).unwrap(), &TraceParams::quick());
-        SimBuilder::new(c).organization(org).build().run(&wl).unwrap()
+        let wl = generate(
+            &c,
+            &profiles::by_name(bench).unwrap(),
+            &TraceParams::quick(),
+        );
+        SimBuilder::new(c)
+            .organization(org)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap()
     }
 
     #[test]
@@ -1320,6 +1733,7 @@ mod tests {
             let stats = SimBuilder::new(c.clone())
                 .organization(org)
                 .build()
+                .expect("valid machine configuration")
                 .run(&wl)
                 .unwrap();
             assert!(stats.cycles > 0, "{org}");
@@ -1338,7 +1752,11 @@ mod tests {
         // Every delivered response completes >= 1 read; reads completed also
         // include L1 hits, so delivered <= reads.
         assert!(delivered > 0);
-        assert!(delivered <= s.reads, "delivered {delivered} > reads {}", s.reads);
+        assert!(
+            delivered <= s.reads,
+            "delivered {delivered} > reads {}",
+            s.reads
+        );
     }
 
     #[test]
@@ -1379,6 +1797,7 @@ mod tests {
             .organization(LlcOrgKind::MemorySide)
             .max_cycles(100)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .unwrap_err();
         assert_eq!(err, SimError::CycleLimit { limit: 100 });
@@ -1392,6 +1811,7 @@ mod tests {
         let s = SimBuilder::new(c)
             .organization(LlcOrgKind::SmSide)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .unwrap();
         assert!(s.cycles > 0);
@@ -1406,6 +1826,7 @@ mod tests {
             let s = SimBuilder::new(c.clone())
                 .organization(org)
                 .build()
+                .expect("valid machine configuration")
                 .run(&wl)
                 .unwrap();
             assert!(s.cycles > 0);
@@ -1420,6 +1841,7 @@ mod tests {
         let s = SimBuilder::new(c)
             .organization(LlcOrgKind::Sac)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .unwrap();
         assert!(s.cycles > 0);

@@ -29,6 +29,7 @@
 //! let stats = SimBuilder::new(cfg)
 //!     .organization(LlcOrgKind::Sac)
 //!     .build()
+//!     .expect("valid machine configuration")
 //!     .run(&wl)
 //!     .unwrap();
 //! assert!(stats.cycles > 0);
@@ -41,5 +42,5 @@ pub mod engine;
 pub mod packet;
 pub mod stats;
 
-pub use engine::{SimBuilder, SimError, Simulator};
+pub use engine::{ChipSnapshot, DeadlockSnapshot, SimBuilder, SimError, Simulator};
 pub use stats::{KernelStats, RunStats};

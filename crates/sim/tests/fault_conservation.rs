@@ -1,0 +1,137 @@
+//! Property test: packet conservation under arbitrary fault plans.
+//!
+//! For any valid schedule of link failures/degradations, DRAM channel
+//! faults and LLC slice disables, a run either completes with *exactly*
+//! the fault-free work count (every injected request retires exactly once)
+//! or terminates with a typed error (`Deadlock` when faults partition the
+//! machine, `CycleLimit` as the outer budget) — it never silently drops or
+//! duplicates work, and never wedges forever.
+
+use std::sync::OnceLock;
+
+use mcgpu_sim::{SimBuilder, SimError};
+use mcgpu_trace::{generate, profiles, TraceParams, Workload};
+use mcgpu_types::fault::{FaultEvent, FaultKind, FaultPlan};
+use mcgpu_types::{ChipId, LlcOrgKind, MachineConfig};
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::strategy::{boxed, BoxedStrategy};
+
+const CHIPS: usize = 4;
+
+fn workload() -> &'static (MachineConfig, Workload, u64) {
+    static WL: OnceLock<(MachineConfig, Workload, u64)> = OnceLock::new();
+    WL.get_or_init(|| {
+        let cfg = MachineConfig::experiment_baseline();
+        let params = TraceParams {
+            total_accesses: 12_000,
+            ..TraceParams::quick()
+        };
+        let wl = generate(&cfg, &profiles::by_name("SN").unwrap(), &params);
+        let stats = SimBuilder::new(cfg.clone())
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .expect("fault-free run completes");
+        let work = stats.reads + stats.writes;
+        (cfg, wl, work)
+    })
+}
+
+/// Any single fault event that is valid for the 4-chip baseline machine.
+fn fault_event() -> BoxedStrategy<FaultEvent> {
+    let cfg = MachineConfig::experiment_baseline();
+    let cycle = 0u64..40_000u64;
+    boxed(prop_oneof![
+        (cycle.clone(), 0usize..CHIPS, 0.05f64..0.95f64).prop_map(|(cy, p, factor)| FaultEvent {
+            cycle: cy,
+            kind: FaultKind::LinkDegrade {
+                a: ChipId(p as u8),
+                b: ChipId(((p + 1) % CHIPS) as u8),
+                factor,
+            },
+        }),
+        (cycle.clone(), 0usize..CHIPS).prop_map(|(cy, p)| FaultEvent {
+            cycle: cy,
+            kind: FaultKind::LinkFail {
+                a: ChipId(p as u8),
+                b: ChipId(((p + 1) % CHIPS) as u8),
+            },
+        }),
+        (cycle.clone(), 0usize..CHIPS, 0.05f64..0.95f64).prop_map(|(cy, c, factor)| FaultEvent {
+            cycle: cy,
+            kind: FaultKind::DramThrottle {
+                chip: ChipId(c as u8),
+                factor,
+            },
+        }),
+        (cycle.clone(), 0usize..CHIPS, 0usize..cfg.channels_per_chip).prop_map(
+            |(cy, c, channel)| FaultEvent {
+                cycle: cy,
+                kind: FaultKind::DramFail {
+                    chip: ChipId(c as u8),
+                    channel,
+                },
+            }
+        ),
+        (cycle, 0usize..CHIPS, 0usize..cfg.slices_per_chip).prop_map(|(cy, c, slice)| {
+            FaultEvent {
+                cycle: cy,
+                kind: FaultKind::LlcSliceDisable {
+                    chip: ChipId(c as u8),
+                    slice,
+                },
+            }
+        }),
+    ])
+}
+
+fn run_under_plan(org: LlcOrgKind, events: Vec<FaultEvent>) {
+    let (cfg, wl, expected) = workload();
+    let plan = FaultPlan::new(events);
+    plan.validate(cfg)
+        .expect("strategy only builds valid plans");
+    let result = SimBuilder::new(cfg.clone())
+        .organization(org)
+        .fault_plan(plan)
+        .watchdog_window(60_000)
+        .max_cycles(5_000_000)
+        .build()
+        .expect("valid machine configuration")
+        .run(wl);
+    match result {
+        Ok(stats) => assert_eq!(
+            stats.reads + stats.writes,
+            *expected,
+            "completed run must retire every request exactly once"
+        ),
+        // A plan that partitions the ring legitimately wedges the machine;
+        // the contract is a *typed, prompt* abort, not completion.
+        Err(SimError::Deadlock { snapshot, .. }) => {
+            assert!(
+                snapshot.in_flight > 0 || snapshot.chips.iter().any(|c| c.total() > 0),
+                "a deadlock report must locate stuck work"
+            );
+        }
+        Err(SimError::CycleLimit { .. }) => {}
+        Err(SimError::Config(e)) => panic!("validated plan rejected at run time: {e}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn memory_side_conserves_packets_under_any_fault_plan(
+        events in collection::vec(fault_event(), 0..6),
+    ) {
+        run_under_plan(LlcOrgKind::MemorySide, events);
+    }
+
+    #[test]
+    fn sac_conserves_packets_under_any_fault_plan(
+        events in collection::vec(fault_event(), 0..6),
+    ) {
+        run_under_plan(LlcOrgKind::Sac, events);
+    }
+}

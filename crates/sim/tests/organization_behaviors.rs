@@ -25,6 +25,7 @@ fn static_llc_pins_half_capacity_per_pool() {
     let s = SimBuilder::new(c)
         .organization(LlcOrgKind::StaticHalf)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     assert!(
@@ -42,9 +43,14 @@ fn memory_side_never_caches_remote_data() {
         let s = SimBuilder::new(c.clone())
             .organization(LlcOrgKind::MemorySide)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .unwrap();
-        assert!(s.llc_local_fraction > 0.999, "{bench}: {}", s.llc_local_fraction);
+        assert!(
+            s.llc_local_fraction > 0.999,
+            "{bench}: {}",
+            s.llc_local_fraction
+        );
     }
 }
 
@@ -56,9 +62,13 @@ fn sac_pays_reconfiguration_overhead_only_when_switching() {
     let switching = SimBuilder::new(c.clone())
         .organization(LlcOrgKind::Sac)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
-    assert!(switching.sac_history.iter().any(|r| r.mode == sac::LlcMode::SmSide));
+    assert!(switching
+        .sac_history
+        .iter()
+        .any(|r| r.mode == sac::LlcMode::SmSide));
     assert!(switching.overhead_cycles > 0);
 
     // SRAD stays memory-side: only kernel-boundary costs remain, which are
@@ -67,9 +77,13 @@ fn sac_pays_reconfiguration_overhead_only_when_switching() {
     let staying = SimBuilder::new(c)
         .organization(LlcOrgKind::Sac)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
-    assert!(staying.sac_history.iter().all(|r| r.mode == sac::LlcMode::MemorySide));
+    assert!(staying
+        .sac_history
+        .iter()
+        .all(|r| r.mode == sac::LlcMode::MemorySide));
     assert!(
         staying.overhead_cycles < switching.overhead_cycles,
         "no-switch overhead {} should undercut switch overhead {}",
@@ -87,11 +101,13 @@ fn hardware_coherence_changes_traffic_not_work() {
     let sw = SimBuilder::new(c_sw)
         .organization(LlcOrgKind::SmSide)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     let hw = SimBuilder::new(c_hw)
         .organization(LlcOrgKind::SmSide)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     assert_eq!(sw.reads + sw.writes, hw.reads + hw.writes);
@@ -103,7 +119,10 @@ fn hardware_coherence_changes_traffic_not_work() {
 fn observer_reports_monotone_progress() {
     let c = cfg();
     let wl = generate(&c, &profiles::by_name("BS").unwrap(), &params(40_000));
-    let mut sim = SimBuilder::new(c).organization(LlcOrgKind::MemorySide).build();
+    let mut sim = SimBuilder::new(c)
+        .organization(LlcOrgKind::MemorySide)
+        .build()
+        .expect("valid machine configuration");
     let mut samples = Vec::new();
     sim.run_observed(&wl, 2_000, |cycle, done, active| {
         samples.push((cycle, done, active));
@@ -125,6 +144,7 @@ fn per_kernel_stats_cover_the_whole_run() {
     let s = SimBuilder::new(c)
         .organization(LlcOrgKind::MemorySide)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     assert_eq!(s.kernels.len(), p.total_kernels());
@@ -143,11 +163,13 @@ fn dram_traffic_scales_with_misses() {
     let mem = SimBuilder::new(c.clone())
         .organization(LlcOrgKind::MemorySide)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     let sm = SimBuilder::new(c)
         .organization(LlcOrgKind::SmSide)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     assert!(sm.llc_miss_rate() > mem.llc_miss_rate());
@@ -160,22 +182,31 @@ fn dram_traffic_scales_with_misses() {
 #[test]
 fn sm_side_reduces_ring_bytes_per_access_for_false_sharing() {
     // BS is pure false sharing: under SM-side, repeated slot accesses are
-    // served locally, so total ring bytes drop versus memory-side.
+    // served locally, so total ring bytes drop versus memory-side. Shrink
+    // the input so the sliding hot window actually revisits lines — at full
+    // scale the pool is streamed nearly touch-once and the two
+    // organizations move the same data (no reuse for SM-side to capture).
     let c = cfg();
-    let wl = generate(&c, &profiles::by_name("BS").unwrap(), &params(80_000));
+    let p = TraceParams {
+        input_scale: 0.25,
+        ..params(80_000)
+    };
+    let wl = generate(&c, &profiles::by_name("BS").unwrap(), &p);
     let mem = SimBuilder::new(c.clone())
         .organization(LlcOrgKind::MemorySide)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     let sm = SimBuilder::new(c)
         .organization(LlcOrgKind::SmSide)
         .build()
+        .expect("valid machine configuration")
         .run(&wl)
         .unwrap();
     assert!(
-        sm.ring_bytes < mem.ring_bytes,
-        "SM-side should move less data across the ring: {} vs {}",
+        (sm.ring_bytes as f64) < 0.8 * mem.ring_bytes as f64,
+        "SM-side should move clearly less data across the ring: {} vs {}",
         sm.ring_bytes,
         mem.ring_bytes
     );

@@ -158,22 +158,40 @@ mod tests {
             ..TraceParams::quick()
         };
         // SRAD: large truly-shared pool streamed in full.
-        let srad = characterize(&c, &generate(&c, &profiles::by_name("SRAD").unwrap(), &params));
+        let srad = characterize(
+            &c,
+            &generate(&c, &profiles::by_name("SRAD").unwrap(), &params),
+        );
         // BS: no truly-shared data at all.
-        let bs = characterize(&c, &generate(&c, &profiles::by_name("BS").unwrap(), &params));
+        let bs = characterize(
+            &c,
+            &generate(&c, &profiles::by_name("BS").unwrap(), &params),
+        );
         assert!(
             srad.true_shared_mb > 10.0,
             "SRAD true-shared {:.1} MB",
             srad.true_shared_mb
         );
-        assert!(bs.true_shared_mb < 2.0, "BS true-shared {}", bs.true_shared_mb);
-        assert!(bs.false_shared_mb > 5.0, "BS false-shared {}", bs.false_shared_mb);
+        assert!(
+            bs.true_shared_mb < 2.0,
+            "BS true-shared {}",
+            bs.true_shared_mb
+        );
+        assert!(
+            bs.false_shared_mb > 5.0,
+            "BS false-shared {}",
+            bs.false_shared_mb
+        );
     }
 
     #[test]
     fn working_set_grows_with_window() {
         let c = cfg();
-        let wl = generate(&c, &profiles::by_name("CFD").unwrap(), &TraceParams::quick());
+        let wl = generate(
+            &c,
+            &profiles::by_name("CFD").unwrap(),
+            &TraceParams::quick(),
+        );
         let curve = working_set_curve(&c, &wl, &[500, 5_000, 20_000]);
         assert_eq!(curve.len(), 3);
         assert!(curve[0].1.total_mb() < curve[1].1.total_mb());

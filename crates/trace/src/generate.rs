@@ -97,7 +97,7 @@ impl Workload {
     /// stream (approximates temporal order): kernel by kernel, one access
     /// per cluster per step. Used by the working-set analysis.
     pub fn merged_stream(&self) -> impl Iterator<Item = (usize, MemAccess)> + '_ {
-        self.kernels.iter().flat_map(|k| MergedKernel::new(k))
+        self.kernels.iter().flat_map(MergedKernel::new)
     }
 }
 
@@ -193,7 +193,8 @@ impl StreamState {
 /// `params.seed`.
 pub fn generate(cfg: &MachineConfig, profile: &BenchmarkProfile, params: &TraceParams) -> Workload {
     let cap_scale = cfg.scale.capacity as f64;
-    let mb = |paper_mb: f64| ((paper_mb * params.input_scale / cap_scale) * (1u64 << 20) as f64) as u64;
+    let mb =
+        |paper_mb: f64| ((paper_mb * params.input_scale / cap_scale) * (1u64 << 20) as f64) as u64;
     let layout = AddressLayout::new(
         cfg,
         mb(profile.non_shared_mb()),
@@ -405,8 +406,8 @@ mod tests {
     fn true_pool_is_shared_by_all_chips() {
         let c = cfg();
         let p = profiles::by_name("SRAD").unwrap(); // f_true = 0.5, hot = 1.0
-        // Enough volume that each truly-shared line is touched several
-        // times (the pool has ~15k lines).
+                                                    // Enough volume that each truly-shared line is touched several
+                                                    // times (the pool has ~15k lines).
         let params = TraceParams {
             total_accesses: 250_000,
             ..TraceParams::quick()
@@ -462,7 +463,10 @@ mod tests {
         }
         let expected = p.kernels[0].write_frac;
         let frac = w as f64 / t as f64;
-        assert!((frac - expected).abs() < 0.05, "write frac {frac} vs {expected}");
+        assert!(
+            (frac - expected).abs() < 0.05,
+            "write frac {frac} vs {expected}"
+        );
         let _ = LineAddr(0); // silence unused import in some cfgs
     }
 }

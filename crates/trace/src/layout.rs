@@ -157,7 +157,9 @@ impl AddressLayout {
         if p < self.false_base_page() {
             Some(ChipId((p / self.non_pages_per_chip) as u8))
         } else if p < self.true_base_page() {
-            Some(ChipId(((p - self.false_base_page()) % self.chips as u64) as u8))
+            Some(ChipId(
+                ((p - self.false_base_page()) % self.chips as u64) as u8,
+            ))
         } else if p < self.true_base_page() + self.true_pages {
             let seg = (self.true_pages / self.chips as u64).max(1);
             let owner = ((p - self.true_base_page()) / seg).min(self.chips as u64 - 1);
@@ -224,9 +226,7 @@ mod tests {
     #[test]
     fn false_shared_slots_share_pages_but_not_lines() {
         let l = layout();
-        let chips: Vec<Address> = (0..4)
-            .map(|c| l.false_shared_addr(ChipId(c), 0))
-            .collect();
+        let chips: Vec<Address> = (0..4).map(|c| l.false_shared_addr(ChipId(c), 0)).collect();
         let pages: std::collections::HashSet<u64> =
             chips.iter().map(|a| a.page(4096).index()).collect();
         assert_eq!(pages.len(), 1, "slot 0 of all chips is in the same page");
@@ -257,9 +257,9 @@ mod tests {
     #[test]
     fn footprint_accounts_all_pools() {
         let l = layout();
-        let expected = (l.non_lines_per_chip() * 4 / 32 + l.false_bytes() / 4096
-            + l.true_bytes() / 4096)
-            * 4096;
+        let expected =
+            (l.non_lines_per_chip() * 4 / 32 + l.false_bytes() / 4096 + l.true_bytes() / 4096)
+                * 4096;
         assert_eq!(l.footprint_bytes(), expected);
     }
 

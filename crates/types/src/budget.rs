@@ -67,6 +67,20 @@ impl BandwidthBudget {
         self.rate
     }
 
+    /// Change the replenish rate at runtime (fault injection: link lane
+    /// drops, DRAM thermal throttle). Banked credit is clamped to the new
+    /// cap so a downgraded resource cannot burst at its old speed; a
+    /// negative credit (packet tail in transit) is preserved.
+    ///
+    /// # Panics
+    /// Panics if `rate` is not finite or is negative.
+    pub fn set_rate(&mut self, rate: f64) {
+        assert!(rate.is_finite() && rate >= 0.0, "invalid bandwidth rate");
+        self.rate = rate;
+        self.cap = rate * CAP_CYCLES;
+        self.credit = self.credit.min(self.cap);
+    }
+
     /// Replenish one cycle's worth of credit. Call exactly once per cycle.
     #[inline]
     pub fn refill(&mut self) {

@@ -303,27 +303,60 @@ impl MachineConfig {
             return Err(ConfigError::new("ring topology supports at most 8 chips"));
         }
         if !self.line_size.is_power_of_two() || !self.page_size.is_power_of_two() {
-            return Err(ConfigError::new("line and page sizes must be powers of two"));
+            return Err(ConfigError::new(
+                "line and page sizes must be powers of two",
+            ));
         }
         if self.page_size < self.line_size {
             return Err(ConfigError::new("page size must be >= line size"));
         }
-        if self.slices_per_chip == 0 || self.clusters_per_chip == 0 || self.channels_per_chip == 0
-        {
+        if self.slices_per_chip == 0 || self.clusters_per_chip == 0 || self.channels_per_chip == 0 {
             return Err(ConfigError::new("unit counts must be positive"));
         }
-        if self.llc_bytes_per_chip % (self.slices_per_chip as u64) != 0 {
-            return Err(ConfigError::new("LLC capacity must divide evenly over slices"));
+        if self.l1_assoc == 0 || self.llc_assoc == 0 {
+            return Err(ConfigError::new("cache associativities must be positive"));
+        }
+        if self.mshrs_per_cluster == 0 || self.issue_width == 0 || self.links_per_pair == 0 {
+            return Err(ConfigError::new(
+                "MSHRs, issue width and links per pair must be positive",
+            ));
+        }
+        for (name, gbs) in [
+            ("NoC bisection", self.noc_bisection_gbs),
+            ("LLC slice", self.llc_slice_gbs),
+            ("DRAM channel", self.dram_channel_gbs),
+            ("inter-chip pair", self.interchip_pair_gbs),
+        ] {
+            if !gbs.is_finite() || gbs <= 0.0 {
+                return Err(ConfigError::new(format!(
+                    "{name} bandwidth must be finite and positive (got {gbs})"
+                )));
+            }
+        }
+        if !self
+            .llc_bytes_per_chip
+            .is_multiple_of(self.slices_per_chip as u64)
+        {
+            return Err(ConfigError::new(
+                "LLC capacity must divide evenly over slices",
+            ));
         }
         let slice_bytes = self.llc_bytes_per_chip / self.slices_per_chip as u64;
         let set_bytes = self.llc_assoc as u64 * self.line_size;
-        if slice_bytes % set_bytes != 0 {
-            return Err(ConfigError::new("LLC slice must hold a whole number of sets"));
+        if !slice_bytes.is_multiple_of(set_bytes) {
+            return Err(ConfigError::new(
+                "LLC slice must hold a whole number of sets",
+            ));
         }
-        if self.l1_bytes_per_cluster % (self.l1_assoc as u64 * self.line_size) != 0 {
+        if !self
+            .l1_bytes_per_cluster
+            .is_multiple_of(self.l1_assoc as u64 * self.line_size)
+        {
             return Err(ConfigError::new("L1 must hold a whole number of sets"));
         }
-        if self.sectors_per_line == 0 || self.line_size % self.sectors_per_line as u64 != 0 {
+        if self.sectors_per_line == 0
+            || !self.line_size.is_multiple_of(self.sectors_per_line as u64)
+        {
             return Err(ConfigError::new("sectors must divide the line size"));
         }
         Ok(())
@@ -382,10 +415,7 @@ impl MachineConfig {
     pub fn ring_neighbors(&self, chip: ChipId) -> (ChipId, ChipId) {
         let n = self.chips;
         let i = chip.index();
-        (
-            ChipId(((i + 1) % n) as u8),
-            ChipId(((i + n - 1) % n) as u8),
-        )
+        (ChipId(((i + 1) % n) as u8), ChipId(((i + n - 1) % n) as u8))
     }
 
     /// Number of ring hops between two chips along the shortest path.
@@ -410,7 +440,7 @@ impl MachineConfig {
         let clockwise = match cw.cmp(&ccw) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
-            std::cmp::Ordering::Equal => from.index() % 2 == 0,
+            std::cmp::Ordering::Equal => from.index().is_multiple_of(2),
         };
         if clockwise {
             ChipId(((from.index() + 1) % n) as u8)

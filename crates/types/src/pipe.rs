@@ -75,7 +75,7 @@ impl<T> Pipe<T> {
 
     /// Whether a push would currently succeed.
     pub fn can_push(&self) -> bool {
-        self.capacity.map_or(true, |cap| self.waiting.len() < cap)
+        self.capacity.is_none_or(|cap| self.waiting.len() < cap)
     }
 
     /// Advance one cycle: replenish bandwidth and start transmitting queued
@@ -123,6 +123,14 @@ impl<T> Pipe<T> {
     /// The configured bandwidth in bytes/cycle.
     pub fn rate(&self) -> f64 {
         self.budget.rate()
+    }
+
+    /// Rescale the pipe's bandwidth at runtime (fault injection). Queued
+    /// and in-flight items are unaffected; only the admission rate of
+    /// future items changes. A rate of `0.0` stalls the pipe's waiting
+    /// queue entirely while still delivering what is already in flight.
+    pub fn set_rate(&mut self, rate: f64) {
+        self.budget.set_rate(rate);
     }
 
     /// Drain every item (used when reconfiguring; items are returned in

@@ -17,7 +17,8 @@ fn main() {
 
     let mut sim = SimBuilder::new(cfg)
         .organization(LlcOrgKind::Sac)
-        .build();
+        .build()
+        .expect("valid machine configuration");
     let mut last = 0u64;
     println!("{:>9} {:>12} {:>8}", "cycle", "accesses/cyc", "active");
     let window = 10_000;
@@ -35,6 +36,10 @@ fn main() {
 
     println!("\nSAC per-kernel decisions (K1 = frontier sweep, K2 = hot frontier):");
     for (i, r) in stats.sac_history.iter().enumerate() {
-        println!("  kernel {i} ({}): {}", if i % 2 == 0 { "K1" } else { "K2" }, r.mode);
+        println!(
+            "  kernel {i} ({}): {}",
+            if i % 2 == 0 { "K1" } else { "K2" },
+            r.mode
+        );
     }
 }

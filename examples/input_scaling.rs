@@ -18,7 +18,10 @@ fn main() {
     };
     let cfg = MachineConfig::experiment_baseline();
     println!("{bench}: speedup over memory-side per input scale\n");
-    println!("{:>8} {:>10} {:>8} {:>8} | SAC modes", "input", "true MB", "SM-side", "SAC");
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} | SAC modes",
+        "input", "true MB", "SM-side", "SAC"
+    );
     for scale in [8.0, 4.0, 2.0, 1.0, 0.5, 0.25] {
         let params = TraceParams::standard().with_input_scale(scale);
         let wl = generate(&cfg, &profile, &params);
@@ -26,6 +29,7 @@ fn main() {
             SimBuilder::new(cfg.clone())
                 .organization(org)
                 .build()
+                .expect("valid machine configuration")
                 .run(&wl)
                 .expect("run")
         };
@@ -35,7 +39,13 @@ fn main() {
         let modes: String = sac
             .sac_history
             .iter()
-            .map(|k| if k.mode == sac::LlcMode::SmSide { 'S' } else { 'M' })
+            .map(|k| {
+                if k.mode == sac::LlcMode::SmSide {
+                    'S'
+                } else {
+                    'M'
+                }
+            })
             .collect();
         println!(
             "{:>7}x {:>10.2} {:>8.2} {:>8.2} | [{}]",

@@ -33,11 +33,10 @@ fn main() {
         let s = SimBuilder::new(cfg.clone())
             .organization(org)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .expect("run");
-        let speedup = base
-            .map(|b: u64| b as f64 / s.cycles as f64)
-            .unwrap_or(1.0);
+        let speedup = base.map(|b: u64| b as f64 / s.cycles as f64).unwrap_or(1.0);
         if base.is_none() {
             base = Some(s.cycles);
         }
@@ -56,7 +55,10 @@ fn main() {
                 .iter()
                 .map(|&o| format!("{} {:.2}", o.label(), s.response_rate(o)))
                 .collect();
-            println!("             SAC response origins/cycle: {}", origins.join(", "));
+            println!(
+                "             SAC response origins/cycle: {}",
+                origins.join(", ")
+            );
         }
     }
 }

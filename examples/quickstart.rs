@@ -30,11 +30,13 @@ fn main() {
     let baseline = SimBuilder::new(cfg.clone())
         .organization(LlcOrgKind::MemorySide)
         .build()
+        .expect("valid machine configuration")
         .run(&workload)
         .expect("baseline run");
     let sac = SimBuilder::new(cfg)
         .organization(LlcOrgKind::Sac)
         .build()
+        .expect("valid machine configuration")
         .run(&workload)
         .expect("SAC run");
 

@@ -20,6 +20,7 @@ fn check(cfg: MachineConfig, bench: &str) {
         let s = SimBuilder::new(cfg.clone())
             .organization(org)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .unwrap_or_else(|e| panic!("{bench}/{org}: {e}"));
         assert_eq!(s.reads + s.writes, expected, "{bench}/{org}");
@@ -100,11 +101,13 @@ fn interchip_bandwidth_shrinks_sac_gain() {
         let mem = SimBuilder::new(cfg.clone())
             .organization(LlcOrgKind::MemorySide)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .expect("mem");
         let sm = SimBuilder::new(cfg)
             .organization(LlcOrgKind::SmSide)
             .build()
+            .expect("valid machine configuration")
             .run(&wl)
             .expect("sm");
         sm.speedup_over(&mem)

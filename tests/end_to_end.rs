@@ -18,7 +18,11 @@ fn params() -> TraceParams {
 }
 
 fn workload(name: &str) -> Workload {
-    generate(&cfg(), &profiles::by_name(name).expect("profile"), &params())
+    generate(
+        &cfg(),
+        &profiles::by_name(name).expect("profile"),
+        &params(),
+    )
 }
 
 /// Larger volume for tests that depend on SAC's per-kernel timing: kernels
@@ -35,6 +39,7 @@ fn run(wl: &Workload, org: LlcOrgKind) -> RunStats {
     SimBuilder::new(cfg())
         .organization(org)
         .build()
+        .expect("valid machine configuration")
         .run(wl)
         .expect("simulation")
 }
@@ -75,7 +80,10 @@ fn sac_decisions_track_preference() {
     for (bench, expected) in [("SN", LlcMode::SmSide), ("SRAD", LlcMode::MemorySide)] {
         let wl = workload_long(bench);
         let sac = run(&wl, LlcOrgKind::Sac);
-        assert!(!sac.sac_history.is_empty(), "{bench}: no decisions recorded");
+        assert!(
+            !sac.sac_history.is_empty(),
+            "{bench}: no decisions recorded"
+        );
         for r in &sac.sac_history {
             assert_eq!(r.mode, expected, "{bench}: wrong decision {:?}", r);
         }

@@ -1,0 +1,197 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of criterion its benches use: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Instead of criterion's bootstrapped statistics this runner times
+//! `sample_size` batches with an auto-calibrated iteration count and
+//! reports min / median / max time per iteration. Good enough to spot
+//! order-of-magnitude regressions; not a substitute for the real crate.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock time for one measured sample batch.
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(50);
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly and record one timing sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Calibrate how many iterations of `routine` fit in one sample batch.
+fn calibrate<F: FnMut(&mut Bencher)>(routine: &mut F) -> u64 {
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters_per_sample: iters,
+            samples: Vec::new(),
+        };
+        routine(&mut b);
+        let elapsed = b.samples.first().copied().unwrap_or_default();
+        if elapsed >= TARGET_SAMPLE_TIME || iters >= 1 << 30 {
+            return iters;
+        }
+        // Grow towards the target; ×2 bound keeps calibration short.
+        let scale =
+            (TARGET_SAMPLE_TIME.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(1.1, 2.0);
+        iters = ((iters as f64 * scale).ceil() as u64).max(iters + 1);
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, mut routine: F) {
+    let iters = calibrate(&mut routine);
+    let mut b = Bencher {
+        iters_per_sample: iters,
+        samples: Vec::with_capacity(sample_size),
+    };
+    for _ in 0..sample_size {
+        routine(&mut b);
+    }
+    let mut per_iter: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let fmt = |s: f64| {
+        if s >= 1.0 {
+            format!("{s:.3} s")
+        } else if s >= 1e-3 {
+            format!("{:.3} ms", s * 1e3)
+        } else if s >= 1e-6 {
+            format!("{:.3} µs", s * 1e6)
+        } else {
+            format!("{:.1} ns", s * 1e9)
+        }
+    };
+    let (lo, mid, hi) = (
+        per_iter[0],
+        per_iter[per_iter.len() / 2],
+        per_iter[per_iter.len() - 1],
+    );
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples × {} iters)",
+        fmt(lo),
+        fmt(mid),
+        fmt(hi),
+        per_iter.len(),
+        iters
+    );
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Time `routine` under `id` with the default sample count.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, routine: F) -> &mut Self {
+        run_bench(id, 30, routine);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 30,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timing samples each benchmark collects.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Time `routine` under `group_name/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        routine: F,
+    ) -> &mut Self {
+        run_bench(
+            &format!("{}/{}", self.name, id.into()),
+            self.sample_size,
+            routine,
+        );
+        self
+    }
+
+    /// End the group (upstream emits summaries here; this runner prints as
+    /// it goes, so finish is a no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into one runner function, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("noop_increment", |b| b.iter(|| count += 1));
+        assert!(count > 0, "routine should have been executed");
+    }
+
+    #[test]
+    fn group_api_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function(String::from("x"), |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

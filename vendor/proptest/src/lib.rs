@@ -1,0 +1,188 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the part of proptest its tests actually use: the [`Strategy`]
+//! trait with [`Strategy::prop_map`], range/tuple/[`Just`]/vector
+//! strategies, [`prelude::any`], the [`prop_oneof!`] union combinator, and
+//! the [`proptest!`] / `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case is reported with its generated
+//!   inputs (every bound value is `Debug`-printed) but not minimized.
+//! * **Deterministic seeding.** Each test function derives its RNG seed
+//!   from its own name, so failures reproduce across runs; set
+//!   `PROPTEST_RNG_SEED` to perturb the whole run.
+//! * `ProptestConfig` only honours `cases` (default 256, like upstream).
+
+pub mod strategy;
+
+/// Runner configuration and RNG.
+pub mod test_runner {
+    pub use rand::rngs::SmallRng as TestRng;
+
+    /// Subset of upstream's `ProptestConfig`: only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Seed for a property named `name`: FNV-1a of the name, mixed with
+    /// `PROPTEST_RNG_SEED` when set (defaults to 0).
+    pub fn seed_for(name: &str) -> u64 {
+        let base: u64 = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s of `element` values with a length drawn from
+    /// `size` (a `usize` range or a fixed `usize`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// The usual `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; panics (no shrinking) with the condition text.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Union of same-valued strategies, chosen uniformly per case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` random cases of the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng: $crate::test_runner::TestRng = rand::SeedableRng::seed_from_u64(
+                $crate::test_runner::seed_for(stringify!($name)),
+            );
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::gen_value(&$strat, &mut rng);)+
+                let case_desc = format!(
+                    concat!("case {}/{} of ", stringify!($name), ":" $(, "\n  ", stringify!($arg), " = {:?}")+),
+                    case + 1, config.cases $(, &$arg)+
+                );
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || $body));
+                if let Err(payload) = result {
+                    eprintln!("proptest: failing {case_desc}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0.25f64..=0.75, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+            let _ = b;
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(v in crate::collection::vec(0u64..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in prop_oneof![
+            (0u64..4).prop_map(|x| x * 2),
+            Just(99u64),
+        ]) {
+            prop_assert!(v == 99 || (v % 2 == 0 && v < 8));
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        assert_eq!(
+            crate::test_runner::seed_for("alpha"),
+            crate::test_runner::seed_for("alpha")
+        );
+        assert_ne!(
+            crate::test_runner::seed_for("alpha"),
+            crate::test_runner::seed_for("beta")
+        );
+    }
+}
