@@ -90,6 +90,77 @@ fn bench_simulator(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-cycle cost of the engine's tick loop, including the flat sharer
+/// directory (hardware coherence stresses it on every write) and the
+/// pooled slice MSHRs. Reported as whole short runs; divide by
+/// `stats.cycles` for a per-cycle figure.
+fn bench_cycle_loop(c: &mut Criterion) {
+    let mut cfg = MachineConfig::experiment_baseline();
+    cfg.coherence = mcgpu_types::CoherenceKind::Hardware;
+    let p = profiles::by_name("RN").expect("profile");
+    let params = TraceParams {
+        total_accesses: 20_000,
+        ..TraceParams::quick()
+    };
+    let wl = generate(&cfg, &p, &params);
+    let mut group = c.benchmark_group("cycle_loop");
+    group.sample_size(10);
+    group.bench_function("rn_20k_smside_hwcoh", |b| {
+        b.iter(|| {
+            SimBuilder::new(cfg.clone())
+                .organization(LlcOrgKind::SmSide)
+                .build()
+                .expect("valid machine configuration")
+                .run(black_box(&wl))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Per-launch cost of loading a kernel's streams into every cluster. With
+/// `Arc`-shared traces this is 32 reference-count bumps, not 32 deep
+/// copies of the access data.
+fn bench_kernel_launch(c: &mut Criterion) {
+    use mcgpu_sim::cluster::Cluster;
+    use mcgpu_types::ClusterId;
+
+    let cfg = MachineConfig::experiment_baseline();
+    let p = profiles::by_name("SN").expect("profile");
+    let params = TraceParams {
+        total_accesses: 100_000,
+        ..TraceParams::quick()
+    };
+    let wl = generate(&cfg, &p, &params);
+    let kernel = &wl.kernels[0];
+    let mut clusters: Vec<Cluster> = (0..cfg.chips * cfg.clusters_per_chip)
+        .map(|i| {
+            Cluster::new(
+                &cfg,
+                ClusterId::new(
+                    ChipId((i / cfg.clusters_per_chip) as u8),
+                    i % cfg.clusters_per_chip,
+                ),
+            )
+        })
+        .collect();
+    c.bench_function("kernel_launch_32_clusters", |b| {
+        b.iter(|| {
+            for (i, cl) in clusters.iter_mut().enumerate() {
+                cl.load_kernel(kernel.per_cluster[i].clone(), 0);
+            }
+        })
+    });
+}
+
+/// Fan-out overhead of the sweep runner itself (pool dispatch + in-order
+/// collection), measured on jobs that do no work.
+fn bench_sweep_overhead(c: &mut Criterion) {
+    c.bench_function("sweep_map_64_trivial_jobs", |b| {
+        b.iter(|| sac_bench::sweep::map(black_box((0u64..64).collect()), |i| i.wrapping_mul(3)))
+    });
+}
+
 fn bench_tracegen(c: &mut Criterion) {
     let cfg = MachineConfig::experiment_baseline();
     let p = profiles::by_name("CFD").expect("profile");
@@ -112,6 +183,9 @@ criterion_group!(
     bench_eab,
     bench_crd,
     bench_simulator,
+    bench_cycle_loop,
+    bench_kernel_launch,
+    bench_sweep_overhead,
     bench_tracegen
 );
 criterion_main!(benches);

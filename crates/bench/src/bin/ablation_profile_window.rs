@@ -4,39 +4,53 @@
 //! is stretched (see `SacConfig::for_machine`).
 
 use mcgpu_sim::SimBuilder;
-use mcgpu_trace::{generate, profiles};
+use mcgpu_trace::{generate, profiles, Workload};
 use mcgpu_types::LlcOrgKind;
 use sac::SacConfig;
+use sac_bench::sweep;
+use std::sync::Arc;
 
 const SUBSET: [&str; 4] = ["SN", "RN", "SRAD", "LUD"];
+const WINDOWS: [u64; 5] = [1_000, 2_000, 4_000, 8_000, 16_000];
 
 fn main() {
     let cfg = sac_bench::experiment_config();
     let params = sac_bench::trace_params();
+
+    // Fan trace generation out per benchmark, then every run — the
+    // memory-side baseline and each window variant — out independently.
+    let workloads: Vec<Arc<Workload>> = sweep::map(SUBSET.to_vec(), |name| {
+        let p = profiles::by_name(name).expect("profile");
+        Arc::new(generate(&cfg, &p, &params))
+    });
+    let jobs: Vec<(usize, Option<u64>)> = (0..SUBSET.len())
+        .flat_map(|b| std::iter::once((b, None)).chain(WINDOWS.iter().map(move |&w| (b, Some(w)))))
+        .collect();
+    let stats = sweep::map(jobs, |(b, window)| {
+        let mut builder = SimBuilder::new(cfg.clone());
+        builder = match window {
+            None => builder.organization(LlcOrgKind::MemorySide),
+            Some(profile_window) => builder.organization(LlcOrgKind::Sac).sac_config(SacConfig {
+                profile_window,
+                ..SacConfig::for_machine(&cfg)
+            }),
+        };
+        builder
+            .build()
+            .expect("valid machine configuration")
+            .run(&workloads[b])
+            .unwrap()
+    });
+
+    let per_bench = WINDOWS.len() + 1;
     println!(
         "{:6} {:>8} | {:>8} {:>10} | modes",
         "bench", "window", "speedup", "ovh cycles"
     );
-    for name in SUBSET {
-        let p = profiles::by_name(name).expect("profile");
-        let wl = generate(&cfg, &p, &params);
-        let mem = SimBuilder::new(cfg.clone())
-            .organization(LlcOrgKind::MemorySide)
-            .build()
-            .expect("valid machine configuration")
-            .run(&wl)
-            .unwrap();
-        for window in [1_000u64, 2_000, 4_000, 8_000, 16_000] {
-            let s = SimBuilder::new(cfg.clone())
-                .organization(LlcOrgKind::Sac)
-                .sac_config(SacConfig {
-                    profile_window: window,
-                    ..SacConfig::for_machine(&cfg)
-                })
-                .build()
-                .expect("valid machine configuration")
-                .run(&wl)
-                .unwrap();
+    for (b, name) in SUBSET.iter().enumerate() {
+        let mem = &stats[b * per_bench];
+        for (wi, &window) in WINDOWS.iter().enumerate() {
+            let s = &stats[b * per_bench + 1 + wi];
             let modes: String = s
                 .sac_history
                 .iter()
@@ -52,7 +66,7 @@ fn main() {
                 "{:6} {:>8} | {:>8.2} {:>10} | [{}]",
                 name,
                 window,
-                s.speedup_over(&mem),
+                s.speedup_over(mem),
                 s.overhead_cycles,
                 modes
             );

@@ -3,34 +3,50 @@
 //! and decisions on a mixed subset.
 
 use mcgpu_sim::SimBuilder;
-use mcgpu_trace::{generate, profiles};
+use mcgpu_trace::{generate, profiles, Workload};
 use mcgpu_types::LlcOrgKind;
 use sac::SacConfig;
+use sac_bench::sweep;
+use std::sync::Arc;
 
 const SUBSET: [&str; 4] = ["SN", "CFD", "SRAD", "GEMM"];
+const THETAS: [f64; 5] = [0.0, 0.05, 0.2, 0.5, 2.0];
 
 fn main() {
     let cfg = sac_bench::experiment_config();
     let params = sac_bench::trace_params();
     let base_sac = SacConfig::for_machine(&cfg);
-    println!("{:6} {:>6} | {:>8} | modes", "bench", "theta", "speedup");
-    for name in SUBSET {
+
+    // Fan trace generation out per benchmark, then every run — the
+    // memory-side baseline and each θ variant — out independently.
+    let workloads: Vec<Arc<Workload>> = sweep::map(SUBSET.to_vec(), |name| {
         let p = profiles::by_name(name).expect("profile");
-        let wl = generate(&cfg, &p, &params);
-        let mem = SimBuilder::new(cfg.clone())
-            .organization(LlcOrgKind::MemorySide)
+        Arc::new(generate(&cfg, &p, &params))
+    });
+    let jobs: Vec<(usize, Option<f64>)> = (0..SUBSET.len())
+        .flat_map(|b| std::iter::once((b, None)).chain(THETAS.iter().map(move |&t| (b, Some(t)))))
+        .collect();
+    let stats = sweep::map(jobs, |(b, theta)| {
+        let mut builder = SimBuilder::new(cfg.clone());
+        builder = match theta {
+            None => builder.organization(LlcOrgKind::MemorySide),
+            Some(theta) => builder
+                .organization(LlcOrgKind::Sac)
+                .sac_config(SacConfig { theta, ..base_sac }),
+        };
+        builder
             .build()
             .expect("valid machine configuration")
-            .run(&wl)
-            .unwrap();
-        for theta in [0.0, 0.05, 0.2, 0.5, 2.0] {
-            let s = SimBuilder::new(cfg.clone())
-                .organization(LlcOrgKind::Sac)
-                .sac_config(SacConfig { theta, ..base_sac })
-                .build()
-                .expect("valid machine configuration")
-                .run(&wl)
-                .unwrap();
+            .run(&workloads[b])
+            .unwrap()
+    });
+
+    let per_bench = THETAS.len() + 1;
+    println!("{:6} {:>6} | {:>8} | modes", "bench", "theta", "speedup");
+    for (b, name) in SUBSET.iter().enumerate() {
+        let mem = &stats[b * per_bench];
+        for (ti, &theta) in THETAS.iter().enumerate() {
+            let s = &stats[b * per_bench + 1 + ti];
             let modes: String = s
                 .sac_history
                 .iter()
@@ -46,7 +62,7 @@ fn main() {
                 "{:6} {:>6.2} | {:>8.2} | [{}]",
                 name,
                 theta,
-                s.speedup_over(&mem),
+                s.speedup_over(mem),
                 modes
             );
         }

@@ -2,9 +2,9 @@
 //! organization, broken into truly-shared / falsely-shared / non-shared
 //! data, for windows from 1K to 100K cycles.
 
-use mcgpu_trace::{analysis, generate, profiles};
+use mcgpu_trace::analysis;
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{experiment_config, run_benchmark, trace_params};
+use sac_bench::{experiment_config, run_suite, sweep, trace_params};
 
 fn main() {
     let cfg = experiment_config();
@@ -18,15 +18,20 @@ fn main() {
         "{:6} {:>4} | {:>9} | {:>8} {:>8} {:>8} | {:>8}",
         "bench", "pref", "window", "true", "false", "non", "total"
     );
-    for p in profiles::all_profiles() {
-        let rows = run_benchmark(&cfg, &p, &params, &[LlcOrgKind::SmSide]);
-        let rate = rows.stats(LlcOrgKind::SmSide).perf();
-        let wl = generate(&cfg, &p, &params);
+    // The SM-side runs fan out over the sweep pool; the working-set
+    // analysis then fans out per benchmark, reusing each run's workload
+    // rather than regenerating the trace.
+    let rows = run_suite(&cfg, &params, &[LlcOrgKind::SmSide]);
+    let curves = sweep::map(rows.iter().collect(), |r| {
+        let rate = r.stats(LlcOrgKind::SmSide).perf();
         let windows_accesses: Vec<usize> = windows_cycles
             .iter()
             .map(|&w| ((w as f64 * rate) as usize).max(100))
             .collect();
-        let curve = analysis::working_set_curve(&cfg, &wl, &windows_accesses);
+        analysis::working_set_curve(&cfg, &r.workload, &windows_accesses)
+    });
+    for (r, curve) in rows.iter().zip(curves) {
+        let p = &r.profile;
         for (i, (_, ws)) in curve.iter().enumerate() {
             let ws = ws.to_paper_scale(&cfg);
             println!(

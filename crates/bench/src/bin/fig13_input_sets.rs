@@ -3,18 +3,12 @@
 //! crossover: large inputs make replication thrash (memory-side wins),
 //! small inputs make replication fit (SM-side wins).
 
-use mcgpu_sim::SimBuilder;
-use mcgpu_trace::{generate, profiles, TraceParams};
-use mcgpu_types::{LlcOrgKind, MachineConfig};
+use mcgpu_trace::{generate, profiles, TraceParams, Workload};
+use mcgpu_types::LlcOrgKind;
+use sac_bench::{run_one, sweep};
+use std::sync::Arc;
 
-fn run(cfg: &MachineConfig, wl: &mcgpu_trace::Workload, org: LlcOrgKind) -> mcgpu_sim::RunStats {
-    SimBuilder::new(cfg.clone())
-        .organization(org)
-        .build()
-        .expect("valid machine configuration")
-        .run(wl)
-        .unwrap()
-}
+const ORGS: [LlcOrgKind; 3] = [LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac];
 
 fn main() {
     let cfg = sac_bench::experiment_config();
@@ -24,7 +18,34 @@ fn main() {
     let mp = ["SRAD", "GEMM"];
     let sp_scales: &[f64] = &[8.0, 2.0, 1.0, 0.5, 0.25];
     let mp_scales: &[f64] = &[4.0, 1.0, 0.25, 1.0 / 16.0, 1.0 / 32.0];
-    for (names, scales, label) in [
+
+    // Flatten the (group, benchmark, scale) grid, fan trace generation out
+    // over the sweep pool, then fan every (workload, organization) run out
+    // independently — results come back in input order.
+    let combos: Vec<(&str, f64)> = [(&sp[..], sp_scales), (&mp[..], mp_scales)]
+        .iter()
+        .flat_map(|(names, scales)| {
+            names
+                .iter()
+                .flat_map(move |&n| scales.iter().map(move |&s| (n, s)))
+        })
+        .collect();
+    let workloads: Vec<Arc<Workload>> = sweep::map(combos.clone(), |(name, scale)| {
+        let p = profiles::by_name(name).expect("profile");
+        let params = TraceParams {
+            input_scale: scale,
+            ..base
+        };
+        Arc::new(generate(&cfg, &p, &params))
+    });
+    let pairs: Vec<(usize, LlcOrgKind)> = (0..combos.len())
+        .flat_map(|i| ORGS.iter().map(move |&org| (i, org)))
+        .collect();
+    let stats = sweep::map(pairs, |(i, org)| run_one(&cfg, &workloads[i], org));
+    let row = |i: usize| &stats[i * ORGS.len()..(i + 1) * ORGS.len()];
+
+    let mut idx = 0;
+    for (names, _, label) in [
         (&sp[..], sp_scales, "SM-side preferred"),
         (&mp[..], mp_scales, "memory-side preferred"),
     ] {
@@ -33,17 +54,12 @@ fn main() {
             "{:6} {:>8} | {:>8} {:>8} | SAC modes",
             "bench", "input", "SM-side", "SAC"
         );
-        for name in names {
-            let p = profiles::by_name(name).expect("profile");
-            for &scale in scales {
-                let params = TraceParams {
-                    input_scale: scale,
-                    ..base
+        for _ in names {
+            loop {
+                let (name, scale) = combos[idx];
+                let [mem, sm, sac] = row(idx) else {
+                    unreachable!("one stats row per combo")
                 };
-                let wl = generate(&cfg, &p, &params);
-                let mem = run(&cfg, &wl, LlcOrgKind::MemorySide);
-                let sm = run(&cfg, &wl, LlcOrgKind::SmSide);
-                let sac = run(&cfg, &wl, LlcOrgKind::Sac);
                 let modes: String = sac
                     .sac_history
                     .iter()
@@ -59,10 +75,14 @@ fn main() {
                     "{:6} {:>7}x | {:>8.2} {:>8.2} | [{}]",
                     name,
                     scale,
-                    sm.speedup_over(&mem),
-                    sac.speedup_over(&mem),
+                    sm.speedup_over(mem),
+                    sac.speedup_over(mem),
                     modes
                 );
+                idx += 1;
+                if idx == combos.len() || combos[idx].0 != name {
+                    break;
+                }
             }
             println!();
         }

@@ -4,31 +4,27 @@
 //! harmonic-mean speedup of SM-side and SAC over the memory-side baseline
 //! on a representative benchmark subset (3 SP + 3 MP).
 
-use mcgpu_sim::SimBuilder;
-use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_trace::{profiles, TraceParams};
 use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface};
-use sac_bench::harmonic_mean;
+use sac_bench::{harmonic_mean, run_profiles};
 
 const SUBSET: [&str; 6] = ["RN", "SN", "CFD", "SRAD", "LUD", "GEMM"];
 
 fn sweep(label: &str, cfg: &MachineConfig, params: &TraceParams) {
-    let mut sm = Vec::new();
-    let mut sac = Vec::new();
-    for name in SUBSET {
-        let p = profiles::by_name(name).expect("profile");
-        let wl = generate(cfg, &p, params);
-        let run = |org| {
-            SimBuilder::new(cfg.clone())
-                .organization(org)
-                .build()
-                .expect("valid machine configuration")
-                .run(&wl)
-                .unwrap()
-        };
-        let mem = run(LlcOrgKind::MemorySide);
-        sm.push(run(LlcOrgKind::SmSide).speedup_over(&mem));
-        sac.push(run(LlcOrgKind::Sac).speedup_over(&mem));
-    }
+    // Every (benchmark x organization) run of this configuration fans out
+    // over the shared sweep pool.
+    let subset: Vec<_> = SUBSET
+        .iter()
+        .map(|n| profiles::by_name(n).expect("profile"))
+        .collect();
+    let rows = run_profiles(
+        cfg,
+        &subset,
+        params,
+        &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac],
+    );
+    let sm: Vec<f64> = rows.iter().map(|r| r.speedup(LlcOrgKind::SmSide)).collect();
+    let sac: Vec<f64> = rows.iter().map(|r| r.speedup(LlcOrgKind::Sac)).collect();
     println!(
         "{:36} | SM-side {:>5.2} | SAC {:>5.2}",
         label,

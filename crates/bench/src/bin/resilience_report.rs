@@ -9,137 +9,20 @@
 //! graceful degradation. SAC's divergence monitor may re-profile and
 //! re-decide after a fault; the baselines keep their fixed policy.
 //!
+//! The scenario set and per-run outcome logic live in
+//! `sac_bench::resilience`, shared with the integration tests; the
+//! (scenario × organization) grid fans out over the sweep pool.
+//!
 //! `cargo run --release -p sac-bench --bin resilience_report`
 //! (pass `--quick` for a reduced-volume smoke run).
 
-use mcgpu_sim::SimBuilder;
-use mcgpu_trace::{generate, profiles, TraceParams};
-use mcgpu_types::fault::{FaultEvent, FaultKind, FaultPlan};
-use mcgpu_types::{ChipId, LlcOrgKind, MachineConfig};
+use mcgpu_trace::{generate, profiles, TraceParams, Workload};
+use mcgpu_types::LlcOrgKind;
+use sac_bench::resilience::{run_grid, scenarios, Outcome};
+use sac_bench::{run_one, sweep};
+use std::sync::Arc;
 
 const SUBSET: [&str; 4] = ["SN", "BS", "SRAD", "GEMM"];
-
-/// Cycle at which mid-run scenarios inject their first fault: early enough
-/// that most of the run executes degraded (the fastest benchmarks finish
-/// in under 10k cycles), late enough that SAC has completed its first
-/// 2k-cycle profiling window and decided on healthy hardware first.
-const FAULT_CYCLE: u64 = 3_000;
-
-struct Scenario {
-    name: &'static str,
-    /// Scenarios whose dominant fault is inter-chip link degradation; the
-    /// summary verdict checks SAC against the baselines on these.
-    link_degradation: bool,
-    fault_cycle: u64,
-    events: Vec<FaultEvent>,
-}
-
-fn at(cycle: u64, kind: FaultKind) -> FaultEvent {
-    FaultEvent { cycle, kind }
-}
-
-fn scenarios(cfg: &MachineConfig) -> Vec<Scenario> {
-    vec![
-        Scenario {
-            name: "healthy",
-            link_degradation: false,
-            fault_cycle: 0,
-            events: vec![],
-        },
-        Scenario {
-            name: "link 0-1 at 25% bw",
-            link_degradation: true,
-            fault_cycle: FAULT_CYCLE,
-            events: vec![at(
-                FAULT_CYCLE,
-                FaultKind::LinkDegrade {
-                    a: ChipId(0),
-                    b: ChipId(1),
-                    factor: 0.25,
-                },
-            )],
-        },
-        Scenario {
-            name: "links 0-1, 2-3 at 5% bw",
-            link_degradation: true,
-            fault_cycle: FAULT_CYCLE,
-            events: vec![
-                at(
-                    FAULT_CYCLE,
-                    FaultKind::LinkDegrade {
-                        a: ChipId(0),
-                        b: ChipId(1),
-                        factor: 0.05,
-                    },
-                ),
-                at(
-                    FAULT_CYCLE,
-                    FaultKind::LinkDegrade {
-                        a: ChipId(2),
-                        b: ChipId(3),
-                        factor: 0.05,
-                    },
-                ),
-            ],
-        },
-        Scenario {
-            name: "link 1-2 failed",
-            link_degradation: false,
-            fault_cycle: FAULT_CYCLE,
-            events: vec![at(
-                FAULT_CYCLE,
-                FaultKind::LinkFail {
-                    a: ChipId(1),
-                    b: ChipId(2),
-                },
-            )],
-        },
-        Scenario {
-            name: "dram: chip1 -1ch, chip2 at 50%",
-            link_degradation: false,
-            fault_cycle: FAULT_CYCLE,
-            events: vec![
-                at(
-                    FAULT_CYCLE,
-                    FaultKind::DramFail {
-                        chip: ChipId(1),
-                        channel: 0,
-                    },
-                ),
-                at(
-                    FAULT_CYCLE,
-                    FaultKind::DramThrottle {
-                        chip: ChipId(2),
-                        factor: 0.5,
-                    },
-                ),
-            ],
-        },
-        Scenario {
-            name: "chip0 LLC fused off",
-            link_degradation: false,
-            fault_cycle: 0,
-            events: (0..cfg.slices_per_chip)
-                .map(|s| {
-                    at(
-                        0,
-                        FaultKind::LlcSliceDisable {
-                            chip: ChipId(0),
-                            slice: s,
-                        },
-                    )
-                })
-                .collect(),
-        },
-    ]
-}
-
-/// One run's outcome: post-fault throughput in accesses per kilocycle, or
-/// the error string for runs the watchdog (or cycle budget) aborted.
-enum Outcome {
-    Done { post_tput: f64, conserved: bool },
-    Failed(String),
-}
 
 fn short(org: LlcOrgKind) -> &'static str {
     match org {
@@ -177,19 +60,18 @@ fn main() {
         params.total_accesses
     );
 
-    // (benchmark, scenario) -> per-organization outcome, printed as a row.
-    let mut sac_beats_baselines_somewhere = false;
-    for name in SUBSET {
+    // Workloads and their fault-free baselines fan out per benchmark; the
+    // (scenario x organization) grid of each benchmark then fans out via
+    // `run_grid`.
+    let baselines: Vec<(Arc<Workload>, u64)> = sweep::map(SUBSET.to_vec(), |name| {
         let profile = profiles::by_name(name).expect("profile");
         let wl = generate(&cfg, &profile, &params);
-        let expected = {
-            let stats = SimBuilder::new(cfg.clone())
-                .build()
-                .expect("valid machine configuration")
-                .run(&wl)
-                .expect("fault-free baseline completes");
-            stats.reads + stats.writes
-        };
+        let stats = run_one(&cfg, &wl, LlcOrgKind::MemorySide);
+        (Arc::new(wl), stats.reads + stats.writes)
+    });
+
+    let mut sac_beats_baselines_somewhere = false;
+    for (name, (wl, expected)) in SUBSET.iter().zip(&baselines) {
         println!("== {name} ==");
         println!(
             "{:32} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -200,40 +82,8 @@ fn main() {
             short(LlcOrgKind::Dynamic),
             short(LlcOrgKind::Sac),
         );
-        for sc in &scenarios {
-            let outcomes: Vec<Outcome> = LlcOrgKind::ALL
-                .iter()
-                .map(|&org| {
-                    let mut sim = SimBuilder::new(cfg.clone())
-                        .organization(org)
-                        .fault_plan(FaultPlan::new(sc.events.clone()))
-                        .build()
-                        .expect("valid machine configuration");
-                    let mut done_at_fault = 0u64;
-                    let fault_cycle = sc.fault_cycle;
-                    let result = sim.run_observed(&wl, 500, |cycle, done, _| {
-                        if cycle <= fault_cycle {
-                            done_at_fault = done;
-                        }
-                    });
-                    match result {
-                        Ok(stats) if stats.cycles <= sc.fault_cycle => {
-                            Outcome::Failed("finished before the fault hit".to_string())
-                        }
-                        Ok(stats) => {
-                            let work = stats.reads + stats.writes;
-                            let post_cycles = stats.cycles - sc.fault_cycle;
-                            Outcome::Done {
-                                post_tput: (work.saturating_sub(done_at_fault)) as f64 * 1000.0
-                                    / post_cycles as f64,
-                                conserved: work == expected,
-                            }
-                        }
-                        Err(e) => Outcome::Failed(e.to_string()),
-                    }
-                })
-                .collect();
-
+        let grid = run_grid(&cfg, wl, *expected);
+        for (sc, outcomes) in scenarios.iter().zip(&grid) {
             let cells: Vec<String> = outcomes
                 .iter()
                 .map(|o| match o {
@@ -252,7 +102,7 @@ fn main() {
                 "{:32} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 sc.name, cells[0], cells[1], cells[2], cells[3], cells[4]
             );
-            for (org, o) in LlcOrgKind::ALL.iter().zip(&outcomes) {
+            for (org, o) in LlcOrgKind::ALL.iter().zip(outcomes) {
                 if let Outcome::Failed(e) = o {
                     println!("    {}: {e}", short(*org));
                 }

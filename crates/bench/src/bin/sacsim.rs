@@ -1,14 +1,18 @@
 //! Ad-hoc experiment CLI.
 //!
 //! ```text
-//! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X] [--hw-coherence] [--sectored]
+//! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X]
+//!        [--hw-coherence] [--sectored] [--json] [--jobs N]
 //! ```
 //!
-//! ORG in {mem, sm, static, dynamic, sac}. Prints the full run statistics.
+//! ORG in {mem, sm, static, dynamic, sac, all}. Prints the full run
+//! statistics; `--org all` fans every organization out over the sweep pool
+//! and prints a comparison table; `--json` prints the canonical golden-stat
+//! JSON instead (single organization only).
 
-use mcgpu_sim::SimBuilder;
 use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_types::{CoherenceKind, LlcOrgKind, ResponseOrigin};
+use sac_bench::{run_one, sweep};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -20,13 +24,14 @@ fn arg_value(name: &str) -> Option<String> {
 fn main() {
     let bench = arg_value("--bench").unwrap_or_else(|| "BFS".to_string());
     let org = match arg_value("--org").as_deref() {
-        Some("mem") | None => LlcOrgKind::MemorySide,
-        Some("sm") => LlcOrgKind::SmSide,
-        Some("static") => LlcOrgKind::StaticHalf,
-        Some("dynamic") => LlcOrgKind::Dynamic,
-        Some("sac") => LlcOrgKind::Sac,
+        Some("mem") | None => Some(LlcOrgKind::MemorySide),
+        Some("sm") => Some(LlcOrgKind::SmSide),
+        Some("static") => Some(LlcOrgKind::StaticHalf),
+        Some("dynamic") => Some(LlcOrgKind::Dynamic),
+        Some("sac") => Some(LlcOrgKind::Sac),
+        Some("all") => None,
         Some(other) => {
-            eprintln!("unknown organization {other}; use mem|sm|static|dynamic|sac");
+            eprintln!("unknown organization {other}; use mem|sm|static|dynamic|sac|all");
             std::process::exit(2);
         }
     };
@@ -56,12 +61,42 @@ fn main() {
         std::process::exit(2);
     };
     let wl = generate(&cfg, &profile, &params);
-    let stats = SimBuilder::new(cfg)
-        .organization(org)
-        .build()
-        .expect("valid machine configuration")
-        .run(&wl)
-        .expect("run");
+
+    let Some(org) = org else {
+        // --org all: fan every organization out over the sweep pool and
+        // print a comparison table relative to the memory-side baseline.
+        let runs = sweep::map(LlcOrgKind::ALL.to_vec(), |org| {
+            (org, run_one(&cfg, &wl, org))
+        });
+        let mem_cycles = runs[0].1.cycles;
+        println!(
+            "benchmark: {} ({} accesses, input x{})\n",
+            bench,
+            wl.total_accesses(),
+            params.input_scale
+        );
+        println!(
+            "{:12} {:>10} {:>10} {:>9} {:>9} {:>9}",
+            "organization", "cycles", "acc/cyc", "speedup", "LLC miss", "local"
+        );
+        for (org, s) in &runs {
+            println!(
+                "{:12} {:>10} {:>10.3} {:>8.2}x {:>9.3} {:>9.3}",
+                org.label(),
+                s.cycles,
+                s.perf(),
+                mem_cycles as f64 / s.cycles as f64,
+                s.llc_miss_rate(),
+                s.llc_local_fraction
+            );
+        }
+        return;
+    };
+    let stats = run_one(&cfg, &wl, org);
+    if std::env::args().any(|a| a == "--json") {
+        print!("{}", stats.to_canonical_json());
+        return;
+    }
 
     println!(
         "benchmark          : {} ({} accesses, input x{})",

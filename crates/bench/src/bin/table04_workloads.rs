@@ -3,6 +3,7 @@
 //! traces actually measure (paper-equivalent scale).
 
 use mcgpu_trace::{analysis, generate, profiles};
+use sac_bench::sweep;
 
 fn main() {
     let cfg = sac_bench::experiment_config();
@@ -11,9 +12,13 @@ fn main() {
         "{:6} {:>8} | {:>9} {:>9} | {:>8} {:>8} | {:>8} {:>8}",
         "bench", "CTAs", "fp(paper)", "fp(meas)", "TS(paper)", "TS(meas)", "FS(paper)", "FS(meas)"
     );
-    for p in profiles::all_profiles() {
+    // Generation + characterization of the 16 workloads fans out over the
+    // sweep pool; rows come back in suite order.
+    let rows = sweep::map(profiles::all_profiles(), |p| {
         let wl = generate(&cfg, &p, &params);
-        let m = analysis::characterize(&cfg, &wl);
+        (p, analysis::characterize(&cfg, &wl))
+    });
+    for (p, m) in rows {
         println!(
             "{:6} {:>8} | {:>9.0} {:>9.0} | {:>8.0} {:>8.1} | {:>8.0} {:>8.1}",
             p.name,

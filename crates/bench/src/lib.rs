@@ -8,11 +8,18 @@
 //!
 //! Run the binaries in release mode — e.g.
 //! `cargo run --release -p sac-bench --bin fig08_speedup` — and pass
-//! `--quick` for a reduced-volume smoke run.
+//! `--quick` for a reduced-volume smoke run. Every binary fans its
+//! simulation runs out over the [`sweep`] thread pool; `--jobs N` (or
+//! `MCGPU_JOBS=N`) bounds the parallelism, and results are identical for
+//! every thread count.
 
 use mcgpu_sim::{RunStats, SimBuilder};
 use mcgpu_trace::{generate, profiles, BenchmarkProfile, TraceParams, Workload};
 use mcgpu_types::{LlcOrgKind, MachineConfig};
+use std::sync::Arc;
+
+pub mod resilience;
+pub mod sweep;
 
 pub use mcgpu_sim::stats::harmonic_mean;
 
@@ -43,8 +50,9 @@ pub fn quick_mode() -> bool {
 pub struct BenchRows {
     /// The benchmark profile.
     pub profile: BenchmarkProfile,
-    /// The generated workload (for trace-level analyses).
-    pub workload: Workload,
+    /// The generated workload (for trace-level analyses). Shared rather
+    /// than owned so the sweep's parallel runs read one copy.
+    pub workload: Arc<Workload>,
     /// `(organization, stats)` in the order requested.
     pub runs: Vec<(LlcOrgKind, RunStats)>,
 }
@@ -70,26 +78,27 @@ impl BenchRows {
     }
 }
 
-/// Run one benchmark under the given organizations on `cfg`.
+/// Run one `(workload, organization)` simulation — the unit of work every
+/// sweep fans out.
+pub fn run_one(cfg: &MachineConfig, workload: &Workload, org: LlcOrgKind) -> RunStats {
+    SimBuilder::new(cfg.clone())
+        .organization(org)
+        .build()
+        .expect("valid machine configuration")
+        .run(workload)
+        .unwrap_or_else(|e| panic!("{}/{org}: {e}", workload.name))
+}
+
+/// Run one benchmark under the given organizations on `cfg`, fanning the
+/// per-organization runs out over the sweep pool.
 pub fn run_benchmark(
     cfg: &MachineConfig,
     profile: &BenchmarkProfile,
     params: &TraceParams,
     orgs: &[LlcOrgKind],
 ) -> BenchRows {
-    let workload = generate(cfg, profile, params);
-    let runs = orgs
-        .iter()
-        .map(|&org| {
-            let stats = SimBuilder::new(cfg.clone())
-                .organization(org)
-                .build()
-                .expect("valid machine configuration")
-                .run(&workload)
-                .unwrap_or_else(|e| panic!("{}/{org}: {e}", profile.name));
-            (org, stats)
-        })
-        .collect();
+    let workload = Arc::new(generate(cfg, profile, params));
+    let runs = sweep::map(orgs.to_vec(), |org| (org, run_one(cfg, &workload, org)));
     BenchRows {
         profile: profile.clone(),
         workload,
@@ -97,14 +106,49 @@ pub fn run_benchmark(
     }
 }
 
-/// Run the full 16-benchmark suite under the given organizations,
-/// printing a progress line per benchmark to stderr.
+/// Run the full 16-benchmark suite under the given organizations on the
+/// sweep pool: trace generation fans out per benchmark, then every
+/// (benchmark × organization) simulation fans out independently. Results
+/// are collected in input order, so the rows are identical to the serial
+/// loop's for any `--jobs` value.
 pub fn run_suite(cfg: &MachineConfig, params: &TraceParams, orgs: &[LlcOrgKind]) -> Vec<BenchRows> {
-    profiles::all_profiles()
+    run_profiles(cfg, &profiles::all_profiles(), params, orgs)
+}
+
+/// [`run_suite`] over an explicit benchmark subset.
+pub fn run_profiles(
+    cfg: &MachineConfig,
+    profs: &[BenchmarkProfile],
+    params: &TraceParams,
+    orgs: &[LlcOrgKind],
+) -> Vec<BenchRows> {
+    eprintln!(
+        "  sweep: {} benchmarks x {} organizations on {} thread(s)",
+        profs.len(),
+        orgs.len(),
+        sweep::jobs()
+    );
+    let workloads: Vec<Arc<Workload>> =
+        sweep::map(profs.to_vec(), |p| Arc::new(generate(cfg, &p, params)));
+    let pairs: Vec<(usize, LlcOrgKind)> = (0..profs.len())
+        .flat_map(|pi| orgs.iter().map(move |&org| (pi, org)))
+        .collect();
+    let stats = sweep::map(pairs, |(pi, org)| {
+        let s = run_one(cfg, &workloads[pi], org);
+        eprintln!("  finished {} / {}", profs[pi].name, org.label());
+        s
+    });
+    let mut stats = stats.into_iter();
+    profs
         .iter()
-        .map(|p| {
-            eprintln!("  running {} ({} organizations)...", p.name, orgs.len());
-            run_benchmark(cfg, p, params, orgs)
+        .zip(&workloads)
+        .map(|(p, wl)| BenchRows {
+            profile: p.clone(),
+            workload: Arc::clone(wl),
+            runs: orgs
+                .iter()
+                .map(|&org| (org, stats.next().expect("one result per pair")))
+                .collect(),
         })
         .collect()
 }

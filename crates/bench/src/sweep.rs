@@ -1,0 +1,110 @@
+//! Parallel sweep runner shared by every figure/table harness binary.
+//!
+//! Every figure of the paper is a sweep of independent (benchmark ×
+//! organization × configuration) simulation runs. Each run is a pure
+//! function of its inputs — it builds its own [`mcgpu_sim::Simulator`]
+//! from a cloned config and a read-only workload — so the sweep fans the
+//! runs out across a thread pool and collects the results **in input
+//! order**, making the output bit-identical to the serial loop regardless
+//! of thread count (see `DESIGN.md`, "Sweep runner and the determinism
+//! contract").
+//!
+//! Thread count resolution, highest priority first:
+//!
+//! 1. `--jobs N` (or `--jobs=N`) on the command line,
+//! 2. the `MCGPU_JOBS` environment variable,
+//! 3. the `RAYON_NUM_THREADS` environment variable (vendored-rayon
+//!    default),
+//! 4. the number of available CPUs.
+
+use std::sync::OnceLock;
+
+/// Thread count requested via `--jobs`/`MCGPU_JOBS`, or `None` to fall
+/// through to the rayon default (`RAYON_NUM_THREADS` / available CPUs).
+pub fn configured_jobs() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--jobs" {
+            if let Some(n) = args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                return Some(n.max(1));
+            }
+        }
+        if let Some(v) = a.strip_prefix("--jobs=") {
+            if let Ok(n) = v.parse::<usize>() {
+                return Some(n.max(1));
+            }
+        }
+    }
+    std::env::var("MCGPU_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|n| n.max(1))
+}
+
+/// The sweep's thread count after full resolution.
+pub fn jobs() -> usize {
+    match configured_jobs() {
+        Some(n) => n,
+        None => rayon::current_num_threads(),
+    }
+}
+
+/// The process-wide sweep pool, sized by [`jobs`] at first use.
+fn pool() -> &'static rayon::ThreadPool {
+    static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(jobs())
+            .build()
+            .expect("sweep pool")
+    })
+}
+
+/// Run `f` over every item on the sweep pool, returning results in input
+/// order. This is the single fan-out primitive every harness binary uses;
+/// `f` must be a pure function of its item (no shared mutable state), which
+/// is what makes the result independent of the thread count.
+pub fn map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    use rayon::prelude::*;
+    pool().install(|| items.into_par_iter().map(f).collect())
+}
+
+/// Like [`map`] but on a dedicated pool of exactly `jobs` threads,
+/// ignoring the CLI/environment override. Used by the determinism tests to
+/// compare 1-thread and N-thread executions of the same sweep.
+pub fn map_with_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync + Send,
+{
+    use rayon::prelude::*;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(jobs.max(1))
+        .build()
+        .expect("sweep pool");
+    pool.install(|| items.into_par_iter().map(f).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let out = map((0..64).collect(), |i: u64| i * i);
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let serial = map_with_jobs(1, (0..97).collect(), |i: u64| i.wrapping_mul(0x9e37));
+        let parallel = map_with_jobs(8, (0..97).collect(), |i: u64| i.wrapping_mul(0x9e37));
+        assert_eq!(serial, parallel);
+    }
+}

@@ -178,6 +178,14 @@ impl MemoryPartition {
     /// sentinels are filtered out here.
     pub fn pop_ready(&mut self, now: u64) -> Vec<DramRequest> {
         let mut out = Vec::new();
+        self.pop_ready_into(now, &mut out);
+        out
+    }
+
+    /// Like [`pop_ready`](MemoryPartition::pop_ready), but appends into a
+    /// caller-owned buffer — the per-cycle simulator loop reuses one
+    /// scratch `Vec` instead of allocating each cycle.
+    pub fn pop_ready_into(&mut self, now: u64, out: &mut Vec<DramRequest>) {
         for ch in &mut self.channels {
             while let Some(d) = ch.pop_ready(now) {
                 if d.request.id == mcgpu_types::RequestId(u64::MAX) {
@@ -190,7 +198,6 @@ impl MemoryPartition {
                 out.push(d);
             }
         }
-        out
     }
 
     /// Total requests currently inside the partition.

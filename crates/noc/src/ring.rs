@@ -247,11 +247,17 @@ impl<T> RingNetwork<T> {
     }
 
     /// Take the packets that arrived at `chip`.
-    pub fn pop_arrivals(&mut self, chip: ChipId, _now: u64) -> Vec<T> {
-        self.arrived[chip.index()]
-            .drain(..)
-            .map(|p| p.payload)
-            .collect()
+    pub fn pop_arrivals(&mut self, chip: ChipId, now: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        self.pop_arrivals_into(chip, now, &mut out);
+        out
+    }
+
+    /// Like [`pop_arrivals`](RingNetwork::pop_arrivals), but appends into a
+    /// caller-owned buffer — the per-cycle simulator loop reuses one
+    /// scratch `Vec` instead of allocating each cycle.
+    pub fn pop_arrivals_into(&mut self, chip: ChipId, _now: u64, out: &mut Vec<T>) {
+        out.extend(self.arrived[chip.index()].drain(..).map(|p| p.payload));
     }
 
     /// Packets still anywhere in the network.

@@ -13,6 +13,66 @@ const PORT_QUEUE: usize = 32;
 /// Queue depth in front of each LLC slice.
 const SLICE_QUEUE: usize = 48;
 
+/// Slice MSHRs: outstanding line fetches with the requests merged onto
+/// them, stored as a flat `(line index, waiters)` table with a recycled
+/// waiter-list pool. The table holds one entry per fetch in flight at one
+/// slice — small enough that a linear scan beats hashing — and completed
+/// entries return their `Vec` to the pool, so steady-state operation does
+/// not allocate.
+#[derive(Debug, Default)]
+pub struct PendingFetches {
+    entries: Vec<(u64, Vec<ReqEnvelope>)>,
+    spare: Vec<Vec<ReqEnvelope>>,
+}
+
+impl PendingFetches {
+    /// Whether a fetch for `line` is outstanding.
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.iter().any(|(l, _)| *l == line)
+    }
+
+    /// Merge `env` onto the outstanding fetch for `line`, if one exists.
+    pub fn merge(&mut self, line: u64, env: ReqEnvelope) -> bool {
+        if let Some((_, waiters)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
+            waiters.push(env);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Register a new outstanding fetch for `line` with no waiters yet (the
+    /// initiating request rides the memory path itself).
+    pub fn begin(&mut self, line: u64) {
+        debug_assert!(!self.contains(line));
+        let waiters = self.spare.pop().unwrap_or_default();
+        self.entries.push((line, waiters));
+    }
+
+    /// Complete the fetch for `line`, returning its merged waiters. Give
+    /// the `Vec` back via [`recycle`](PendingFetches::recycle) once drained.
+    pub fn take(&mut self, line: u64) -> Option<Vec<ReqEnvelope>> {
+        let i = self.entries.iter().position(|(l, _)| *l == line)?;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    /// Return a drained waiter list to the pool.
+    pub fn recycle(&mut self, mut waiters: Vec<ReqEnvelope>) {
+        waiters.clear();
+        self.spare.push(waiters);
+    }
+
+    /// Total requests waiting on outstanding fetches.
+    pub fn waiting(&self) -> usize {
+        self.entries.iter().map(|(_, w)| w.len()).sum()
+    }
+
+    /// Whether no fetch is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// One LLC slice: the cache array behind a bandwidth/latency service pipe.
 #[derive(Debug)]
 pub struct LlcSlice {
@@ -22,9 +82,9 @@ pub struct LlcSlice {
     /// latency.
     pub service: Pipe<ReqEnvelope>,
     /// Slice MSHRs: requests merged onto an in-flight line fetch, keyed by
-    /// line index. The key is inserted when the fetch is initiated and
+    /// line index. An entry is inserted when the fetch is initiated and
     /// drained when the line arrives.
-    pub pending: std::collections::HashMap<u64, Vec<ReqEnvelope>>,
+    pub pending: PendingFetches,
     /// Fused off by fault injection: the slice no longer holds or allocates
     /// lines (every lookup misses, fills are dropped), but its service pipe
     /// and MSHRs keep draining so no request is lost.
@@ -41,7 +101,7 @@ impl LlcSlice {
         LlcSlice {
             cache: SetAssocCache::new(ccfg),
             service: Pipe::new(cfg.llc_slice_gbs, cfg.llc_latency, Some(SLICE_QUEUE)),
-            pending: std::collections::HashMap::new(),
+            pending: PendingFetches::default(),
             disabled: false,
             line_size: cfg.line_size,
         }

@@ -3,7 +3,59 @@
 
 use mcgpu_cache::{CacheConfig, DataHome, LookupOutcome, SetAssocCache};
 use mcgpu_types::{AccessKind, ClusterId, LineAddr, MachineConfig, MemAccess, SectorId};
-use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The cluster's MSHR file: a preallocated flat table of
+/// `(line index, merged count)` entries, linear-scanned on lookup. The
+/// table never exceeds `mshrs_per_cluster` entries (64 in the baseline),
+/// where a scan beats hashing and the storage never reallocates on the
+/// per-cycle path.
+#[derive(Debug)]
+struct MshrFile {
+    entries: Vec<(u64, u32)>,
+}
+
+impl MshrFile {
+    fn with_capacity(limit: usize) -> Self {
+        MshrFile {
+            entries: Vec::with_capacity(limit),
+        }
+    }
+
+    /// Merge another access onto an outstanding miss. Returns `false` when
+    /// no fetch for `line` is in flight.
+    fn merge(&mut self, line: u64) -> bool {
+        if let Some((_, merged)) = self.entries.iter_mut().find(|(l, _)| *l == line) {
+            *merged += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Allocate a new entry for `line` with one merged access.
+    fn allocate(&mut self, line: u64) {
+        debug_assert!(!self.entries.iter().any(|(l, _)| *l == line));
+        self.entries.push((line, 1));
+    }
+
+    /// Retire the entry for `line`, returning its merged count (1 when the
+    /// fill had no registered miss, e.g. an L1 refill after a flush).
+    fn retire(&mut self, line: u64) -> u32 {
+        match self.entries.iter().position(|(l, _)| *l == line) {
+            Some(i) => self.entries.swap_remove(i).1,
+            None => 1,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// One SM cluster (two SMs sharing a NoC port): issues the accesses of its
 /// trace stream, filters them through the private L1, merges outstanding
@@ -14,13 +66,13 @@ pub struct Cluster {
     l1: SetAssocCache,
     line_size: u64,
     sectors: Option<u32>,
-    trace: Vec<MemAccess>,
+    trace: Arc<[MemAccess]>,
     cursor: usize,
     gap_remaining: u32,
     compute_gap: u32,
     mshr_limit: usize,
     /// Read misses in flight: line index → number of merged accesses.
-    mshrs: HashMap<u64, u32>,
+    mshrs: MshrFile,
     /// An access that missed the L1 but whose request could not be injected
     /// (backpressure); retried before the trace advances.
     deferred: Option<MemAccess>,
@@ -40,12 +92,12 @@ impl Cluster {
             l1: SetAssocCache::new(l1cfg),
             line_size: cfg.line_size,
             sectors: cfg.sectored.then_some(cfg.sectors_per_line),
-            trace: Vec::new(),
+            trace: Arc::from(Vec::new()),
             cursor: 0,
             gap_remaining: 0,
             compute_gap: 0,
             mshr_limit: cfg.mshrs_per_cluster,
-            mshrs: HashMap::new(),
+            mshrs: MshrFile::with_capacity(cfg.mshrs_per_cluster),
             deferred: None,
             reads_done: 0,
             writes_issued: 0,
@@ -59,9 +111,11 @@ impl Cluster {
 
     /// Load a kernel's access stream and compute gap; resets the cursor but
     /// keeps L1 contents (software coherence invalidates explicitly via
-    /// [`flush_l1`](Cluster::flush_l1)).
-    pub fn load_kernel(&mut self, trace: Vec<MemAccess>, compute_gap: u32) {
-        self.trace = trace;
+    /// [`flush_l1`](Cluster::flush_l1)). The stream is shared, not copied:
+    /// the simulator hands each cluster an `Arc` clone of the workload's
+    /// trace.
+    pub fn load_kernel(&mut self, trace: impl Into<Arc<[MemAccess]>>, compute_gap: u32) {
+        self.trace = trace.into();
         self.cursor = 0;
         self.gap_remaining = 0;
         self.compute_gap = compute_gap;
@@ -108,9 +162,8 @@ impl Cluster {
                         None
                     }
                     LookupOutcome::Miss | LookupOutcome::SectorMiss => {
-                        if let Some(merged) = self.mshrs.get_mut(&line.index()) {
-                            // Merge into the outstanding miss.
-                            *merged += 1;
+                        if self.mshrs.merge(line.index()) {
+                            // Merged into the outstanding miss.
                             self.cursor += 1;
                             self.gap_remaining = self.compute_gap;
                             return Some((acc, false));
@@ -118,7 +171,7 @@ impl Cluster {
                         if self.mshrs.len() >= self.mshr_limit {
                             return None; // stall: no MSHR free
                         }
-                        self.mshrs.insert(line.index(), 1);
+                        self.mshrs.allocate(line.index());
                         self.cursor += 1;
                         self.gap_remaining = self.compute_gap;
                         Some((acc, true))
@@ -150,7 +203,7 @@ impl Cluster {
         let line = access.addr.line(self.line_size);
         let sector = self.sector_of(access);
         self.l1.fill(line, sector, DataHome::Local, false);
-        let merged = self.mshrs.remove(&line.index()).unwrap_or(1);
+        let merged = self.mshrs.retire(line.index());
         self.reads_done += merged as u64;
         merged
     }

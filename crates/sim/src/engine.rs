@@ -15,7 +15,48 @@ use mcgpu_types::{
 };
 use sac::eab::{ArchBandwidth, EabModel};
 use sac::{LlcMode, SacConfig, SacController};
-use std::collections::HashMap;
+
+/// Chip-granularity sharer directory for hardware coherence, stored as a
+/// flat byte-per-line bitmask table indexed by line index. The table grows
+/// on demand to the highest line ever filled and is reset with a `memset`
+/// at kernel boundaries, so the per-access path is one bounds check and one
+/// byte load — no hashing, no per-kernel reallocation.
+#[derive(Debug, Default)]
+struct SharerDirectory {
+    masks: Vec<u8>,
+}
+
+impl SharerDirectory {
+    /// Sharer mask for `line` (`0` = untracked).
+    fn mask(&self, line: u64) -> u8 {
+        self.masks.get(line as usize).copied().unwrap_or(0)
+    }
+
+    /// Replace the sharer set of a tracked `line` with `mask`. Untracked
+    /// lines stay untracked (matching the map-based behaviour where a write
+    /// to an absent entry is a no-op).
+    fn set(&mut self, line: u64, mask: u8) {
+        if let Some(m) = self.masks.get_mut(line as usize) {
+            *m = mask;
+        }
+    }
+
+    /// Record chip `c` as holding a replica of `line`.
+    fn fill(&mut self, line: u64, c: usize) {
+        let idx = line as usize;
+        if idx >= self.masks.len() {
+            // Amortized growth: doubling keeps the number of grows
+            // logarithmic in the footprint while tracking it closely.
+            self.masks.resize((idx + 1).max(self.masks.len() * 2), 0);
+        }
+        self.masks[idx] |= 1 << c;
+    }
+
+    /// Drop all sharer state, keeping the table's capacity.
+    fn clear(&mut self) {
+        self.masks.fill(0);
+    }
+}
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -286,7 +327,7 @@ pub struct Simulator {
     sac: Option<SacController>,
     dynamic: Option<DynamicCtl>,
     /// Chip-granularity sharer directory for hardware coherence.
-    directory: HashMap<u64, u8>,
+    directory: SharerDirectory,
 
     // --- resilience ---
     /// Scheduled hardware degradation, applied as the clock passes each
@@ -313,6 +354,13 @@ pub struct Simulator {
     occ_local: f64,
     occ_fill: f64,
     kernels: Vec<KernelStats>,
+
+    // --- per-cycle scratch buffers (reused, never reallocated in steady
+    // state) ---
+    /// Ring arrivals being dispatched this cycle.
+    ring_scratch: Vec<RingPayload>,
+    /// DRAM completions being processed this cycle.
+    dram_scratch: Vec<DramRequest>,
 }
 
 /// Ring egress queue bound (requests waiting to leave the chip).
@@ -363,7 +411,7 @@ impl Simulator {
             pause: Pause::Running,
             sac,
             dynamic,
-            directory: HashMap::new(),
+            directory: SharerDirectory::default(),
             fault_plan,
             watchdog_window,
             watchdog_sig: 0,
@@ -377,6 +425,8 @@ impl Simulator {
             occ_local: 0.0,
             occ_fill: 0.0,
             kernels: Vec::new(),
+            ring_scratch: Vec::new(),
+            dram_scratch: Vec::new(),
             cfg,
             org,
         };
@@ -729,11 +779,7 @@ impl Simulator {
                 xbar_req: chip.xbar_req.len() + chip.pending_req.len(),
                 xbar_rsp: chip.xbar_rsp.len() + chip.pending_rsp.len(),
                 slice_service: chip.slices.iter().map(|s| s.service.len()).sum(),
-                slice_pending: chip
-                    .slices
-                    .iter()
-                    .map(|s| s.pending.values().map(Vec::len).sum::<usize>())
-                    .sum(),
+                slice_pending: chip.slices.iter().map(|s| s.pending.waiting()).sum(),
                 memory: chip.memory.len(),
                 bypass: chip.bypass_to_mem.len(),
                 ring_egress: chip.pending_ring.len()
@@ -824,9 +870,12 @@ impl Simulator {
         // Memory partitions.
         for c in 0..self.chips.len() {
             self.chips[c].memory.tick(now);
-            for d in self.chips[c].memory.pop_ready(now) {
+            let mut done = std::mem::take(&mut self.dram_scratch);
+            self.chips[c].memory.pop_ready_into(now, &mut done);
+            for d in done.drain(..) {
                 self.process_mem_completion(c, d);
             }
+            self.dram_scratch = done;
         }
 
         // Response network and delivery.
@@ -988,8 +1037,7 @@ impl Simulator {
             // as one for the profiled memory-side hit rate — otherwise the
             // measured rate is biased low relative to the CRD's prediction,
             // which observes the full (unmerged) request stream.
-            let merged_would_hit =
-                !hit && self.chips[c].slices[s].pending.contains_key(&line.index());
+            let merged_would_hit = !hit && self.chips[c].slices[s].pending.contains(line.index());
             if let Some(sac) = self.sac.as_mut() {
                 sac.collector_mut()
                     .observe_memside_llc(hit || merged_would_hit);
@@ -1136,20 +1184,12 @@ impl Simulator {
     /// Merge `env` onto an outstanding line fetch at slice `s` of chip `c`,
     /// if one exists (slice MSHR). Returns `true` when merged.
     fn try_merge_at_slice(&mut self, c: usize, s: usize, line: LineAddr, env: ReqEnvelope) -> bool {
-        if let Some(waiters) = self.chips[c].slices[s].pending.get_mut(&line.index()) {
-            waiters.push(env);
-            true
-        } else {
-            false
-        }
+        self.chips[c].slices[s].pending.merge(line.index(), env)
     }
 
     /// Register an outstanding fetch for `line` at slice `s` of chip `c`.
     fn begin_fetch(&mut self, c: usize, s: usize, line: LineAddr) {
-        self.chips[c].slices[s]
-            .pending
-            .entry(line.index())
-            .or_default();
+        self.chips[c].slices[s].pending.begin(line.index());
     }
 
     /// The line arrived at slice `s` of chip `c`: complete all merged
@@ -1163,11 +1203,11 @@ impl Simulator {
         line: LineAddr,
         origin_override: Option<ResponseOrigin>,
     ) {
-        let Some(waiters) = self.chips[c].slices[s].pending.remove(&line.index()) else {
+        let Some(mut waiters) = self.chips[c].slices[s].pending.take(line.index()) else {
             return;
         };
         let chip_id = ChipId(c as u8);
-        for env in waiters {
+        for env in waiters.drain(..) {
             if env.req.access.kind.is_write() {
                 // Dirty the just-filled line and absorb the store (unless
                 // the slice was fused off, in which case nothing is filled).
@@ -1187,6 +1227,7 @@ impl Simulator {
                 self.emit_response(c, env.req, origin);
             }
         }
+        self.chips[c].slices[s].pending.recycle(waiters);
     }
 
     /// A write reached its destination cache: it is complete.
@@ -1201,12 +1242,13 @@ impl Simulator {
         if self.cfg.coherence != CoherenceKind::Hardware {
             return;
         }
-        let Some(mask) = self.directory.get_mut(&line.index()) else {
+        let mask = self.directory.mask(line.index());
+        if mask == 0 {
             return;
-        };
+        }
         let owner_bit = 1u8 << c;
-        let others = *mask & !owner_bit;
-        *mask = owner_bit;
+        let others = mask & !owner_bit;
+        self.directory.set(line.index(), owner_bit);
         if others == 0 {
             return;
         }
@@ -1226,7 +1268,7 @@ impl Simulator {
     /// Record a replica fill for the hardware-coherence directory.
     fn directory_fill(&mut self, c: usize, line: LineAddr) {
         if self.cfg.coherence == CoherenceKind::Hardware {
-            *self.directory.entry(line.index()).or_default() |= 1 << c;
+            self.directory.fill(line.index(), c);
         }
     }
 
@@ -1405,7 +1447,9 @@ impl Simulator {
         // Arrivals.
         for c in 0..self.chips.len() {
             let chip_id = ChipId(c as u8);
-            for p in self.ring.pop_arrivals(chip_id, now) {
+            let mut arrivals = std::mem::take(&mut self.ring_scratch);
+            self.ring.pop_arrivals_into(chip_id, now, &mut arrivals);
+            for p in arrivals.drain(..) {
                 match p {
                     RingPayload::Req(env) => match env.stage {
                         ReqStage::ToHomeSlice => self.chips[c].pending_req.push_back(env),
@@ -1457,6 +1501,7 @@ impl Simulator {
                     }
                 }
             }
+            self.ring_scratch = arrivals;
         }
     }
 

@@ -123,6 +123,187 @@ impl RunStats {
     }
 }
 
+impl RunStats {
+    /// Serialize to canonical JSON for the golden-stats regression harness:
+    /// fixed key order, 2-space indentation, floats printed with Rust's
+    /// shortest-roundtrip formatting. Two runs produce byte-identical JSON
+    /// iff their statistics are bit-identical, so committed snapshots under
+    /// `tests/golden/` catch any behavioural drift in the simulator.
+    pub fn to_canonical_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.open();
+        w.str_field("organization", self.organization.label());
+        w.u64_field("cycles", self.cycles);
+        w.u64_field("reads", self.reads);
+        w.u64_field("writes", self.writes);
+        w.cache_field("l1", &self.l1);
+        w.cache_field("llc", &self.llc);
+        w.u64_array_field("responses_by_origin", &self.responses_by_origin);
+        w.f64_field("llc_local_fraction", self.llc_local_fraction);
+        w.f64_field("llc_occupancy", self.llc_occupancy);
+        w.u64_field("ring_bytes", self.ring_bytes);
+        w.u64_field("dram_reads", self.dram_reads);
+        w.u64_field("dram_writes", self.dram_writes);
+        w.u64_field("overhead_cycles", self.overhead_cycles);
+        w.u64_field("max_in_flight", self.max_in_flight);
+        w.array_field("kernels", self.kernels.len(), |w, i| {
+            let k = &self.kernels[i];
+            w.open();
+            w.u64_field("index", k.index as u64);
+            w.u64_field("cycles", k.cycles);
+            w.u64_field("accesses", k.accesses);
+            w.str_field("sac_mode", k.sac_mode.map_or("none", |m| m.label()));
+            w.close();
+        });
+        w.array_field("sac_history", self.sac_history.len(), |w, i| {
+            let r = &self.sac_history[i];
+            w.open();
+            w.u64_field("start_cycle", r.start_cycle);
+            w.u64_field("decision_cycle", r.decision_cycle);
+            w.f64_field("r_local", r.inputs.r_local);
+            w.f64_field("llc_hit_memory_side", r.inputs.llc_hit_memory_side);
+            w.f64_field("llc_hit_sm_side", r.inputs.llc_hit_sm_side);
+            w.f64_field("lsu_memory_side", r.inputs.lsu_memory_side);
+            w.f64_field("lsu_sm_side", r.inputs.lsu_sm_side);
+            w.f64_field("eab_memory_side", r.eab_memory_side);
+            w.f64_field("eab_sm_side", r.eab_sm_side);
+            w.str_field("mode", r.mode.label());
+            w.u64_field("requests_observed", r.requests_observed);
+            w.bool_field("fallback", r.fallback);
+            w.close();
+        });
+        w.finish()
+    }
+}
+
+/// Tiny canonical-JSON emitter: objects and arrays with deterministic
+/// layout. Floats use `{:?}` (shortest representation that round-trips),
+/// so byte equality of the output is exactly bit equality of the stats.
+struct JsonWriter {
+    out: String,
+    indent: usize,
+    /// Whether the current container already has a member (comma control).
+    has_member: Vec<bool>,
+}
+
+impl JsonWriter {
+    fn new() -> Self {
+        JsonWriter {
+            out: String::new(),
+            indent: 0,
+            has_member: Vec::new(),
+        }
+    }
+
+    fn newline_key(&mut self, key: &str) {
+        self.member_separator();
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\": ");
+    }
+
+    fn member_separator(&mut self) {
+        if let Some(has) = self.has_member.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        if !self.out.is_empty() {
+            self.out.push('\n');
+        }
+    }
+
+    fn open(&mut self) {
+        self.out.push('{');
+        self.indent += 1;
+        self.has_member.push(false);
+    }
+
+    fn close(&mut self) {
+        self.indent -= 1;
+        self.has_member.pop();
+        self.out.push('\n');
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push('}');
+    }
+
+    fn str_field(&mut self, key: &str, v: &str) {
+        self.newline_key(key);
+        self.out.push('"');
+        self.out.push_str(v);
+        self.out.push('"');
+    }
+
+    fn u64_field(&mut self, key: &str, v: u64) {
+        self.newline_key(key);
+        self.out.push_str(&v.to_string());
+    }
+
+    fn f64_field(&mut self, key: &str, v: f64) {
+        self.newline_key(key);
+        self.out.push_str(&format!("{v:?}"));
+    }
+
+    fn bool_field(&mut self, key: &str, v: bool) {
+        self.newline_key(key);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    fn u64_array_field(&mut self, key: &str, vs: &[u64]) {
+        self.newline_key(key);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&v.to_string());
+        }
+        self.out.push(']');
+    }
+
+    fn cache_field(&mut self, key: &str, s: &CacheStats) {
+        self.newline_key(key);
+        self.open();
+        self.u64_field("accesses", s.accesses);
+        self.u64_field("hits", s.hits);
+        self.u64_field("misses", s.misses);
+        self.u64_field("sector_misses", s.sector_misses);
+        self.u64_field("fills", s.fills);
+        self.u64_field("evictions", s.evictions);
+        self.u64_field("fill_rejections", s.fill_rejections);
+        self.close();
+    }
+
+    fn array_field(&mut self, key: &str, len: usize, mut item: impl FnMut(&mut Self, usize)) {
+        self.newline_key(key);
+        if len == 0 {
+            self.out.push_str("[]");
+            return;
+        }
+        self.out.push('[');
+        self.indent += 1;
+        self.has_member.push(false);
+        for i in 0..len {
+            self.member_separator();
+            self.out.push_str(&"  ".repeat(self.indent));
+            // The item itself opens an object; suppress its key machinery.
+            item(self, i);
+        }
+        self.indent -= 1;
+        self.has_member.pop();
+        self.out.push('\n');
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push(']');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
 /// Harmonic mean of positive values, as the paper uses for average speedups.
 pub fn harmonic_mean(values: &[f64]) -> f64 {
     if values.is_empty() {

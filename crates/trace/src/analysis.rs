@@ -61,7 +61,7 @@ pub fn characterize(cfg: &MachineConfig, wl: &Workload) -> Table4Row {
     for k in &wl.kernels {
         for (flat, stream) in k.per_cluster.iter().enumerate() {
             let chip = (flat / clusters_per_chip) as u8;
-            for a in stream {
+            for a in stream.iter() {
                 let line = a.addr.line(cfg.line_size).index();
                 *line_sharers.entry(line).or_default() |= 1 << chip;
                 *page_sharers.entry(line / lines_per_page).or_default() |= 1 << chip;

@@ -5,6 +5,7 @@ use crate::profiles::{BenchmarkProfile, KernelBehavior};
 use mcgpu_types::{AccessKind, ChipId, MachineConfig, MemAccess};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Parameters controlling trace volume and reproducibility.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -55,8 +56,11 @@ impl Default for TraceParams {
 #[derive(Debug, Clone)]
 pub struct KernelTrace {
     /// Per-cluster access streams, indexed by flat cluster id
-    /// (`chip * clusters_per_chip + cluster`).
-    pub per_cluster: Vec<Vec<MemAccess>>,
+    /// (`chip * clusters_per_chip + cluster`). The streams are shared
+    /// (`Arc`) so loading a kernel into a simulator — or into several
+    /// simulators sweeping organizations in parallel — never copies the
+    /// access data.
+    pub per_cluster: Vec<Arc<[MemAccess]>>,
     /// The behaviour this kernel was generated from (the simulator reads
     /// `compute_gap` from here).
     pub behavior: KernelBehavior,
@@ -214,7 +218,7 @@ pub fn generate(cfg: &MachineConfig, profile: &BenchmarkProfile, params: &TraceP
             let mut per_cluster = Vec::with_capacity(clusters);
             for chip in 0..cfg.chips {
                 for cl in 0..cfg.clusters_per_chip {
-                    per_cluster.push(generate_cluster_stream(
+                    per_cluster.push(Arc::<[MemAccess]>::from(generate_cluster_stream(
                         cfg,
                         &layout,
                         behavior,
@@ -226,7 +230,7 @@ pub fn generate(cfg: &MachineConfig, profile: &BenchmarkProfile, params: &TraceP
                             .wrapping_add((rep * 31 + ki) as u64)
                             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
                             .wrapping_add((chip * cfg.clusters_per_chip + cl) as u64),
-                    ));
+                    )));
                 }
             }
             kernels.push(KernelTrace {
@@ -368,7 +372,7 @@ mod tests {
         let wl = generate(&c, &p, &TraceParams::quick());
         for k in &wl.kernels {
             for cl in &k.per_cluster {
-                for a in cl {
+                for a in cl.iter() {
                     let class = wl.layout.classify(a.addr.line(c.line_size));
                     assert_ne!(class, crate::SharingClass::TrueShared);
                 }
@@ -387,7 +391,7 @@ mod tests {
         for k in &wl.kernels {
             for (flat, cl) in k.per_cluster.iter().enumerate() {
                 let chip = flat / c.clusters_per_chip;
-                for a in cl {
+                for a in cl.iter() {
                     let line = a.addr.line(c.line_size);
                     if wl.layout.classify(line) == crate::SharingClass::NonShared {
                         per_chip[chip].insert(line.index());
@@ -417,7 +421,7 @@ mod tests {
         for k in &wl.kernels {
             for (flat, cl) in k.per_cluster.iter().enumerate() {
                 let chip = (flat / c.clusters_per_chip) as u8;
-                for a in cl {
+                for a in cl.iter() {
                     let line = a.addr.line(c.line_size);
                     if wl.layout.classify(line) == crate::SharingClass::TrueShared {
                         *sharers.entry(line.index()).or_default() |= 1 << chip;

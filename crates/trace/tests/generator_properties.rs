@@ -30,7 +30,7 @@ proptest! {
         let limit = wl.layout.footprint_bytes();
         for k in &wl.kernels {
             for stream in &k.per_cluster {
-                for a in stream {
+                for a in stream.iter() {
                     prop_assert!(a.addr.raw() < limit,
                         "{}: {:#x} outside footprint {:#x}", p.name, a.addr.raw(), limit);
                 }

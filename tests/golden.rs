@@ -1,0 +1,153 @@
+//! Golden-stats regression harness.
+//!
+//! Runs a small fixed suite of (benchmark, organization, machine-variant)
+//! simulations through the parallel sweep runner, serializes each
+//! [`mcgpu_sim::RunStats`] to canonical JSON, and compares it byte-for-byte
+//! against the committed snapshot under `tests/golden/`. Any behavioural
+//! drift in the simulator — intended or not — fails here first.
+//!
+//! To regenerate the snapshots after an *intended* model change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+//!
+//! then commit the diff under `tests/golden/` together with the change
+//! that caused it.
+
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig};
+use sac_bench::{run_one, sweep};
+use std::path::PathBuf;
+
+/// One golden case: a machine variant, a benchmark, and an organization.
+struct Case {
+    /// Snapshot file stem under `tests/golden/`.
+    name: &'static str,
+    bench: &'static str,
+    org: LlcOrgKind,
+    hardware_coherence: bool,
+    sectored: bool,
+}
+
+const fn case(name: &'static str, bench: &'static str, org: LlcOrgKind) -> Case {
+    Case {
+        name,
+        bench,
+        org,
+        hardware_coherence: false,
+        sectored: false,
+    }
+}
+
+/// The fixed suite. Kept small enough for every-PR CI (quick trace volume)
+/// while covering each organization, both coherence schemes, and sectored
+/// caches.
+fn suite() -> Vec<Case> {
+    vec![
+        case("sn_memside", "SN", LlcOrgKind::MemorySide),
+        case("sn_smside", "SN", LlcOrgKind::SmSide),
+        case("sn_sac", "SN", LlcOrgKind::Sac),
+        case("cfd_static", "CFD", LlcOrgKind::StaticHalf),
+        case("cfd_dynamic", "CFD", LlcOrgKind::Dynamic),
+        case("srad_sac", "SRAD", LlcOrgKind::Sac),
+        Case {
+            hardware_coherence: true,
+            ..case("rn_smside_hwcoh", "RN", LlcOrgKind::SmSide)
+        },
+        Case {
+            sectored: true,
+            ..case("gemm_sac_sectored", "GEMM", LlcOrgKind::Sac)
+        },
+    ]
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn run_case(c: &Case) -> String {
+    let mut cfg = MachineConfig::experiment_baseline();
+    if c.hardware_coherence {
+        cfg.coherence = CoherenceKind::Hardware;
+    }
+    if c.sectored {
+        cfg.sectored = true;
+    }
+    let params = TraceParams {
+        total_accesses: 15_000,
+        ..TraceParams::quick()
+    };
+    let profile = profiles::by_name(c.bench).expect("known benchmark");
+    let wl = generate(&cfg, &profile, &params);
+    run_one(&cfg, &wl, c.org).to_canonical_json()
+}
+
+#[test]
+fn golden_stats_match_committed_snapshots() {
+    let cases = suite();
+    let dir = golden_dir();
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+
+    // The whole suite rides the same parallel runner the figure harnesses
+    // use, so this test also exercises fan-out + input-order collection.
+    let actual = sweep::map(cases.iter().collect(), |c| (c.name, run_case(c)));
+
+    let mut failures = Vec::new();
+    for (name, json) in actual {
+        let path = dir.join(format!("{name}.json"));
+        if update {
+            std::fs::create_dir_all(&dir).expect("create tests/golden");
+            std::fs::write(&path, &json).expect("write snapshot");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(expected) if expected == json => {}
+            Ok(expected) => {
+                let drift = expected
+                    .lines()
+                    .zip(json.lines())
+                    .enumerate()
+                    .find(|(_, (e, a))| e != a);
+                failures.push(match drift {
+                    Some((i, (e, a))) => {
+                        format!("{name}: drift at line {}: expected `{e}`, got `{a}`", i + 1)
+                    }
+                    None => format!("{name}: snapshot length differs"),
+                });
+            }
+            Err(_) => failures.push(format!(
+                "{name}: missing snapshot {} (run UPDATE_GOLDEN=1 cargo test --test golden)",
+                path.display()
+            )),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden-stats drift:\n  {}\n\nIf the change is intended, regenerate with \
+         UPDATE_GOLDEN=1 cargo test --test golden and commit the snapshot diff.",
+        failures.join("\n  ")
+    );
+}
+
+/// The serializer itself must be injective enough for the harness: two
+/// different stats never serialize identically (spot-checked on the fields
+/// the simulator actually varies).
+#[test]
+fn canonical_json_distinguishes_runs() {
+    let cfg = MachineConfig::experiment_baseline();
+    let params = TraceParams {
+        total_accesses: 5_000,
+        ..TraceParams::quick()
+    };
+    let profile = profiles::by_name("SN").expect("profile");
+    let wl = generate(&cfg, &profile, &params);
+    let a = run_one(&cfg, &wl, LlcOrgKind::MemorySide).to_canonical_json();
+    let b = run_one(&cfg, &wl, LlcOrgKind::SmSide).to_canonical_json();
+    assert_ne!(a, b);
+    // And the same run twice is byte-identical.
+    let a2 = run_one(&cfg, &wl, LlcOrgKind::MemorySide).to_canonical_json();
+    assert_eq!(a, a2);
+}

@@ -1,11 +1,52 @@
 //! Property-based tests for SAC's analytical components, checked against
-//! reference implementations.
+//! reference implementations, plus the sweep runner's determinism
+//! contract.
 
 use mcgpu_types::{ChipId, LineAddr};
 use proptest::prelude::*;
 use sac::counters::lsu;
 use sac::eab::{ArchBandwidth, EabInputs, EabModel};
 use sac::{Crd, LlcMode};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The determinism contract of `sac_bench::sweep` (see DESIGN.md): the
+    /// same sweep run on 1 thread and on N threads yields bit-identical
+    /// `RunStats`, for any benchmark, seed, and organization subset. Each
+    /// case runs a real (benchmark x organization) sweep twice — serial
+    /// and 4-way parallel — and compares the full statistics structs.
+    #[test]
+    fn sweep_results_independent_of_thread_count(
+        bench_idx in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        use mcgpu_types::LlcOrgKind;
+
+        let cfg = mcgpu_types::MachineConfig::experiment_baseline();
+        let profile = &mcgpu_trace::profiles::all_profiles()[bench_idx];
+        let params = mcgpu_trace::TraceParams {
+            total_accesses: 6_000,
+            seed,
+            ..mcgpu_trace::TraceParams::quick()
+        };
+        let wl = mcgpu_trace::generate(&cfg, profile, &params);
+        let orgs = vec![LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac];
+
+        let serial = sac_bench::sweep::map_with_jobs(1, orgs.clone(), |org| {
+            sac_bench::run_one(&cfg, &wl, org)
+        });
+        let parallel = sac_bench::sweep::map_with_jobs(4, orgs, |org| {
+            sac_bench::run_one(&cfg, &wl, org)
+        });
+        prop_assert_eq!(&serial, &parallel);
+        // Byte-identical canonical JSON too — the golden harness depends
+        // on serialization being as deterministic as the stats.
+        for (s, p) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(s.to_canonical_json(), p.to_canonical_json());
+        }
+    }
+}
 
 fn arch_strategy() -> impl Strategy<Value = ArchBandwidth> {
     (

@@ -1,0 +1,53 @@
+//! FaultPlan x sweep-runner interaction: resilience scenarios executed
+//! through the parallel sweep runner must produce exactly the outcomes of
+//! a serial execution — fault injection must not break the determinism
+//! contract.
+
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::LlcOrgKind;
+use sac_bench::resilience::{run_scenario, scenarios, Outcome};
+use sac_bench::{run_one, sweep};
+
+#[test]
+fn fault_scenarios_match_serial_through_parallel_runner() {
+    let cfg = mcgpu_types::MachineConfig::experiment_baseline();
+    let profile = profiles::by_name("SN").expect("profile");
+    let params = TraceParams {
+        total_accesses: 25_000,
+        ..TraceParams::quick()
+    };
+    let wl = generate(&cfg, &profile, &params);
+    let expected_work = {
+        let s = run_one(&cfg, &wl, LlcOrgKind::MemorySide);
+        s.reads + s.writes
+    };
+
+    let scenarios = scenarios(&cfg);
+    let jobs: Vec<(usize, LlcOrgKind)> = (0..scenarios.len())
+        .flat_map(|si| LlcOrgKind::ALL.iter().map(move |&org| (si, org)))
+        .collect();
+
+    let serial: Vec<Outcome> = sweep::map_with_jobs(1, jobs.clone(), |(si, org)| {
+        run_scenario(&cfg, &wl, org, &scenarios[si], expected_work)
+    });
+    let parallel: Vec<Outcome> = sweep::map_with_jobs(4, jobs, |(si, org)| {
+        run_scenario(&cfg, &wl, org, &scenarios[si], expected_work)
+    });
+
+    assert_eq!(serial, parallel);
+
+    // The healthy scenario (index 0) must complete with work conserved
+    // under every organization — faults aside, the runner changes nothing.
+    for (i, o) in serial.iter().take(LlcOrgKind::ALL.len()).enumerate() {
+        match o {
+            Outcome::Done { conserved, .. } => {
+                assert!(
+                    conserved,
+                    "{}: healthy run lost work",
+                    LlcOrgKind::ALL[i].label()
+                )
+            }
+            Outcome::Failed(e) => panic!("{}: healthy run failed: {e}", LlcOrgKind::ALL[i].label()),
+        }
+    }
+}

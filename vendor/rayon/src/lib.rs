@@ -1,0 +1,396 @@
+//! Offline drop-in subset of the `rayon` 1.x API.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small part of `rayon` the sweep runner actually uses:
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`], `vec.into_par_iter()
+//! .map(f).collect::<Vec<_>>()` from the [`prelude`], and
+//! [`current_num_threads`].
+//!
+//! The execution model is self-scheduling over an indexed job list: every
+//! participating thread (the caller plus `num_threads - 1` helpers spawned
+//! in a [`std::thread::scope`]) claims the next unclaimed index from a
+//! shared atomic counter, runs the job, and writes the result into that
+//! index's slot. This gives the same load-balancing behaviour as work
+//! stealing for flat `map` workloads — a fast thread that finishes its job
+//! immediately claims the next one — without unsafe code.
+//!
+//! Guarantees the workspace relies on:
+//!
+//! * **Deterministic output order.** Results are collected by input index,
+//!   so `collect()` returns exactly what the serial `map` would, whatever
+//!   the interleaving of threads.
+//! * **Panic propagation.** A panicking job poisons the batch: the panic is
+//!   re-raised on the calling thread once the scope joins.
+//! * **`num_threads == 1` is fully serial** on the calling thread: no
+//!   helper threads are spawned, so single-threaded runs are bit-equal to
+//!   plain iterator code by construction.
+//!
+//! The global pool honours `RAYON_NUM_THREADS` like upstream; an explicit
+//! [`ThreadPool`] entered via [`ThreadPool::install`] overrides it for the
+//! duration of the closure, also like upstream.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Builds a [`ThreadPool`] with a configurable thread count.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error building a thread pool (kept for API compatibility; the subset
+/// cannot actually fail).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `num_threads` threads (0 = one per available CPU).
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    /// Never fails in this subset; the `Result` mirrors upstream.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A bounded pool of worker threads. Threads are scoped per parallel call
+/// rather than persistent: the jobs this workspace fans out are whole
+/// simulations (seconds each), so per-batch spawn cost is noise, and scoped
+/// threads let jobs borrow from the caller's stack safely.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+thread_local! {
+    /// Thread count installed by the innermost `ThreadPool::install`.
+    static CURRENT_POOL_THREADS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// One CPU's worth of default parallelism: `RAYON_NUM_THREADS` if set and
+/// positive, otherwise the number of available CPUs.
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            })
+    })
+}
+
+/// The thread count parallel iterators execute with right now: the
+/// installed pool's, or the global default.
+pub fn current_num_threads() -> usize {
+    let installed = CURRENT_POOL_THREADS.with(Cell::get);
+    if installed > 0 {
+        installed
+    } else {
+        default_num_threads()
+    }
+}
+
+impl ThreadPool {
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool as the current one: parallel iterators
+    /// inside `op` execute on `self.num_threads` threads.
+    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        let prev = CURRENT_POOL_THREADS.with(|c| c.replace(self.num_threads));
+        let guard = RestoreThreads(prev);
+        let result = op();
+        drop(guard);
+        result
+    }
+}
+
+/// Restores the installed thread count even if `op` panics.
+struct RestoreThreads(usize);
+
+impl Drop for RestoreThreads {
+    fn drop(&mut self) {
+        CURRENT_POOL_THREADS.with(|c| c.set(self.0));
+    }
+}
+
+/// Run `f` over every element of `items` on `threads` threads (the caller
+/// plus `threads - 1` scoped helpers), collecting results in input order.
+fn map_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let helpers = threads.saturating_sub(1).min(n.saturating_sub(1));
+    if helpers == 0 {
+        return items.into_iter().map(f).collect();
+    }
+
+    // Each index is claimed by exactly one thread, so the per-slot mutexes
+    // are never contended; they only carry ownership across threads.
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+
+    let work = |claim_from: &AtomicUsize| loop {
+        let i = claim_from.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let item = slots[i]
+            .lock()
+            .expect("item slot never poisoned: claimed exactly once")
+            .take()
+            .expect("index claimed exactly once");
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item))) {
+            Ok(r) => {
+                *results[i]
+                    .lock()
+                    .expect("result slot never poisoned: claimed exactly once") = Some(r);
+            }
+            Err(payload) => {
+                // Keep the first panic's payload for the caller, stop
+                // claiming new work, and let every thread wind down.
+                let mut slot = panic_payload.lock().expect("payload lock");
+                slot.get_or_insert(payload);
+                claim_from.store(n, Ordering::Relaxed);
+                break;
+            }
+        }
+    };
+
+    std::thread::scope(|scope| {
+        for _ in 0..helpers {
+            scope.spawn(|| work(&next));
+        }
+        work(&next);
+    });
+
+    if let Some(payload) = panic_payload
+        .into_inner()
+        .expect("payload lock never poisoned")
+    {
+        std::panic::resume_unwind(payload);
+    }
+
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot never poisoned: batch completed")
+                .expect("every index was claimed and completed")
+        })
+        .collect()
+}
+
+/// Parallel iterator types (subset: `Vec` source, `map`, `collect`).
+pub mod iter {
+    use super::{current_num_threads, map_indexed};
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item: Send;
+        /// Iterator type.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Convert self into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    /// A data-parallel pipeline over an indexed collection.
+    ///
+    /// The subset keeps the source vector concrete: every pipeline is
+    /// "vector, then a stack of maps", which is all the workspace needs.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item: Send;
+
+        /// Drive the pipeline and return all elements in input order.
+        fn run(self) -> Vec<Self::Item>;
+
+        /// Transform every element with `f`, in parallel.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Execute the pipeline and collect into `C` (input order).
+        fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+            C::from_par_iter_vec(self.run())
+        }
+    }
+
+    /// Collection types a parallel iterator can collect into.
+    pub trait FromParallelIterator<T> {
+        /// Build the collection from results already in input order.
+        fn from_par_iter_vec(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter_vec(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Parallel iterator over a `Vec`.
+    #[derive(Debug)]
+    pub struct IntoParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = IntoParIter<T>;
+
+        fn into_par_iter(self) -> IntoParIter<T> {
+            IntoParIter { items: self }
+        }
+    }
+
+    impl<T: Send> ParallelIterator for IntoParIter<T> {
+        type Item = T;
+
+        fn run(self) -> Vec<T> {
+            // An identity pipeline needs no threads.
+            self.items
+        }
+    }
+
+    /// `map` adaptor.
+    #[derive(Debug)]
+    pub struct Map<B, F> {
+        base: B,
+        f: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync + Send,
+    {
+        type Item = R;
+
+        fn run(self) -> Vec<R> {
+            map_indexed(self.base.run(), current_num_threads(), self.f)
+        }
+    }
+}
+
+/// The usual `use rayon::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let out: Vec<u64> = pool.install(|| v.into_par_iter().map(|x| x * 3).collect());
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_pool_runs_on_caller() {
+        let caller = std::thread::current().id();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let threads: Vec<std::thread::ThreadId> = pool.install(|| {
+            vec![(), (), ()]
+                .into_par_iter()
+                .map(|()| std::thread::current().id())
+                .collect()
+        });
+        assert!(threads.iter().all(|&t| t == caller));
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let n = 257;
+        let out: Vec<usize> = pool.install(|| {
+            (0..n)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|i| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    i
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), n);
+        assert_eq!(counter.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 7));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "job failed")]
+    fn panics_propagate_to_caller() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let _: Vec<()> = (0..16)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .map(|i| {
+                    if i == 11 {
+                        panic!("job failed");
+                    }
+                })
+                .collect();
+        });
+    }
+}
