@@ -26,8 +26,13 @@ fn main() {
     let jobs: Vec<(usize, Option<u64>)> = (0..SUBSET.len())
         .flat_map(|b| std::iter::once((b, None)).chain(WINDOWS.iter().map(move |&w| (b, Some(w)))))
         .collect();
-    let stats = sweep::map(jobs, |(b, window)| {
-        let mut builder = SimBuilder::new(cfg.clone());
+    // Each (benchmark, window) cell runs isolated with bounded retries: a
+    // failing variant is quarantined and reported without discarding the
+    // rest of the ablation grid.
+    let outcomes = sweep::map_isolated(jobs.clone(), |&(b, window), attempt| {
+        let mut scaled = cfg.clone();
+        scaled.watchdog_cycles = scaled.watchdog_cycles.saturating_mul(1 << attempt.min(32));
+        let mut builder = SimBuilder::new(scaled);
         builder = match window {
             None => builder.organization(LlcOrgKind::MemorySide),
             Some(profile_window) => builder.organization(LlcOrgKind::Sac).sac_config(SacConfig {
@@ -35,11 +40,11 @@ fn main() {
                 ..SacConfig::for_machine(&cfg)
             }),
         };
-        builder
-            .build()
-            .expect("valid machine configuration")
-            .run(&workloads[b])
-            .unwrap()
+        Ok(builder.build()?.run(&workloads[b])?)
+    });
+    let stats = sac_bench::exit_on_cell_failures(outcomes, |i| {
+        let (b, window) = jobs[i];
+        format!("{}/window={:?}", SUBSET[b], window)
     });
 
     let per_bench = WINDOWS.len() + 1;

@@ -26,19 +26,24 @@ fn main() {
     let jobs: Vec<(usize, Option<f64>)> = (0..SUBSET.len())
         .flat_map(|b| std::iter::once((b, None)).chain(THETAS.iter().map(move |&t| (b, Some(t)))))
         .collect();
-    let stats = sweep::map(jobs, |(b, theta)| {
-        let mut builder = SimBuilder::new(cfg.clone());
+    // Each (benchmark, theta) cell runs isolated with bounded retries: a
+    // failing variant is quarantined and reported without discarding the
+    // rest of the ablation grid.
+    let outcomes = sweep::map_isolated(jobs.clone(), |&(b, theta), attempt| {
+        let mut scaled = cfg.clone();
+        scaled.watchdog_cycles = scaled.watchdog_cycles.saturating_mul(1 << attempt.min(32));
+        let mut builder = SimBuilder::new(scaled);
         builder = match theta {
             None => builder.organization(LlcOrgKind::MemorySide),
             Some(theta) => builder
                 .organization(LlcOrgKind::Sac)
                 .sac_config(SacConfig { theta, ..base_sac }),
         };
-        builder
-            .build()
-            .expect("valid machine configuration")
-            .run(&workloads[b])
-            .unwrap()
+        Ok(builder.build()?.run(&workloads[b])?)
+    });
+    let stats = sac_bench::exit_on_cell_failures(outcomes, |i| {
+        let (b, theta) = jobs[i];
+        format!("{}/theta={:?}", SUBSET[b], theta)
     });
 
     let per_bench = THETAS.len() + 1;

@@ -5,7 +5,8 @@
 use mcgpu_trace::profiles::Preference;
 use mcgpu_types::LlcOrgKind;
 use sac_bench::{
-    experiment_config, group_speedup, harmonic_mean, run_suite, trace_params, BenchRows,
+    exit_on_quarantine, experiment_config, group_speedup, harmonic_mean, run_suite, trace_params,
+    BenchRows, SweepOptions,
 };
 
 fn group_metric(
@@ -24,7 +25,12 @@ fn group_metric(
 
 fn main() {
     let cfg = experiment_config();
-    let rows = run_suite(&cfg, &trace_params(), &LlcOrgKind::ALL);
+    let rows = exit_on_quarantine(run_suite(
+        &cfg,
+        &trace_params(),
+        &LlcOrgKind::ALL,
+        &SweepOptions::from_args(),
+    ));
 
     println!("(a) performance normalized to memory-side (harmonic mean):");
     println!("{:14} {:>6} {:>6} {:>6}", "organization", "SP", "MP", "all");

@@ -3,11 +3,18 @@
 
 use mcgpu_trace::profiles::Preference;
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{experiment_config, group_speedup, run_suite, trace_params};
+use sac_bench::{
+    exit_on_quarantine, experiment_config, group_speedup, run_suite, trace_params, SweepOptions,
+};
 
 fn main() {
     let cfg = experiment_config();
-    let rows = run_suite(&cfg, &trace_params(), &LlcOrgKind::ALL);
+    let rows = exit_on_quarantine(run_suite(
+        &cfg,
+        &trace_params(),
+        &LlcOrgKind::ALL,
+        &SweepOptions::from_args(),
+    ));
 
     println!(
         "{:6} {:>4} | {:>8} {:>8} {:>8} {:>8} {:>8} | SAC modes",

@@ -2,11 +2,16 @@
 //! remote data under each organization.
 
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{experiment_config, run_suite, trace_params};
+use sac_bench::{exit_on_quarantine, experiment_config, run_suite, trace_params, SweepOptions};
 
 fn main() {
     let cfg = experiment_config();
-    let rows = run_suite(&cfg, &trace_params(), &LlcOrgKind::ALL);
+    let rows = exit_on_quarantine(run_suite(
+        &cfg,
+        &trace_params(),
+        &LlcOrgKind::ALL,
+        &SweepOptions::from_args(),
+    ));
     println!("fraction of LLC caching LOCAL data (remainder = remote data):");
     print!("{:6} {:>4}", "bench", "pref");
     for org in LlcOrgKind::ALL {

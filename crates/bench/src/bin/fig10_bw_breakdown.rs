@@ -2,11 +2,16 @@
 //! broken down by where the data came from, normalized to memory-side.
 
 use mcgpu_types::{LlcOrgKind, ResponseOrigin};
-use sac_bench::{experiment_config, run_suite, trace_params};
+use sac_bench::{exit_on_quarantine, experiment_config, run_suite, trace_params, SweepOptions};
 
 fn main() {
     let cfg = experiment_config();
-    let rows = run_suite(&cfg, &trace_params(), &LlcOrgKind::ALL);
+    let rows = exit_on_quarantine(run_suite(
+        &cfg,
+        &trace_params(),
+        &LlcOrgKind::ALL,
+        &SweepOptions::from_args(),
+    ));
     println!("per-benchmark responses/cycle by origin (normalized to the memory-side total):");
     for r in &rows {
         println!("{} ({}):", r.profile.name, r.profile.preference.label());

@@ -4,7 +4,9 @@
 
 use mcgpu_trace::analysis;
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{experiment_config, run_suite, sweep, trace_params};
+use sac_bench::{
+    exit_on_quarantine, experiment_config, run_suite, sweep, trace_params, SweepOptions,
+};
 
 fn main() {
     let cfg = experiment_config();
@@ -21,7 +23,12 @@ fn main() {
     // The SM-side runs fan out over the sweep pool; the working-set
     // analysis then fans out per benchmark, reusing each run's workload
     // rather than regenerating the trace.
-    let rows = run_suite(&cfg, &params, &[LlcOrgKind::SmSide]);
+    let rows = exit_on_quarantine(run_suite(
+        &cfg,
+        &params,
+        &[LlcOrgKind::SmSide],
+        &SweepOptions::from_args(),
+    ));
     let curves = sweep::map(rows.iter().collect(), |r| {
         let rate = r.stats(LlcOrgKind::SmSide).perf();
         let windows_accesses: Vec<usize> = windows_cycles

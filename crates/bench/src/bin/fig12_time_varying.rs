@@ -4,17 +4,18 @@
 //! for K2 on a per-kernel basis.
 
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{experiment_config, run_benchmark, trace_params};
+use sac_bench::{exit_on_quarantine, experiment_config, run_benchmark, trace_params, SweepOptions};
 
 fn main() {
     let cfg = experiment_config();
     let p = mcgpu_trace::profiles::by_name("BFS").expect("BFS profile");
-    let rows = run_benchmark(
+    let rows = exit_on_quarantine(run_benchmark(
         &cfg,
         &p,
         &trace_params(),
         &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac],
-    );
+        &SweepOptions::from_args(),
+    ));
     let mem = rows.stats(LlcOrgKind::MemorySide);
     let sm = rows.stats(LlcOrgKind::SmSide);
     let sac = rows.stats(LlcOrgKind::Sac);

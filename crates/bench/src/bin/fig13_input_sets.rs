@@ -5,7 +5,7 @@
 
 use mcgpu_trace::{generate, profiles, TraceParams, Workload};
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{run_one, sweep};
+use sac_bench::{exit_on_cell_failures, sweep, try_run_one};
 use std::sync::Arc;
 
 const ORGS: [LlcOrgKind; 3] = [LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac];
@@ -41,7 +41,18 @@ fn main() {
     let pairs: Vec<(usize, LlcOrgKind)> = (0..combos.len())
         .flat_map(|i| ORGS.iter().map(move |&org| (i, org)))
         .collect();
-    let stats = sweep::map(pairs, |(i, org)| run_one(&cfg, &workloads[i], org));
+    // Isolated cells: one pathological (input-scale, organization) pair is
+    // quarantined and reported instead of sinking the whole figure.
+    let outcomes = sweep::map_isolated(pairs.clone(), |&(i, org), attempt| {
+        let mut scaled = cfg.clone();
+        scaled.watchdog_cycles = scaled.watchdog_cycles.saturating_mul(1 << attempt.min(32));
+        try_run_one(&scaled, &workloads[i], org)
+    });
+    let stats = exit_on_cell_failures(outcomes, |k| {
+        let (i, org) = pairs[k];
+        let (name, scale) = combos[i];
+        format!("{name}@x{scale}/{}", org.label())
+    });
     let row = |i: usize| &stats[i * ORGS.len()..(i + 1) * ORGS.len()];
 
     let mut idx = 0;

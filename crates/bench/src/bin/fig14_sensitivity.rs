@@ -6,23 +6,24 @@
 
 use mcgpu_trace::{profiles, TraceParams};
 use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface};
-use sac_bench::{harmonic_mean, run_profiles};
+use sac_bench::{exit_on_quarantine, harmonic_mean, run_profiles, SweepOptions};
 
 const SUBSET: [&str; 6] = ["RN", "SN", "CFD", "SRAD", "LUD", "GEMM"];
 
-fn sweep(label: &str, cfg: &MachineConfig, params: &TraceParams) {
+fn sweep(label: &str, cfg: &MachineConfig, params: &TraceParams, opts: &SweepOptions) {
     // Every (benchmark x organization) run of this configuration fans out
     // over the shared sweep pool.
     let subset: Vec<_> = SUBSET
         .iter()
         .map(|n| profiles::by_name(n).expect("profile"))
         .collect();
-    let rows = run_profiles(
+    let rows = exit_on_quarantine(run_profiles(
         cfg,
         &subset,
         params,
         &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac],
-    );
+        opts,
+    ));
     let sm: Vec<f64> = rows.iter().map(|r| r.speedup(LlcOrgKind::SmSide)).collect();
     let sac: Vec<f64> = rows.iter().map(|r| r.speedup(LlcOrgKind::Sac)).collect();
     println!(
@@ -36,6 +37,7 @@ fn sweep(label: &str, cfg: &MachineConfig, params: &TraceParams) {
 fn main() {
     let base = sac_bench::experiment_config();
     let params = sac_bench::trace_params();
+    let opts = SweepOptions::from_args().sequential();
     println!("harmonic-mean speedup vs memory-side on {:?}:\n", SUBSET);
 
     println!("-- inter-chip bandwidth (default marked *) --");
@@ -48,14 +50,14 @@ fn main() {
     ] {
         let mut c = base.clone();
         c.interchip_pair_gbs *= factor;
-        sweep(label, &c, &params);
+        sweep(label, &c, &params, &opts);
     }
 
     println!("\n-- LLC capacity --");
     for (label, factor) in [("0.5x LLC", 0.5), ("1x LLC *", 1.0), ("2x LLC", 2.0)] {
         let mut c = base.clone();
         c.llc_bytes_per_chip = (c.llc_bytes_per_chip as f64 * factor) as u64;
-        sweep(label, &c, &params);
+        sweep(label, &c, &params, &opts);
     }
 
     println!("\n-- memory interface --");
@@ -72,7 +74,7 @@ fn main() {
         } else {
             ""
         };
-        sweep(&format!("{}{}", iface.label(), star), &c, &params);
+        sweep(&format!("{}{}", iface.label(), star), &c, &params, &opts);
     }
 
     println!("\n-- coherence protocol --");
@@ -84,7 +86,7 @@ fn main() {
         } else {
             ""
         };
-        sweep(&format!("{:?}{}", coh, star), &c, &params);
+        sweep(&format!("{:?}{}", coh, star), &c, &params, &opts);
     }
 
     println!("\n-- GPU count (total inter-chip bandwidth held constant) --");
@@ -94,7 +96,7 @@ fn main() {
         c.chips = chips;
         c.interchip_pair_gbs = total_pair_bw / chips as f64;
         let star = if chips == 4 { " *" } else { "" };
-        sweep(&format!("{} GPUs{}", chips, star), &c, &params);
+        sweep(&format!("{} GPUs{}", chips, star), &c, &params, &opts);
     }
 
     println!("\n-- sectored cache --");
@@ -102,7 +104,12 @@ fn main() {
         let mut c = base.clone();
         c.sectored = sectored;
         let star = if !sectored { " *" } else { "" };
-        sweep(&format!("sectored={}{}", sectored, star), &c, &params);
+        sweep(
+            &format!("sectored={}{}", sectored, star),
+            &c,
+            &params,
+            &opts,
+        );
     }
 
     println!("\n-- page size --");
@@ -110,6 +117,6 @@ fn main() {
         let mut c = base.clone();
         c.page_size = ps;
         let star = if ps == 4096 { " *" } else { "" };
-        sweep(&format!("{} B pages{}", ps, star), &c, &params);
+        sweep(&format!("{} B pages{}", ps, star), &c, &params, &opts);
     }
 }

@@ -19,7 +19,7 @@
 use mcgpu_trace::{generate, profiles, TraceParams, Workload};
 use mcgpu_types::LlcOrgKind;
 use sac_bench::resilience::{run_grid, scenarios, Outcome};
-use sac_bench::{run_one, sweep};
+use sac_bench::{exit_on_cell_failures, sweep, try_run_one};
 use std::sync::Arc;
 
 const SUBSET: [&str; 4] = ["SN", "BS", "SRAD", "GEMM"];
@@ -63,12 +63,16 @@ fn main() {
     // Workloads and their fault-free baselines fan out per benchmark; the
     // (scenario x organization) grid of each benchmark then fans out via
     // `run_grid`.
-    let baselines: Vec<(Arc<Workload>, u64)> = sweep::map(SUBSET.to_vec(), |name| {
+    let outcomes = sweep::map_isolated(SUBSET.to_vec(), |name, attempt| {
         let profile = profiles::by_name(name).expect("profile");
         let wl = generate(&cfg, &profile, &params);
-        let stats = run_one(&cfg, &wl, LlcOrgKind::MemorySide);
-        (Arc::new(wl), stats.reads + stats.writes)
+        let mut scaled = cfg.clone();
+        scaled.watchdog_cycles = scaled.watchdog_cycles.saturating_mul(1 << attempt.min(32));
+        let stats = try_run_one(&scaled, &wl, LlcOrgKind::MemorySide)?;
+        Ok((Arc::new(wl), stats.reads + stats.writes))
     });
+    let baselines: Vec<(Arc<Workload>, u64)> =
+        exit_on_cell_failures(outcomes, |i| format!("{}/baseline", SUBSET[i]));
 
     let mut sac_beats_baselines_somewhere = false;
     for (name, (wl, expected)) in SUBSET.iter().zip(&baselines) {

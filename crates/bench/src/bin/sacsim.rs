@@ -3,16 +3,24 @@
 //! ```text
 //! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X]
 //!        [--hw-coherence] [--sectored] [--json] [--jobs N]
+//!        [--watchdog-cycles N] [--journal PATH] [--resume PATH]
 //! ```
 //!
 //! ORG in {mem, sm, static, dynamic, sac, all}. Prints the full run
 //! statistics; `--org all` fans every organization out over the sweep pool
 //! and prints a comparison table; `--json` prints the canonical golden-stat
 //! JSON instead (single organization only).
+//!
+//! Robustness knobs: `--watchdog-cycles N` sets the forward-progress
+//! watchdog window (`MCGPU_WATCHDOG_CYCLES` works too; `18446744073709551615`
+//! = `u64::MAX` disables it). `--journal PATH` records every finished cell
+//! to an append-only JSONL run journal; after an interruption,
+//! `--resume PATH` replays completed cells byte-identically and re-runs
+//! only missing or quarantined ones.
 
-use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_trace::{profiles, TraceParams};
 use mcgpu_types::{CoherenceKind, LlcOrgKind, ResponseOrigin};
-use sac_bench::{run_one, sweep};
+use sac_bench::{exit_on_quarantine, run_benchmark, SweepOptions};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -42,6 +50,11 @@ fn main() {
     if std::env::args().any(|a| a == "--sectored") {
         cfg.sectored = true;
     }
+    if let Some(n) = arg_value("--watchdog-cycles").and_then(|v| v.parse().ok()) {
+        // Validated by MachineConfig::validate() when the simulator is
+        // built; 0 is rejected there with a typed ConfigError.
+        cfg.watchdog_cycles = n;
+    }
     let mut params = TraceParams::standard();
     if let Some(n) = arg_value("--accesses").and_then(|v| v.parse().ok()) {
         params.total_accesses = n;
@@ -60,26 +73,30 @@ fn main() {
         );
         std::process::exit(2);
     };
-    let wl = generate(&cfg, &profile, &params);
+    let opts = SweepOptions::from_args();
 
     let Some(org) = org else {
         // --org all: fan every organization out over the sweep pool and
         // print a comparison table relative to the memory-side baseline.
-        let runs = sweep::map(LlcOrgKind::ALL.to_vec(), |org| {
-            (org, run_one(&cfg, &wl, org))
-        });
-        let mem_cycles = runs[0].1.cycles;
+        let rows = exit_on_quarantine(run_benchmark(
+            &cfg,
+            &profile,
+            &params,
+            &LlcOrgKind::ALL,
+            &opts,
+        ));
+        let mem_cycles = rows.runs[0].1.cycles;
         println!(
             "benchmark: {} ({} accesses, input x{})\n",
             bench,
-            wl.total_accesses(),
+            rows.workload.total_accesses(),
             params.input_scale
         );
         println!(
             "{:12} {:>10} {:>10} {:>9} {:>9} {:>9}",
             "organization", "cycles", "acc/cyc", "speedup", "LLC miss", "local"
         );
-        for (org, s) in &runs {
+        for (org, s) in &rows.runs {
             println!(
                 "{:12} {:>10} {:>10.3} {:>8.2}x {:>9.3} {:>9.3}",
                 org.label(),
@@ -92,7 +109,8 @@ fn main() {
         }
         return;
     };
-    let stats = run_one(&cfg, &wl, org);
+    let rows = exit_on_quarantine(run_benchmark(&cfg, &profile, &params, &[org], &opts));
+    let stats = rows.stats(org);
     if std::env::args().any(|a| a == "--json") {
         print!("{}", stats.to_canonical_json());
         return;
@@ -101,7 +119,7 @@ fn main() {
     println!(
         "benchmark          : {} ({} accesses, input x{})",
         bench,
-        wl.total_accesses(),
+        rows.workload.total_accesses(),
         params.input_scale
     );
     println!("organization       : {}", org.label());

@@ -13,10 +13,14 @@ fn main() {
         "bench", "CTAs", "fp(paper)", "fp(meas)", "TS(paper)", "TS(meas)", "FS(paper)", "FS(meas)"
     );
     // Generation + characterization of the 16 workloads fans out over the
-    // sweep pool; rows come back in suite order.
-    let rows = sweep::map(profiles::all_profiles(), |p| {
-        let wl = generate(&cfg, &p, &params);
-        (p, analysis::characterize(&cfg, &wl))
+    // sweep pool as isolated cells; rows come back in suite order and one
+    // bad workload cannot sink the table.
+    let outcomes = sweep::map_isolated(profiles::all_profiles(), |p, _attempt| {
+        let wl = generate(&cfg, p, &params);
+        Ok((p.clone(), analysis::characterize(&cfg, &wl)))
+    });
+    let rows = sac_bench::exit_on_cell_failures(outcomes, |i| {
+        profiles::all_profiles()[i].name.to_string()
     });
     for (p, m) in rows {
         println!(

@@ -12,21 +12,47 @@
 //! simulation runs out over the [`sweep`] thread pool; `--jobs N` (or
 //! `MCGPU_JOBS=N`) bounds the parallelism, and results are identical for
 //! every thread count.
+//!
+//! # Crash safety and resume
+//!
+//! Each (benchmark × organization) cell runs in isolation: a panicking,
+//! deadlocked or over-budget cell is retried with escalating budgets and,
+//! if it keeps failing, quarantined with a typed [`sweep::CellError`] while
+//! every sibling cell completes. Pass `--journal results/run.jsonl` to
+//! record every finished cell in an append-only JSONL [`journal`], and
+//! `--resume results/run.jsonl` after an interruption to replay completed
+//! cells byte-identically and re-execute only missing or quarantined ones.
 
 use mcgpu_sim::{RunStats, SimBuilder};
 use mcgpu_trace::{generate, profiles, BenchmarkProfile, TraceParams, Workload};
 use mcgpu_types::{LlcOrgKind, MachineConfig};
-use std::sync::Arc;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 
+pub mod golden;
+pub mod journal;
 pub mod resilience;
 pub mod sweep;
 
+pub use journal::{cell_config_hash, Journal, JournalRecord, RecordOutcome};
 pub use mcgpu_sim::stats::harmonic_mean;
+pub use sweep::{CellError, CellOutcome};
 
 /// The scaled baseline machine every figure uses unless it sweeps a
 /// parameter (see `ScaleFactor::EXPERIMENT` for what "scaled" preserves).
+///
+/// `MCGPU_WATCHDOG_CYCLES` overrides the forward-progress watchdog window
+/// (validated by `MachineConfig::validate()` at build time; `u64::MAX`
+/// disables the watchdog).
 pub fn experiment_config() -> MachineConfig {
-    MachineConfig::experiment_baseline()
+    let mut cfg = MachineConfig::experiment_baseline();
+    if let Some(n) = std::env::var("MCGPU_WATCHDOG_CYCLES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+    {
+        cfg.watchdog_cycles = n;
+    }
+    cfg
 }
 
 /// Trace volume: standard for figures, reduced with `--quick`.
@@ -44,6 +70,178 @@ pub fn trace_params() -> TraceParams {
 /// Whether `--quick` was passed on the command line.
 pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Journal/resume options for a sweep, normally parsed from the command
+/// line with [`SweepOptions::from_args`].
+#[derive(Debug, Default)]
+pub struct SweepOptions {
+    /// Record finished cells to a fresh journal at this path.
+    pub journal: Option<PathBuf>,
+    /// Load this journal, replay its completed cells, re-run the rest, and
+    /// keep recording to the same path. Takes precedence over `journal`.
+    pub resume: Option<PathBuf>,
+}
+
+impl SweepOptions {
+    /// No journaling (the default for tests and library callers).
+    pub fn none() -> SweepOptions {
+        SweepOptions::default()
+    }
+
+    /// Parse `--journal PATH` / `--resume PATH` (or `--flag=PATH`) from the
+    /// process arguments.
+    pub fn from_args() -> SweepOptions {
+        fn value(name: &str) -> Option<PathBuf> {
+            let args: Vec<String> = std::env::args().collect();
+            for (i, a) in args.iter().enumerate() {
+                if a == name {
+                    return args.get(i + 1).map(PathBuf::from);
+                }
+                if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                    return Some(PathBuf::from(v));
+                }
+            }
+            None
+        }
+        SweepOptions {
+            journal: value("--journal"),
+            resume: value("--resume"),
+        }
+    }
+
+    /// Adapt for binaries that run *several* sweeps in sequence: a fresh
+    /// `--journal` is truncated once, here, and then treated as a resume
+    /// target so later sweeps append to it instead of truncating the
+    /// records of earlier ones.
+    pub fn sequential(self) -> SweepOptions {
+        if let (Some(path), None) = (&self.journal, &self.resume) {
+            Journal::create(path)
+                .unwrap_or_else(|e| panic!("cannot create journal {}: {e}", path.display()));
+            SweepOptions {
+                journal: None,
+                resume: Some(path.clone()),
+            }
+        } else {
+            self
+        }
+    }
+
+    /// Open the journal these options describe, if any.
+    ///
+    /// Journal I/O failures abort the process: they are environment
+    /// errors (full disk, bad path), not cell outcomes, and silently
+    /// dropping durability would defeat the journal's purpose.
+    fn open_journal(&self) -> Option<Mutex<Journal>> {
+        if let Some(path) = &self.resume {
+            let j = Journal::open(path)
+                .unwrap_or_else(|e| panic!("cannot open journal {}: {e}", path.display()));
+            eprintln!(
+                "  resuming from {} ({} recorded cell(s))",
+                path.display(),
+                j.records().len()
+            );
+            Some(Mutex::new(j))
+        } else if let Some(path) = &self.journal {
+            let j = Journal::create(path)
+                .unwrap_or_else(|e| panic!("cannot create journal {}: {e}", path.display()));
+            Some(Mutex::new(j))
+        } else {
+            None
+        }
+    }
+}
+
+/// One quarantined cell of a failed sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Cell name (`"BENCH/organization"`).
+    pub cell: String,
+    /// Attempts executed before giving up.
+    pub attempts: u32,
+    /// The final typed error.
+    pub error: CellError,
+}
+
+/// A sweep finished with one or more quarantined cells. Every other cell
+/// completed (and was journaled, if journaling was on); the error lists
+/// exactly which cells need attention.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepFailure {
+    /// Cells that completed successfully.
+    pub completed: usize,
+    /// Cells that exhausted their retries.
+    pub quarantined: Vec<CellFailure>,
+}
+
+impl std::fmt::Display for SweepFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "sweep quarantined {} of {} cell(s):",
+            self.quarantined.len(),
+            self.completed + self.quarantined.len()
+        )?;
+        for q in &self.quarantined {
+            writeln!(
+                f,
+                "  {} [{}] after {} attempt(s): {}",
+                q.cell,
+                q.error.kind(),
+                q.attempts,
+                q.error
+            )?;
+        }
+        write!(
+            f,
+            "re-run with --resume <journal> to retry only the quarantined cells"
+        )
+    }
+}
+
+impl std::error::Error for SweepFailure {}
+
+/// Unwrap a sweep result in a binary: print the quarantine report and exit
+/// non-zero on failure.
+pub fn exit_on_quarantine<T>(result: Result<T, SweepFailure>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(1);
+    })
+}
+
+/// Collapse [`sweep::map_isolated`] outcomes in a binary: if any cell is
+/// quarantined, print the full report (naming cell `i` via `name(i)`) and
+/// exit non-zero; otherwise return the results in input order.
+pub fn exit_on_cell_failures<R>(
+    outcomes: Vec<CellOutcome<R>>,
+    name: impl Fn(usize) -> String,
+) -> Vec<R> {
+    let quarantined: Vec<CellFailure> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| {
+            o.result.as_ref().err().map(|e| CellFailure {
+                cell: name(i),
+                attempts: o.attempts,
+                error: e.clone(),
+            })
+        })
+        .collect();
+    if !quarantined.is_empty() {
+        eprintln!(
+            "{}",
+            SweepFailure {
+                completed: outcomes.len() - quarantined.len(),
+                quarantined,
+            }
+        );
+        std::process::exit(1);
+    }
+    outcomes
+        .into_iter()
+        .map(|o| o.result.expect("quarantine handled above"))
+        .collect()
 }
 
 /// Results of one benchmark under every requested organization.
@@ -78,32 +276,62 @@ impl BenchRows {
     }
 }
 
-/// Run one `(workload, organization)` simulation — the unit of work every
-/// sweep fans out.
-pub fn run_one(cfg: &MachineConfig, workload: &Workload, org: LlcOrgKind) -> RunStats {
-    SimBuilder::new(cfg.clone())
+/// Run one `(workload, organization)` simulation, returning typed errors
+/// instead of panicking — the unit of work every crash-safe sweep fans out.
+///
+/// # Errors
+/// [`CellError::Sim`] for configuration rejections and runtime aborts
+/// (cycle limit, deadlock, wall-clock timeout, invariant violation).
+pub fn try_run_one(
+    cfg: &MachineConfig,
+    workload: &Workload,
+    org: LlcOrgKind,
+) -> Result<RunStats, CellError> {
+    Ok(SimBuilder::new(cfg.clone())
         .organization(org)
-        .build()
-        .expect("valid machine configuration")
-        .run(workload)
-        .unwrap_or_else(|e| panic!("{}/{org}: {e}", workload.name))
+        .build()?
+        .run(workload)?)
+}
+
+/// Run one `(workload, organization)` simulation.
+///
+/// # Panics
+/// Panics on any simulation error; use [`try_run_one`] in sweeps.
+pub fn run_one(cfg: &MachineConfig, workload: &Workload, org: LlcOrgKind) -> RunStats {
+    try_run_one(cfg, workload, org).unwrap_or_else(|e| panic!("{}/{org}: {e}", workload.name))
+}
+
+/// One isolated attempt of a sweep cell. Deterministic backoff: attempt
+/// `n` runs with the watchdog window scaled by `2^n`, so a slow-but-live
+/// run clears a spurious deadlock trip while a true deadlock still fails
+/// every attempt identically. No wall-clock scheduling is involved, so
+/// results remain a pure function of the inputs.
+fn run_cell_attempt(
+    cfg: &MachineConfig,
+    workload: &Workload,
+    org: LlcOrgKind,
+    attempt: u32,
+) -> Result<RunStats, CellError> {
+    let mut c = cfg.clone();
+    c.watchdog_cycles = c.watchdog_cycles.saturating_mul(1u64 << attempt.min(32));
+    try_run_one(&c, workload, org)
 }
 
 /// Run one benchmark under the given organizations on `cfg`, fanning the
 /// per-organization runs out over the sweep pool.
+///
+/// # Errors
+/// [`SweepFailure`] listing every quarantined cell; sibling cells still
+/// completed (and were journaled, if `opts` enables journaling).
 pub fn run_benchmark(
     cfg: &MachineConfig,
     profile: &BenchmarkProfile,
     params: &TraceParams,
     orgs: &[LlcOrgKind],
-) -> BenchRows {
-    let workload = Arc::new(generate(cfg, profile, params));
-    let runs = sweep::map(orgs.to_vec(), |org| (org, run_one(cfg, &workload, org)));
-    BenchRows {
-        profile: profile.clone(),
-        workload,
-        runs,
-    }
+    opts: &SweepOptions,
+) -> Result<BenchRows, SweepFailure> {
+    let mut rows = run_profiles(cfg, std::slice::from_ref(profile), params, orgs, opts)?;
+    Ok(rows.pop().expect("one profile yields one row"))
 }
 
 /// Run the full 16-benchmark suite under the given organizations on the
@@ -111,35 +339,118 @@ pub fn run_benchmark(
 /// (benchmark × organization) simulation fans out independently. Results
 /// are collected in input order, so the rows are identical to the serial
 /// loop's for any `--jobs` value.
-pub fn run_suite(cfg: &MachineConfig, params: &TraceParams, orgs: &[LlcOrgKind]) -> Vec<BenchRows> {
-    run_profiles(cfg, &profiles::all_profiles(), params, orgs)
+///
+/// # Errors
+/// [`SweepFailure`] listing every quarantined cell.
+pub fn run_suite(
+    cfg: &MachineConfig,
+    params: &TraceParams,
+    orgs: &[LlcOrgKind],
+    opts: &SweepOptions,
+) -> Result<Vec<BenchRows>, SweepFailure> {
+    run_profiles(cfg, &profiles::all_profiles(), params, orgs, opts)
 }
 
 /// [`run_suite`] over an explicit benchmark subset.
+///
+/// Every (benchmark × organization) cell runs isolated with bounded
+/// retries (see [`sweep::run_cell`]); with journaling enabled, each cell's
+/// outcome is persisted the moment it finishes, and cells recorded as
+/// completed by a matching earlier run are replayed instead of re-run.
+///
+/// # Errors
+/// [`SweepFailure`] listing every quarantined cell.
 pub fn run_profiles(
     cfg: &MachineConfig,
     profs: &[BenchmarkProfile],
     params: &TraceParams,
     orgs: &[LlcOrgKind],
-) -> Vec<BenchRows> {
+    opts: &SweepOptions,
+) -> Result<Vec<BenchRows>, SweepFailure> {
     eprintln!(
         "  sweep: {} benchmarks x {} organizations on {} thread(s)",
         profs.len(),
         orgs.len(),
         sweep::jobs()
     );
+    let journal = opts.open_journal();
     let workloads: Vec<Arc<Workload>> =
         sweep::map(profs.to_vec(), |p| Arc::new(generate(cfg, &p, params)));
     let pairs: Vec<(usize, LlcOrgKind)> = (0..profs.len())
         .flat_map(|pi| orgs.iter().map(move |&org| (pi, org)))
         .collect();
-    let stats = sweep::map(pairs, |(pi, org)| {
-        let s = run_one(cfg, &workloads[pi], org);
-        eprintln!("  finished {} / {}", profs[pi].name, org.label());
-        s
+    let outcomes = sweep::map(pairs, |(pi, org)| {
+        let name = format!("{}/{}", profs[pi].name, org.label());
+        let hash = cell_config_hash(cfg, params, profs[pi].name, org);
+        if let Some(j) = &journal {
+            let replay = j
+                .lock()
+                .expect("journal lock")
+                .lookup(&name, hash)
+                .and_then(|r| r.stats().ok().flatten());
+            if let Some(stats) = replay {
+                eprintln!("  replayed {name} from journal");
+                return (
+                    name,
+                    CellOutcome {
+                        attempts: 0,
+                        result: Ok(stats),
+                    },
+                );
+            }
+        }
+        let out = sweep::run_cell(|attempt| run_cell_attempt(cfg, &workloads[pi], org, attempt));
+        if let Some(j) = &journal {
+            let outcome = match &out.result {
+                Ok(stats) => RecordOutcome::Completed {
+                    stats_json: stats.to_canonical_json(),
+                },
+                Err(e) => RecordOutcome::Quarantined {
+                    kind: e.kind().to_string(),
+                    error: e.to_string(),
+                },
+            };
+            j.lock()
+                .expect("journal lock")
+                .append(JournalRecord {
+                    cell: name.clone(),
+                    config_hash: hash,
+                    attempts: out.attempts,
+                    outcome,
+                })
+                .expect("write run journal");
+        }
+        match &out.result {
+            Ok(_) => eprintln!("  finished {name}"),
+            Err(e) => eprintln!(
+                "  QUARANTINED {name} after {} attempt(s): {e}",
+                out.attempts
+            ),
+        }
+        (name, out)
     });
-    let mut stats = stats.into_iter();
-    profs
+
+    let quarantined: Vec<CellFailure> = outcomes
+        .iter()
+        .filter_map(|(name, out)| {
+            out.result.as_ref().err().map(|e| CellFailure {
+                cell: name.clone(),
+                attempts: out.attempts,
+                error: e.clone(),
+            })
+        })
+        .collect();
+    if !quarantined.is_empty() {
+        return Err(SweepFailure {
+            completed: outcomes.len() - quarantined.len(),
+            quarantined,
+        });
+    }
+
+    let mut stats = outcomes
+        .into_iter()
+        .map(|(_, out)| out.result.expect("quarantine handled above"));
+    Ok(profs
         .iter()
         .zip(&workloads)
         .map(|(p, wl)| BenchRows {
@@ -150,7 +461,7 @@ pub fn run_profiles(
                 .map(|&org| (org, stats.next().expect("one result per pair")))
                 .collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// Harmonic-mean speedup over `rows` filtered by preference (`None` = all).
@@ -189,8 +500,62 @@ mod tests {
             &p,
             &params,
             &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide],
-        );
+            &SweepOptions::none(),
+        )
+        .expect("healthy cells never quarantine");
         assert!((rows.speedup(LlcOrgKind::MemorySide) - 1.0).abs() < 1e-12);
         assert!(rows.speedup(LlcOrgKind::SmSide) > 0.0);
+    }
+
+    #[test]
+    fn journaled_run_records_and_replays_cells() {
+        let cfg = experiment_config();
+        let params = TraceParams {
+            total_accesses: 10_000,
+            ..TraceParams::quick()
+        };
+        let p = profiles::by_name("SN").unwrap();
+        let path =
+            std::env::temp_dir().join(format!("sac-bench-journal-{}.jsonl", std::process::id()));
+        let orgs = [LlcOrgKind::MemorySide, LlcOrgKind::Sac];
+
+        let fresh = run_benchmark(
+            &cfg,
+            &p,
+            &params,
+            &orgs,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: None,
+            },
+        )
+        .unwrap();
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.records().len(), 2, "one record per cell");
+
+        // Resuming replays both cells byte-identically without re-running.
+        let resumed = run_benchmark(
+            &cfg,
+            &p,
+            &params,
+            &orgs,
+            &SweepOptions {
+                journal: None,
+                resume: Some(path.clone()),
+            },
+        )
+        .unwrap();
+        for org in orgs {
+            assert_eq!(
+                resumed.stats(org).to_canonical_json(),
+                fresh.stats(org).to_canonical_json()
+            );
+        }
+        assert_eq!(
+            Journal::open(&path).unwrap().records().len(),
+            2,
+            "replayed cells are not re-journaled"
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 }

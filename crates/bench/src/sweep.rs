@@ -17,6 +17,7 @@
 //!    default),
 //! 4. the number of available CPUs.
 
+use mcgpu_sim::SimError;
 use std::sync::OnceLock;
 
 /// Thread count requested via `--jobs`/`MCGPU_JOBS`, or `None` to fall
@@ -91,6 +92,158 @@ where
     pool.install(|| items.into_par_iter().map(f).collect())
 }
 
+/// Typed failure of one sweep cell. Sibling cells keep running; the sweep
+/// reports every failed cell instead of aborting on the first.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// The cell's closure panicked; the payload's message was captured.
+    Panic {
+        /// The panic message.
+        message: String,
+    },
+    /// The simulator returned a typed error.
+    Sim(SimError),
+}
+
+impl CellError {
+    /// Whether a retry with a relaxed budget can plausibly succeed.
+    ///
+    /// Cycle-limit, watchdog-deadlock and wall-clock-timeout aborts are
+    /// budget trips — a slow-but-live run clears them with a bigger budget,
+    /// and a true deadlock fails them again deterministically. Panics,
+    /// configuration rejections and invariant violations are bugs; retrying
+    /// the same deterministic run cannot change the outcome.
+    pub fn retryable(&self) -> bool {
+        matches!(
+            self,
+            CellError::Sim(
+                SimError::CycleLimit { .. } | SimError::Deadlock { .. } | SimError::Timeout { .. }
+            )
+        )
+    }
+
+    /// Short machine-readable classification, used by the run journal.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellError::Panic { .. } => "panic",
+            CellError::Sim(SimError::CycleLimit { .. }) => "cycle-limit",
+            CellError::Sim(SimError::Deadlock { .. }) => "deadlock",
+            CellError::Sim(SimError::Timeout { .. }) => "timeout",
+            CellError::Sim(SimError::InvariantViolation { .. }) => "invariant-violation",
+            CellError::Sim(SimError::Config(_)) => "config",
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panic { message } => write!(f, "cell panicked: {message}"),
+            CellError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CellError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CellError::Panic { .. } => None,
+            CellError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for CellError {
+    fn from(e: SimError) -> Self {
+        CellError::Sim(e)
+    }
+}
+
+impl From<mcgpu_types::ConfigError> for CellError {
+    fn from(e: mcgpu_types::ConfigError) -> Self {
+        CellError::Sim(SimError::Config(e))
+    }
+}
+
+/// The outcome of one isolated cell: how many attempts ran and the final
+/// result. `result.is_err()` means the cell is quarantined — it either hit
+/// a non-retryable error or exhausted [`MAX_ATTEMPTS`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome<R> {
+    /// Attempts executed (1-based; 0 means the result was replayed from a
+    /// journal without running).
+    pub attempts: u32,
+    /// The final result.
+    pub result: Result<R, CellError>,
+}
+
+/// Retry budget per cell, counting the first attempt.
+pub const MAX_ATTEMPTS: u32 = 3;
+
+/// Run one cell in isolation with bounded retries.
+///
+/// `f(attempt)` executes attempt `attempt` (0-based) and is expected to
+/// scale its own budgets deterministically — e.g. double the cycle budget
+/// or watchdog window per attempt. Backoff is *budget escalation only*:
+/// there is no wall-clock sleep and no randomness, so a sweep's results
+/// stay a pure function of its inputs (the PR 2 determinism contract).
+///
+/// Panics inside `f` are caught and converted to [`CellError::Panic`];
+/// they never propagate to the caller or to sibling cells. Non-retryable
+/// errors (see [`CellError::retryable`]) quarantine the cell immediately.
+pub fn run_cell<R>(f: impl Fn(u32) -> Result<R, CellError>) -> CellOutcome<R> {
+    let mut attempt = 0;
+    loop {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(attempt)));
+        let err = match caught {
+            Ok(Ok(v)) => {
+                return CellOutcome {
+                    attempts: attempt + 1,
+                    result: Ok(v),
+                }
+            }
+            Ok(Err(e)) => e,
+            Err(payload) => CellError::Panic {
+                message: rayon::panic_message(payload.as_ref()),
+            },
+        };
+        attempt += 1;
+        if attempt >= MAX_ATTEMPTS || !err.retryable() {
+            return CellOutcome {
+                attempts: attempt,
+                result: Err(err),
+            };
+        }
+    }
+}
+
+/// Crash-safe variant of [`map`]: every item runs as an isolated cell
+/// ([`run_cell`]) on the sweep pool, so a panicking or erroring cell yields
+/// its own `Err` slot while every sibling still completes. Output order is
+/// input order.
+pub fn map_isolated<T, R, F>(items: Vec<T>, f: F) -> Vec<CellOutcome<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&T, u32) -> Result<R, CellError> + Sync + Send,
+{
+    // `run_cell` already catches per-attempt panics; the outer `map_catch`
+    // is a second net so that even a panic in the retry bookkeeping turns
+    // into a typed outcome instead of poisoning the batch.
+    pool()
+        .install(|| rayon::map_catch(items, |item| run_cell(|attempt| f(&item, attempt))))
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|p| CellOutcome {
+                attempts: 1,
+                result: Err(CellError::Panic {
+                    message: p.message().to_string(),
+                }),
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +259,64 @@ mod tests {
         let serial = map_with_jobs(1, (0..97).collect(), |i: u64| i.wrapping_mul(0x9e37));
         let parallel = map_with_jobs(8, (0..97).collect(), |i: u64| i.wrapping_mul(0x9e37));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn run_cell_retries_retryable_errors_with_escalation() {
+        let out = run_cell(|attempt| {
+            if attempt < 2 {
+                Err(CellError::Sim(SimError::CycleLimit {
+                    limit: 1000 << attempt,
+                }))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.result, Ok(2));
+    }
+
+    #[test]
+    fn run_cell_quarantines_after_exhausting_retries() {
+        let out: CellOutcome<()> =
+            run_cell(|_| Err(CellError::Sim(SimError::CycleLimit { limit: 7 })));
+        assert_eq!(out.attempts, MAX_ATTEMPTS);
+        assert_eq!(
+            out.result,
+            Err(CellError::Sim(SimError::CycleLimit { limit: 7 }))
+        );
+    }
+
+    #[test]
+    fn run_cell_does_not_retry_panics() {
+        let out: CellOutcome<()> = run_cell(|_| panic!("one-shot failure"));
+        assert_eq!(out.attempts, 1);
+        let err = out.result.unwrap_err();
+        assert_eq!(err.kind(), "panic");
+        assert_eq!(
+            err,
+            CellError::Panic {
+                message: "one-shot failure".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn map_isolated_contains_a_panicking_cell() {
+        let out = map_isolated((0..16).collect::<Vec<u64>>(), |&i, _| {
+            if i == 11 {
+                panic!("cell {i} exploded");
+            }
+            Ok(i * 2)
+        });
+        assert_eq!(out.len(), 16);
+        for (i, cell) in out.iter().enumerate() {
+            if i == 11 {
+                assert!(matches!(&cell.result, Err(CellError::Panic { message })
+                    if message == "cell 11 exploded"));
+            } else {
+                assert_eq!(cell.result, Ok(i as u64 * 2));
+            }
+        }
     }
 }

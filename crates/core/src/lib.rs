@@ -70,6 +70,15 @@ impl LlcMode {
             LlcMode::SmSide => "SM-side",
         }
     }
+
+    /// Inverse of [`LlcMode::label`], for reading serialized run records.
+    pub fn from_label(label: &str) -> Option<LlcMode> {
+        match label {
+            "memory-side" => Some(LlcMode::MemorySide),
+            "SM-side" => Some(LlcMode::SmSide),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for LlcMode {

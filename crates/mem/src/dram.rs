@@ -205,6 +205,17 @@ impl MemoryPartition {
         self.channels.iter().map(|c| c.len()).sum()
     }
 
+    /// Entries carrying a live request (writeback sentinels excluded) —
+    /// exactly the entries the engine's in-flight counter covers, for the
+    /// request-conservation audit.
+    pub fn pending_requests(&self) -> usize {
+        self.channels
+            .iter()
+            .flat_map(|c| c.iter())
+            .filter(|d| d.request.id != mcgpu_types::RequestId(u64::MAX))
+            .count()
+    }
+
     /// Whether all channels are idle.
     pub fn is_empty(&self) -> bool {
         self.channels.iter().all(|c| c.is_empty())

@@ -287,6 +287,21 @@ impl<T> RingNetwork<T> {
             + self.arrived[i].len()
     }
 
+    /// Count payloads anywhere in the fabric (link pipes, transit buffers,
+    /// landed-but-unpopped arrivals) matching `pred`. Used by the engine's
+    /// request-conservation audit to count request-carrying packets while
+    /// ignoring writeback/invalidate traffic.
+    pub fn count_matching(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        self.links
+            .iter()
+            .flat_map(|l| l.iter())
+            .flat_map(|p| p.iter())
+            .chain(self.transit.iter().flatten())
+            .chain(self.arrived.iter().flatten())
+            .filter(|pkt| pred(&pkt.payload))
+            .count()
+    }
+
     /// Packets delivered to their final destination so far.
     pub fn delivered(&self) -> u64 {
         self.delivered

@@ -77,6 +77,27 @@ pub enum SimError {
         /// Where the stuck work sits, per chip.
         snapshot: Box<DeadlockSnapshot>,
     },
+    /// The per-run wall-clock deadline elapsed. The simulation was still
+    /// making forward progress — just too slowly for the caller's budget
+    /// (the sweep runner's per-cell deadline). The deadline is abort-only
+    /// and checked on a coarse cycle grid, so enabling it never perturbs
+    /// the statistics of runs that complete.
+    Timeout {
+        /// Wall-clock time spent, milliseconds.
+        elapsed_ms: u64,
+        /// The configured budget, milliseconds.
+        budget_ms: u64,
+    },
+    /// The request-conservation audit failed: the engine's in-flight
+    /// counter disagrees with the number of request-carrying entries found
+    /// in the machine's queues — a request was lost or double-counted.
+    /// Carries the per-chip breakdown of where requests were found.
+    InvariantViolation {
+        /// Cycle at which the audit failed.
+        cycle: u64,
+        /// What the audit counted.
+        report: Box<ConservationReport>,
+    },
     /// The simulator could not be built or run from the given inputs.
     Config(ConfigError),
 }
@@ -95,6 +116,21 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "no forward progress for {window} cycles (deadlock at cycle {cycle}): {snapshot}"
+                )
+            }
+            SimError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                write!(
+                    f,
+                    "simulation exceeded its wall-clock deadline ({elapsed_ms} ms spent, budget {budget_ms} ms)"
+                )
+            }
+            SimError::InvariantViolation { cycle, report } => {
+                write!(
+                    f,
+                    "request-conservation violation at cycle {cycle}: {report}"
                 )
             }
             SimError::Config(e) => write!(f, "{e}"),
@@ -189,6 +225,85 @@ impl std::fmt::Display for DeadlockSnapshot {
     }
 }
 
+/// What the request-conservation audit counted when it found a mismatch:
+/// the engine's issued-minus-retired counter versus the request-carrying
+/// entries actually present in the machine's queues. Writeback sentinels,
+/// ring writebacks and invalidations are excluded on both sides — they
+/// never enter the in-flight count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConservationReport {
+    /// Requests issued but not yet completed (the engine's counter).
+    pub in_flight: u64,
+    /// Request-carrying queue entries found machine-wide.
+    pub accounted: u64,
+    /// Request-carrying ring-fabric packets (machine-wide; the ring does
+    /// not attribute transit packets to a chip).
+    pub ring_fabric: usize,
+    /// Per-chip breakdown of the accounted entries.
+    pub chips: Vec<ChipConservation>,
+}
+
+/// One chip's request-carrying queue entries inside a
+/// [`ConservationReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ChipConservation {
+    /// The chip index.
+    pub chip: usize,
+    /// Requests inside the request crossbar and its ring-ingress queue.
+    pub network_req: usize,
+    /// Requests queued or in flight at the LLC slice service pipes.
+    pub slice_service: usize,
+    /// Requests merged onto outstanding LLC line fetches (slice MSHRs).
+    pub slice_waiters: usize,
+    /// Live requests inside the DRAM channels (writeback sentinels
+    /// excluded).
+    pub memory: usize,
+    /// Requests on the ring→memory bypass path.
+    pub bypass: usize,
+    /// Responses inside the response crossbar and its ingress queue.
+    pub network_rsp: usize,
+    /// Request/response payloads waiting to leave the chip for the ring.
+    pub ring_egress: usize,
+}
+
+impl ChipConservation {
+    /// Total request-carrying entries on this chip.
+    pub fn total(&self) -> usize {
+        self.network_req
+            + self.slice_service
+            + self.slice_waiters
+            + self.memory
+            + self.bypass
+            + self.network_rsp
+            + self.ring_egress
+    }
+}
+
+impl std::fmt::Display for ConservationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "in_flight={} but accounted={} (ring fabric {})",
+            self.in_flight, self.accounted, self.ring_fabric
+        )?;
+        for c in &self.chips {
+            write!(
+                f,
+                "; chip{}: req={} slice={}+{} mem={} bypass={} rsp={} egress={}",
+                c.chip,
+                c.network_req,
+                c.slice_service,
+                c.slice_waiters,
+                c.memory,
+                c.bypass,
+                c.network_rsp,
+                c.ring_egress
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Why the engine is not issuing new instructions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Pause {
@@ -213,17 +328,24 @@ pub struct SimBuilder {
     dynamic_epoch: u64,
     fault_plan: FaultPlan,
     watchdog_window: u64,
+    deadline: Option<std::time::Duration>,
+    audit_period: u64,
 }
 
-/// Default forward-progress watchdog window: generous against every
-/// legitimate stall in the model (the longest being a full SAC drain of a
-/// saturated machine) yet 50× shorter than the default cycle budget.
-const WATCHDOG_WINDOW_DEFAULT: u64 = 1_000_000;
+/// Request-conservation audit cadence in debug builds. Release builds
+/// default the audit off (`0`); callers opt in via
+/// [`SimBuilder::conservation_audit`].
+const AUDIT_PERIOD_DEFAULT: u64 = 4096;
 
 impl SimBuilder {
-    /// Start from a machine configuration.
+    /// Start from a machine configuration. The forward-progress watchdog
+    /// window defaults to the configuration's `watchdog_cycles` (generous
+    /// against every legitimate stall in the model, the longest being a
+    /// full SAC drain of a saturated machine, yet far shorter than the
+    /// cycle budget).
     pub fn new(cfg: MachineConfig) -> Self {
         let sac_cfg = SacConfig::for_machine(&cfg);
+        let watchdog_window = cfg.watchdog_cycles;
         SimBuilder {
             cfg,
             org: LlcOrgKind::MemorySide,
@@ -231,7 +353,13 @@ impl SimBuilder {
             max_cycles: 50_000_000,
             dynamic_epoch: 8192,
             fault_plan: FaultPlan::none(),
-            watchdog_window: WATCHDOG_WINDOW_DEFAULT,
+            watchdog_window,
+            deadline: None,
+            audit_period: if cfg!(debug_assertions) {
+                AUDIT_PERIOD_DEFAULT
+            } else {
+                0
+            },
         }
     }
 
@@ -270,6 +398,24 @@ impl SimBuilder {
     /// consecutive cycles. `u64::MAX` disables the watchdog.
     pub fn watchdog_window(mut self, cycles: u64) -> Self {
         self.watchdog_window = cycles;
+        self
+    }
+
+    /// Set a wall-clock deadline: the run aborts with [`SimError::Timeout`]
+    /// once this much real time has elapsed. The check is abort-only and
+    /// runs on a coarse cycle grid, so runs that complete are byte-identical
+    /// with and without a deadline.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Run the request-conservation audit every `period` cycles (`0`
+    /// disables it). Defaults to every 4096 cycles in debug builds and off
+    /// in release builds. The audit is read-only, so enabling it never
+    /// changes simulation results — only whether corruption is detected.
+    pub fn conservation_audit(mut self, period: u64) -> Self {
+        self.audit_period = period;
         self
     }
 
@@ -345,6 +491,13 @@ pub struct Simulator {
     /// Remaining DRAM bandwidth fraction per chip (throttle only; channel
     /// failures are read off the partitions directly).
     dram_factor: Vec<f64>,
+    /// Wall-clock budget for one run (`None` = unlimited).
+    deadline: Option<std::time::Duration>,
+    /// When the current run started (set by `run_observed`; only read when
+    /// a deadline is configured).
+    deadline_start: Option<std::time::Instant>,
+    /// Request-conservation audit cadence in cycles (`0` = disabled).
+    audit_period: u64,
 
     // --- accumulators ---
     writes_done: u64,
@@ -370,6 +523,10 @@ const PENDING_RING_LIMIT: usize = 64;
 const CTA_WAVE_LEAD: usize = 384;
 /// LLC occupancy sampling period in cycles (Fig. 9).
 const OCC_SAMPLE_PERIOD: u64 = 256;
+/// How often the wall-clock deadline is checked (cycles). Coarse enough to
+/// keep `Instant::now` off the hot path, fine enough that a runaway cell is
+/// caught within a fraction of a second.
+const DEADLINE_CHECK_PERIOD: u64 = 65_536;
 
 impl Simulator {
     fn new(b: SimBuilder) -> Self {
@@ -381,6 +538,8 @@ impl Simulator {
             dynamic_epoch,
             fault_plan,
             watchdog_window,
+            deadline,
+            audit_period,
         } = b;
         let chips: Vec<Chip> = ChipId::all(cfg.chips).map(|c| Chip::new(&cfg, c)).collect();
         let ring = RingNetwork::new(&cfg, 32);
@@ -418,6 +577,9 @@ impl Simulator {
             watchdog_cycle: 0,
             link_factor: vec![1.0; cfg.chips],
             dram_factor: vec![1.0; cfg.chips],
+            deadline,
+            deadline_start: None,
+            audit_period,
             writes_done: 0,
             responses_by_origin: [0; 4],
             overhead_cycles: 0,
@@ -518,6 +680,9 @@ impl Simulator {
         every: u64,
         mut observer: impl FnMut(u64, u64, usize),
     ) -> Result<RunStats, SimError> {
+        if self.deadline.is_some() {
+            self.deadline_start = Some(std::time::Instant::now());
+        }
         // Pre-seed page placement from the workload layout (host-to-device
         // transfers touch the data before kernel 0). This keeps placement
         // identical across LLC organizations; pages outside the layout (none
@@ -745,10 +910,27 @@ impl Simulator {
             + dram
     }
 
-    /// Forward-progress watchdog: abort with [`SimError::Deadlock`] when
-    /// the progress signature has not changed for a whole window. Call once
-    /// per tick from every simulation loop (including drains).
+    /// Runtime guards, called once per tick from every simulation loop
+    /// (including drains): the forward-progress watchdog
+    /// ([`SimError::Deadlock`]), the wall-clock deadline
+    /// ([`SimError::Timeout`], checked on a coarse cycle grid so
+    /// `Instant::now` stays off the hot path), and the request-conservation
+    /// audit ([`SimError::InvariantViolation`]).
     fn check_progress(&mut self) -> Result<(), SimError> {
+        if self.cycle % DEADLINE_CHECK_PERIOD == 1 {
+            if let (Some(budget), Some(start)) = (self.deadline, self.deadline_start) {
+                let elapsed = start.elapsed();
+                if elapsed > budget {
+                    return Err(SimError::Timeout {
+                        elapsed_ms: elapsed.as_millis() as u64,
+                        budget_ms: budget.as_millis() as u64,
+                    });
+                }
+            }
+        }
+        if self.audit_period != 0 && self.cycle.is_multiple_of(self.audit_period) {
+            self.audit_conservation()?;
+        }
         if self.watchdog_window == u64::MAX {
             return Ok(());
         }
@@ -766,6 +948,60 @@ impl Simulator {
             });
         }
         Ok(())
+    }
+
+    /// Request-conservation audit: between ticks, every request the engine
+    /// counts as in flight sits in exactly one queue — crossbars, slice
+    /// service pipes, slice MSHR waiter lists, DRAM channels, the bypass
+    /// path, response queues, or the ring (egress queues and fabric).
+    /// Writeback sentinels and coherence invalidations carry no request and
+    /// are excluded. A mismatch means a request was lost or double-counted
+    /// and the run's statistics can no longer be trusted, so the audit
+    /// fails fast with the full breakdown.
+    fn audit_conservation(&self) -> Result<(), SimError> {
+        fn carries_request(p: &RingPayload) -> bool {
+            matches!(p, RingPayload::Req(_) | RingPayload::Rsp(_))
+        }
+        let chips: Vec<ChipConservation> = self
+            .chips
+            .iter()
+            .enumerate()
+            .map(|(i, chip)| ChipConservation {
+                chip: i,
+                network_req: chip.pending_req.len() + chip.xbar_req.len(),
+                slice_service: chip.slices.iter().map(|s| s.service.len()).sum(),
+                slice_waiters: chip.slices.iter().map(|s| s.pending.waiting()).sum(),
+                memory: chip.memory.pending_requests(),
+                bypass: chip.bypass_to_mem.len(),
+                network_rsp: chip.pending_rsp.len() + chip.xbar_rsp.len(),
+                ring_egress: chip
+                    .pending_ring
+                    .iter()
+                    .filter(|p| carries_request(p))
+                    .count()
+                    + chip
+                        .ring_egress
+                        .iter()
+                        .filter(|p| carries_request(p))
+                        .count()
+                    + chip.ring_retry.as_ref().is_some_and(carries_request) as usize,
+            })
+            .collect();
+        let ring_fabric = self.ring.count_matching(carries_request);
+        let accounted =
+            chips.iter().map(ChipConservation::total).sum::<usize>() as u64 + ring_fabric as u64;
+        if accounted == self.in_flight {
+            return Ok(());
+        }
+        Err(SimError::InvariantViolation {
+            cycle: self.cycle,
+            report: Box::new(ConservationReport {
+                in_flight: self.in_flight,
+                accounted,
+                ring_fabric,
+                chips,
+            }),
+        })
     }
 
     fn deadlock_snapshot(&self) -> DeadlockSnapshot {
@@ -1846,6 +2082,67 @@ mod tests {
             .run(&wl)
             .unwrap_err();
         assert_eq!(err, SimError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn conservation_audit_passes_on_every_organization() {
+        let c = cfg();
+        let wl = generate(
+            &c,
+            &profiles::by_name("CFD").unwrap(),
+            &TraceParams::quick(),
+        );
+        for org in LlcOrgKind::ALL {
+            let stats = SimBuilder::new(c.clone())
+                .organization(org)
+                .conservation_audit(512)
+                .build()
+                .expect("valid machine configuration")
+                .run(&wl)
+                .unwrap_or_else(|e| panic!("{org}: {e}"));
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn conservation_audit_detects_a_lost_request() {
+        let mut sim = SimBuilder::new(cfg())
+            .build()
+            .expect("valid machine configuration");
+        // An idle machine with a nonzero in-flight count is exactly the
+        // "request lost" corruption the audit exists to catch.
+        sim.in_flight = 3;
+        let err = sim.audit_conservation().unwrap_err();
+        match err {
+            SimError::InvariantViolation { report, .. } => {
+                assert_eq!(report.in_flight, 3);
+                assert_eq!(report.accounted, 0);
+            }
+            other => panic!("expected InvariantViolation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_deadline_aborts_with_timeout() {
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let err = SimBuilder::new(c)
+            .deadline(std::time::Duration::ZERO)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "got {err}");
+    }
+
+    #[test]
+    fn watchdog_window_defaults_from_config() {
+        let mut c = cfg();
+        c.watchdog_cycles = 1234;
+        let sim = SimBuilder::new(c)
+            .build()
+            .expect("valid machine configuration");
+        assert_eq!(sim.watchdog_window, 1234);
     }
 
     #[test]

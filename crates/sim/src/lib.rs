@@ -42,5 +42,8 @@ pub mod engine;
 pub mod packet;
 pub mod stats;
 
-pub use engine::{ChipSnapshot, DeadlockSnapshot, SimBuilder, SimError, Simulator};
+pub use engine::{
+    ChipConservation, ChipSnapshot, ConservationReport, DeadlockSnapshot, SimBuilder, SimError,
+    Simulator,
+};
 pub use stats::{KernelStats, RunStats};

@@ -1,8 +1,10 @@
 //! End-to-end run statistics.
 
 use mcgpu_cache::CacheStats;
-use mcgpu_types::{LlcOrgKind, ResponseOrigin};
+use mcgpu_types::json::{parse, JsonValue};
+use mcgpu_types::{LlcOrgKind, ParseError, ResponseOrigin};
 use sac::controller::KernelRecord;
+use sac::eab::EabInputs;
 
 /// Statistics of one kernel invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -173,6 +175,155 @@ impl RunStats {
             w.close();
         });
         w.finish()
+    }
+
+    /// Reconstruct stats from [`RunStats::to_canonical_json`] output.
+    ///
+    /// The round trip is exact: u64 fields parse from their decimal text and
+    /// f64 fields from Rust's shortest-roundtrip `{:?}` representation, so
+    /// `RunStats::from_canonical_json(&s.to_canonical_json())` equals `s`
+    /// bit-for-bit — the property the resumable sweep journal relies on to
+    /// replay completed cells byte-identically.
+    ///
+    /// # Errors
+    /// [`ParseError`] when the text is not valid JSON or a required field is
+    /// missing or mistyped.
+    pub fn from_canonical_json(text: &str) -> Result<RunStats, ParseError> {
+        // The canonical writer ends the document after the final array
+        // without closing the top-level object (snapshots under
+        // `tests/golden/` are committed in that form, so the writer cannot
+        // change). Accept both the brace-less and the strictly closed form.
+        let patched;
+        let doc = if text.trim_end().ends_with('}') {
+            text
+        } else {
+            patched = format!("{text}}}");
+            &patched
+        };
+        let v = parse(doc)?;
+
+        fn get<'a>(v: &'a JsonValue, key: &str) -> Result<&'a JsonValue, ParseError> {
+            v.get(key)
+                .ok_or_else(|| ParseError::new(format!("missing field `{key}`")))
+        }
+        fn u64f(v: &JsonValue, key: &str) -> Result<u64, ParseError> {
+            get(v, key)?
+                .as_u64()
+                .ok_or_else(|| ParseError::new(format!("field `{key}` is not a u64")))
+        }
+        fn f64f(v: &JsonValue, key: &str) -> Result<f64, ParseError> {
+            get(v, key)?
+                .as_f64()
+                .ok_or_else(|| ParseError::new(format!("field `{key}` is not a number")))
+        }
+        fn strf<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ParseError> {
+            get(v, key)?
+                .as_str()
+                .ok_or_else(|| ParseError::new(format!("field `{key}` is not a string")))
+        }
+        fn boolf(v: &JsonValue, key: &str) -> Result<bool, ParseError> {
+            get(v, key)?
+                .as_bool()
+                .ok_or_else(|| ParseError::new(format!("field `{key}` is not a bool")))
+        }
+        fn cachef(v: &JsonValue, key: &str) -> Result<CacheStats, ParseError> {
+            let c = get(v, key)?;
+            Ok(CacheStats {
+                accesses: u64f(c, "accesses")?,
+                hits: u64f(c, "hits")?,
+                misses: u64f(c, "misses")?,
+                sector_misses: u64f(c, "sector_misses")?,
+                fills: u64f(c, "fills")?,
+                evictions: u64f(c, "evictions")?,
+                fill_rejections: u64f(c, "fill_rejections")?,
+            })
+        }
+        fn arrayf<'a>(v: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ParseError> {
+            get(v, key)?
+                .as_array()
+                .ok_or_else(|| ParseError::new(format!("field `{key}` is not an array")))
+        }
+
+        let organization = LlcOrgKind::from_label(strf(&v, "organization")?).ok_or_else(|| {
+            ParseError::new(format!(
+                "unknown organization `{}`",
+                strf(&v, "organization").unwrap_or_default()
+            ))
+        })?;
+
+        let origins = arrayf(&v, "responses_by_origin")?;
+        if origins.len() != 4 {
+            return Err(ParseError::new("responses_by_origin must have 4 entries"));
+        }
+        let mut responses_by_origin = [0u64; 4];
+        for (slot, item) in responses_by_origin.iter_mut().zip(origins) {
+            *slot = item
+                .as_u64()
+                .ok_or_else(|| ParseError::new("responses_by_origin entry is not a u64"))?;
+        }
+
+        let kernels =
+            arrayf(&v, "kernels")?
+                .iter()
+                .map(|k| {
+                    let mode = strf(k, "sac_mode")?;
+                    Ok(KernelStats {
+                        index: u64f(k, "index")? as usize,
+                        cycles: u64f(k, "cycles")?,
+                        accesses: u64f(k, "accesses")?,
+                        sac_mode: if mode == "none" {
+                            None
+                        } else {
+                            Some(sac::LlcMode::from_label(mode).ok_or_else(|| {
+                                ParseError::new(format!("unknown sac_mode `{mode}`"))
+                            })?)
+                        },
+                    })
+                })
+                .collect::<Result<Vec<_>, ParseError>>()?;
+
+        let sac_history = arrayf(&v, "sac_history")?
+            .iter()
+            .map(|r| {
+                let mode = strf(r, "mode")?;
+                Ok(KernelRecord {
+                    start_cycle: u64f(r, "start_cycle")?,
+                    decision_cycle: u64f(r, "decision_cycle")?,
+                    inputs: EabInputs {
+                        r_local: f64f(r, "r_local")?,
+                        llc_hit_memory_side: f64f(r, "llc_hit_memory_side")?,
+                        llc_hit_sm_side: f64f(r, "llc_hit_sm_side")?,
+                        lsu_memory_side: f64f(r, "lsu_memory_side")?,
+                        lsu_sm_side: f64f(r, "lsu_sm_side")?,
+                    },
+                    eab_memory_side: f64f(r, "eab_memory_side")?,
+                    eab_sm_side: f64f(r, "eab_sm_side")?,
+                    mode: sac::LlcMode::from_label(mode)
+                        .ok_or_else(|| ParseError::new(format!("unknown mode `{mode}`")))?,
+                    requests_observed: u64f(r, "requests_observed")?,
+                    fallback: boolf(r, "fallback")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ParseError>>()?;
+
+        Ok(RunStats {
+            organization,
+            cycles: u64f(&v, "cycles")?,
+            reads: u64f(&v, "reads")?,
+            writes: u64f(&v, "writes")?,
+            l1: cachef(&v, "l1")?,
+            llc: cachef(&v, "llc")?,
+            responses_by_origin,
+            llc_local_fraction: f64f(&v, "llc_local_fraction")?,
+            llc_occupancy: f64f(&v, "llc_occupancy")?,
+            ring_bytes: u64f(&v, "ring_bytes")?,
+            dram_reads: u64f(&v, "dram_reads")?,
+            dram_writes: u64f(&v, "dram_writes")?,
+            overhead_cycles: u64f(&v, "overhead_cycles")?,
+            max_in_flight: u64f(&v, "max_in_flight")?,
+            kernels,
+            sac_history,
+        })
     }
 }
 
@@ -355,6 +506,49 @@ mod tests {
         assert!((fast.perf() - 10.0).abs() < 1e-12);
         assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-12);
         assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let mut s = stats(12_345, 678);
+        s.organization = LlcOrgKind::Sac;
+        s.llc_local_fraction = 0.123456789012345; // exercises shortest-roundtrip floats
+        s.kernels.push(KernelStats {
+            index: 3,
+            cycles: 99,
+            accesses: 1_000,
+            sac_mode: Some(sac::LlcMode::SmSide),
+        });
+        s.sac_history.push(KernelRecord {
+            start_cycle: 1,
+            decision_cycle: 2,
+            inputs: EabInputs {
+                r_local: 0.25,
+                llc_hit_memory_side: 0.5,
+                llc_hit_sm_side: 1.0 / 3.0,
+                lsu_memory_side: 0.75,
+                lsu_sm_side: 0.9,
+            },
+            eab_memory_side: 437.5,
+            eab_sm_side: 96.0,
+            mode: sac::LlcMode::MemorySide,
+            requests_observed: 4096,
+            fallback: false,
+        });
+        let json = s.to_canonical_json();
+        let back = RunStats::from_canonical_json(&json).unwrap();
+        assert_eq!(back, s);
+        // Bit-exact: re-serializing yields identical bytes.
+        assert_eq!(back.to_canonical_json(), json);
+    }
+
+    #[test]
+    fn from_canonical_json_rejects_malformed_input() {
+        assert!(RunStats::from_canonical_json("").is_err());
+        assert!(RunStats::from_canonical_json("{}").is_err());
+        let json = stats(1, 1).to_canonical_json();
+        let truncated = &json[..json.len() / 2];
+        assert!(RunStats::from_canonical_json(truncated).is_err());
     }
 
     #[test]

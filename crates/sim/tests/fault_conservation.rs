@@ -115,6 +115,11 @@ fn run_under_plan(org: LlcOrgKind, events: Vec<FaultEvent>) {
         }
         Err(SimError::CycleLimit { .. }) => {}
         Err(SimError::Config(e)) => panic!("validated plan rejected at run time: {e}"),
+        // No deadline is set and the conservation audit must hold under
+        // fault injection — either is a real failure here.
+        Err(e @ (SimError::Timeout { .. } | SimError::InvariantViolation { .. })) => {
+            panic!("unexpected abort: {e}")
+        }
     }
 }
 

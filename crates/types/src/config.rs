@@ -50,6 +50,11 @@ impl LlcOrgKind {
             LlcOrgKind::Sac => "SAC",
         }
     }
+
+    /// Inverse of [`LlcOrgKind::label`], for reading journals and CLI args.
+    pub fn from_label(label: &str) -> Option<LlcOrgKind> {
+        LlcOrgKind::ALL.into_iter().find(|o| o.label() == label)
+    }
 }
 
 impl std::fmt::Display for LlcOrgKind {
@@ -210,6 +215,11 @@ pub struct MachineConfig {
     pub memory_interface: MemoryInterface,
     /// Scale applied relative to Table 3.
     pub scale: ScaleFactor,
+
+    /// Forward-progress watchdog window, cycles: the engine reports a
+    /// deadlock if no request retires and no queue drains for this many
+    /// consecutive cycles. `u64::MAX` disables the watchdog entirely.
+    pub watchdog_cycles: u64,
 }
 
 impl MachineConfig {
@@ -243,6 +253,7 @@ impl MachineConfig {
             coherence: CoherenceKind::Software,
             memory_interface: MemoryInterface::Gddr6,
             scale: ScaleFactor::UNIT,
+            watchdog_cycles: 1_000_000,
         }
     }
 
@@ -358,6 +369,11 @@ impl MachineConfig {
             || !self.line_size.is_multiple_of(self.sectors_per_line as u64)
         {
             return Err(ConfigError::new("sectors must divide the line size"));
+        }
+        if self.watchdog_cycles == 0 {
+            return Err(ConfigError::new(
+                "watchdog window must be positive (use u64::MAX to disable)",
+            ));
         }
         Ok(())
     }
@@ -547,6 +563,12 @@ mod tests {
         let mut c = MachineConfig::paper_baseline();
         c.sectors_per_line = 3;
         assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::paper_baseline();
+        c.watchdog_cycles = 0;
+        assert!(c.validate().is_err());
+        c.watchdog_cycles = u64::MAX; // disabled, still valid
+        assert!(c.validate().is_ok());
     }
 
     #[test]
@@ -555,5 +577,9 @@ mod tests {
             LlcOrgKind::ALL.iter().map(|o| o.label()).collect();
         assert_eq!(labels.len(), 5);
         assert_eq!(LlcOrgKind::Sac.to_string(), "SAC");
+        for org in LlcOrgKind::ALL {
+            assert_eq!(LlcOrgKind::from_label(org.label()), Some(org));
+        }
+        assert_eq!(LlcOrgKind::from_label("bogus"), None);
     }
 }

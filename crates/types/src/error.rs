@@ -1,4 +1,19 @@
 //! Error types.
+//!
+//! The unified failure taxonomy for the workspace. Every layer defines its
+//! errors here or (for layers above `types`, e.g. the simulation engine)
+//! wraps these in its own enum with `From` conversions, so that a sweep
+//! cell's failure can always be reported as one typed value rather than a
+//! stringly panic payload:
+//!
+//! - [`ConfigError`] — a machine/workload configuration is inconsistent.
+//! - [`TraceError`] — a benchmark or trace request cannot be satisfied
+//!   (unknown profile name, empty workload).
+//! - [`ParseError`] — malformed input to one of the hand-rolled readers
+//!   (canonical stats JSON, the sweep run journal).
+//! - [`JournalError`] — a run-journal record is structurally valid JSON but
+//!   semantically unusable (missing field, unknown outcome), or journal I/O
+//!   failed. Carries an optional [`ParseError`] source.
 
 use std::error::Error;
 use std::fmt;
@@ -36,6 +51,113 @@ impl fmt::Display for ConfigError {
 
 impl Error for ConfigError {}
 
+/// A benchmark or trace request could not be satisfied.
+///
+/// # Example
+/// ```
+/// use mcgpu_types::TraceError;
+///
+/// let e = TraceError::UnknownBenchmark { name: "BOGUS".into() };
+/// assert!(e.to_string().contains("BOGUS"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// No benchmark profile with this name exists.
+    UnknownBenchmark {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// A generated or loaded workload contains no accesses.
+    EmptyWorkload {
+        /// The workload's benchmark name.
+        name: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::UnknownBenchmark { name } => {
+                write!(f, "unknown benchmark `{name}` (see table04_workloads)")
+            }
+            TraceError::EmptyWorkload { name } => {
+                write!(f, "workload `{name}` contains no accesses")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Malformed input to one of the hand-rolled readers (canonical stats
+/// JSON, journal records).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+}
+
+impl ParseError {
+    /// Create an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// A run-journal record or file could not be used.
+///
+/// Wraps the underlying [`ParseError`] when the record failed structural
+/// parsing; plain I/O and semantic problems carry only a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalError {
+    message: String,
+    source: Option<ParseError>,
+}
+
+impl JournalError {
+    /// Create an error with the given description.
+    pub fn new(message: impl Into<String>) -> Self {
+        JournalError {
+            message: message.into(),
+            source: None,
+        }
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "journal error: {}", self.message)?;
+        if let Some(src) = &self.source {
+            write!(f, ": {src}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for JournalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_ref().map(|e| e as _)
+    }
+}
+
+impl From<ParseError> for JournalError {
+    fn from(source: ParseError) -> Self {
+        JournalError {
+            message: "malformed record".into(),
+            source: Some(source),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +172,15 @@ mod tests {
     fn is_send_sync_error() {
         fn takes_err<E: Error + Send + Sync + 'static>(_: E) {}
         takes_err(ConfigError::new("x"));
+        takes_err(TraceError::UnknownBenchmark { name: "x".into() });
+        takes_err(ParseError::new("x"));
+        takes_err(JournalError::new("x"));
+    }
+
+    #[test]
+    fn journal_error_chains_parse_source() {
+        let e = JournalError::from(ParseError::new("bad byte"));
+        assert!(e.to_string().contains("bad byte"));
+        assert!(e.source().is_some());
     }
 }

@@ -26,13 +26,14 @@ pub mod config;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod json;
 pub mod packet;
 pub mod pipe;
 
 pub use addr::{Address, LineAddr, PageAddr, SectorId};
 pub use budget::BandwidthBudget;
 pub use config::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, ScaleFactor, GB_S};
-pub use error::ConfigError;
+pub use error::{ConfigError, JournalError, ParseError, TraceError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{ChannelId, ChipId, ClusterId, SliceId};
 pub use packet::{AccessKind, MemAccess, Request, RequestId, Response, ResponseOrigin};

@@ -140,6 +140,16 @@ impl<T> Pipe<T> {
         out.extend(self.waiting.drain(..).map(|(t, _)| t));
         out
     }
+
+    /// Iterate over every item inside the pipe (in-flight first, then
+    /// waiting), without disturbing state. Used by conservation audits to
+    /// classify queue contents.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.in_flight
+            .iter()
+            .map(|(_, t)| t)
+            .chain(self.waiting.iter().map(|(t, _)| t))
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +227,16 @@ mod tests {
         let all = p.drain();
         assert_eq!(all.len(), 3);
         assert!(p.is_empty());
+    }
+
+    #[test]
+    fn iter_sees_in_flight_and_waiting() {
+        let mut p: Pipe<u32> = Pipe::new(8.0, 10, None);
+        p.try_push(1, 8).unwrap();
+        p.tick(0); // 1 goes in flight
+        p.try_push(2, 8).unwrap();
+        let seen: Vec<u32> = p.iter().copied().collect();
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(p.len(), 2); // non-destructive
     }
 }

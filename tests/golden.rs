@@ -6,6 +6,10 @@
 //! against the committed snapshot under `tests/golden/`. Any behavioural
 //! drift in the simulator — intended or not — fails here first.
 //!
+//! The case definitions live in `sac_bench::golden`, shared with the
+//! `golden_sweep` binary the CI kill/resume job drives, so a resumed
+//! journaled sweep reproduces exactly the snapshots checked here.
+//!
 //! To regenerate the snapshots after an *intended* model change:
 //!
 //! ```text
@@ -16,73 +20,15 @@
 //! that caused it.
 
 use mcgpu_trace::{generate, profiles, TraceParams};
-use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig};
+use mcgpu_types::{LlcOrgKind, MachineConfig};
+use sac_bench::golden::suite;
 use sac_bench::{run_one, sweep};
 use std::path::PathBuf;
-
-/// One golden case: a machine variant, a benchmark, and an organization.
-struct Case {
-    /// Snapshot file stem under `tests/golden/`.
-    name: &'static str,
-    bench: &'static str,
-    org: LlcOrgKind,
-    hardware_coherence: bool,
-    sectored: bool,
-}
-
-const fn case(name: &'static str, bench: &'static str, org: LlcOrgKind) -> Case {
-    Case {
-        name,
-        bench,
-        org,
-        hardware_coherence: false,
-        sectored: false,
-    }
-}
-
-/// The fixed suite. Kept small enough for every-PR CI (quick trace volume)
-/// while covering each organization, both coherence schemes, and sectored
-/// caches.
-fn suite() -> Vec<Case> {
-    vec![
-        case("sn_memside", "SN", LlcOrgKind::MemorySide),
-        case("sn_smside", "SN", LlcOrgKind::SmSide),
-        case("sn_sac", "SN", LlcOrgKind::Sac),
-        case("cfd_static", "CFD", LlcOrgKind::StaticHalf),
-        case("cfd_dynamic", "CFD", LlcOrgKind::Dynamic),
-        case("srad_sac", "SRAD", LlcOrgKind::Sac),
-        Case {
-            hardware_coherence: true,
-            ..case("rn_smside_hwcoh", "RN", LlcOrgKind::SmSide)
-        },
-        Case {
-            sectored: true,
-            ..case("gemm_sac_sectored", "GEMM", LlcOrgKind::Sac)
-        },
-    ]
-}
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("tests")
         .join("golden")
-}
-
-fn run_case(c: &Case) -> String {
-    let mut cfg = MachineConfig::experiment_baseline();
-    if c.hardware_coherence {
-        cfg.coherence = CoherenceKind::Hardware;
-    }
-    if c.sectored {
-        cfg.sectored = true;
-    }
-    let params = TraceParams {
-        total_accesses: 15_000,
-        ..TraceParams::quick()
-    };
-    let profile = profiles::by_name(c.bench).expect("known benchmark");
-    let wl = generate(&cfg, &profile, &params);
-    run_one(&cfg, &wl, c.org).to_canonical_json()
 }
 
 #[test]
@@ -93,7 +39,7 @@ fn golden_stats_match_committed_snapshots() {
 
     // The whole suite rides the same parallel runner the figure harnesses
     // use, so this test also exercises fan-out + input-order collection.
-    let actual = sweep::map(cases.iter().collect(), |c| (c.name, run_case(c)));
+    let actual = sweep::map(cases, |c| (c.name, c.run()));
 
     let mut failures = Vec::new();
     for (name, json) in actual {

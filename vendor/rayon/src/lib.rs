@@ -218,6 +218,74 @@ where
         .collect()
 }
 
+/// A panic captured from one job by [`map_catch`], reduced to its message.
+///
+/// The raw payload (`Box<dyn Any + Send>`) is deliberately not kept: it is
+/// neither `Sync` nor cloneable, which would make any error type carrying
+/// it awkward to store, compare, or serialize. Callers that need the text
+/// of an arbitrary payload before it is dropped can use [`panic_message`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaughtPanic {
+    message: String,
+}
+
+impl CaughtPanic {
+    /// Capture a panic payload as a message-only record.
+    pub fn from_payload(payload: Box<dyn std::any::Any + Send>) -> Self {
+        CaughtPanic {
+            message: panic_message(payload.as_ref()),
+        }
+    }
+
+    /// The panic message (`"..."` from `panic!("...")`), or a placeholder
+    /// for non-string payloads.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for CaughtPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for CaughtPanic {}
+
+/// Best-effort text of a panic payload: `panic!` with a literal carries a
+/// `&'static str`, `panic!` with formatting carries a `String`; anything
+/// else (a custom `panic_any` value) gets a placeholder.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` over every element of `items` on the current pool, catching each
+/// job's panic *individually*: a panicking job yields `Err(CaughtPanic)` in
+/// its own slot while every other job still runs to completion.
+///
+/// This is the isolation primitive for crash-safe sweeps. It contrasts with
+/// the plain `map` pipeline, where one panic poisons the whole batch and is
+/// re-raised on the caller. Output order is input order, as always.
+pub fn map_catch<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, CaughtPanic>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    // The inner catch fires before `map_indexed`'s batch-poisoning catch
+    // ever sees a panic, so sibling jobs keep claiming work.
+    map_indexed(items, current_num_threads(), move |item| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(item)))
+            .map_err(CaughtPanic::from_payload)
+    })
+}
+
 /// Parallel iterator types (subset: `Vec` source, `map`, `collect`).
 pub mod iter {
     use super::{current_num_threads, map_indexed};
@@ -375,6 +443,52 @@ mod tests {
             inner.install(|| assert_eq!(current_num_threads(), 7));
             assert_eq!(current_num_threads(), 3);
         });
+    }
+
+    #[test]
+    fn map_catch_isolates_panicking_jobs() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output clean
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<Result<usize, CaughtPanic>> = pool.install(|| {
+            map_catch((0..64).collect::<Vec<_>>(), |i| {
+                if i % 13 == 5 {
+                    panic!("cell {i} exploded");
+                }
+                i * 2
+            })
+        });
+        std::panic::set_hook(hook);
+        assert_eq!(out.len(), 64);
+        for (i, r) in out.iter().enumerate() {
+            if i % 13 == 5 {
+                let err = r.as_ref().unwrap_err();
+                assert_eq!(err.message(), format!("cell {i} exploded"));
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn map_catch_is_serial_on_one_thread() {
+        let caller = std::thread::current().id();
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out = pool.install(|| map_catch(vec![(), ()], |()| std::thread::current().id()));
+        assert!(out.iter().all(|r| *r.as_ref().unwrap() == caller));
+    }
+
+    #[test]
+    fn panic_message_downcasts_common_payloads() {
+        let static_payload: Box<dyn std::any::Any + Send> = Box::new("literal");
+        assert_eq!(panic_message(static_payload.as_ref()), "literal");
+        let string_payload: Box<dyn std::any::Any + Send> = Box::new(String::from("formatted 7"));
+        assert_eq!(panic_message(string_payload.as_ref()), "formatted 7");
+        let other_payload: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(
+            panic_message(other_payload.as_ref()),
+            "non-string panic payload"
+        );
     }
 
     #[test]
