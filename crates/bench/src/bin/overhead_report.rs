@@ -1,18 +1,28 @@
 //! Regenerates the §3.6 overhead analysis: SAC's per-chip storage (620 B
 //! conventional / 812 B sectored) and the NoC area/power comparison
 //! (SM-side two-NoC vs memory-side vs SAC bypassing).
+//!
+//! Runs through the sweep machinery, so `--journal PATH` / `--resume PATH`
+//! / `--jobs N` work exactly as they do for the figure harnesses.
 
 use mcgpu_noc::NocPhysical;
 use mcgpu_types::MachineConfig;
 use sac::overhead::HardwareOverhead;
+use sac_bench::{exit_on_quarantine, run_report_sections, ReportSection, SweepOptions};
+use std::fmt::Write as _;
 
-fn main() {
-    println!("== SAC per-chip storage (Table 3 baseline, 16 slices/chip) ==");
+fn render_storage() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "== SAC per-chip storage (Table 3 baseline, 16 slices/chip) =="
+    );
     for (label, o) in [
         ("conventional", HardwareOverhead::paper_conventional()),
         ("sectored", HardwareOverhead::paper_sectored()),
     ] {
-        println!(
+        let _ = writeln!(
+            out,
             "{label:13}: CRD {} B + LSU counters {} B + scalar counters {} B = {} B  (paper: {})",
             o.crd_bytes(),
             o.lsu_counter_bytes(),
@@ -25,26 +35,56 @@ fn main() {
             }
         );
     }
+    out
+}
 
-    println!("\n== NoC physical model (DSENT-lite, calibrated to the paper's deltas) ==");
+fn render_noc() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== NoC physical model (DSENT-lite, calibrated to the paper's deltas) =="
+    );
     let m = NocPhysical::new(&MachineConfig::paper_baseline());
     let mem = m.memory_side();
     let (a_sm, p_sm) = m.sm_side().relative_to(&mem);
     let (a_sac, p_sac) = m.sac().relative_to(&mem);
-    println!(
+    let _ = writeln!(
+        out,
         "SM-side two-NoC vs memory-side : area {:+.0}%  power {:+.0}%   (paper: +18% / +21%)",
         (a_sm - 1.0) * 100.0,
         (p_sm - 1.0) * 100.0
     );
-    println!(
+    let _ = writeln!(
+        out,
         "SAC bypassing vs memory-side   : area {:+.1}%  power {:+.1}%   (paper: +1.9% / +1.6%)",
         (a_sac - 1.0) * 100.0,
         (p_sac - 1.0) * 100.0
     );
     let (p_save, a_save) = m.sac_savings_vs_sm_side();
-    println!(
+    let _ = writeln!(
+        out,
         "SAC savings vs SM-side         : power -{:.0}%  area -{:.0}%   (paper: -21% / -18%)",
         p_save * 100.0,
         a_save * 100.0
     );
+    out
+}
+
+fn main() {
+    let opts = SweepOptions::from_args();
+    let sections = [
+        ReportSection {
+            name: "sac-storage",
+            inputs: "HardwareOverhead::paper_conventional|paper_sectored".to_string(),
+            render: render_storage,
+        },
+        ReportSection {
+            name: "noc-physical",
+            inputs: format!("{:?}", MachineConfig::paper_baseline()),
+            render: render_noc,
+        },
+    ];
+    for text in exit_on_quarantine(run_report_sections("overhead_report", &sections, &opts)) {
+        print!("{text}");
+    }
 }

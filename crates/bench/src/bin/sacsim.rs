@@ -2,14 +2,15 @@
 //!
 //! ```text
 //! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X]
-//!        [--hw-coherence] [--sectored] [--json] [--jobs N]
+//!        [--hw-coherence] [--sectored] [--json] [--jobs N] [--list-orgs]
 //!        [--watchdog-cycles N] [--journal PATH] [--resume PATH]
 //! ```
 //!
-//! ORG in {mem, sm, static, dynamic, sac, all}. Prints the full run
-//! statistics; `--org all` fans every organization out over the sweep pool
-//! and prints a comparison table; `--json` prints the canonical golden-stat
-//! JSON instead (single organization only).
+//! ORG is any token or label from the LLC-organization registry
+//! (`--list-orgs` prints them), or `all`. Prints the full run statistics;
+//! `--org all` fans every organization out over the sweep pool and prints
+//! a comparison table; `--json` prints the canonical golden-stat JSON
+//! instead (single organization only).
 //!
 //! Robustness knobs: `--watchdog-cycles N` sets the forward-progress
 //! watchdog window (`MCGPU_WATCHDOG_CYCLES` works too; `18446744073709551615`
@@ -30,18 +31,31 @@ fn arg_value(name: &str) -> Option<String> {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--list-orgs") {
+        println!("{:8} {:12} summary", "token", "label");
+        for d in &mcgpu_sim::org::REGISTRY {
+            println!("{:8} {:12} {}", d.token, d.kind.label(), d.summary);
+        }
+        return;
+    }
     let bench = arg_value("--bench").unwrap_or_else(|| "BFS".to_string());
     let org = match arg_value("--org").as_deref() {
-        Some("mem") | None => Some(LlcOrgKind::MemorySide),
-        Some("sm") => Some(LlcOrgKind::SmSide),
-        Some("static") => Some(LlcOrgKind::StaticHalf),
-        Some("dynamic") => Some(LlcOrgKind::Dynamic),
-        Some("sac") => Some(LlcOrgKind::Sac),
+        None => Some(LlcOrgKind::MemorySide),
         Some("all") => None,
-        Some(other) => {
-            eprintln!("unknown organization {other}; use mem|sm|static|dynamic|sac|all");
-            std::process::exit(2);
-        }
+        Some(other) => match mcgpu_sim::org::org_by_token(other) {
+            Some(kind) => Some(kind),
+            None => {
+                let known: Vec<String> = mcgpu_sim::org::REGISTRY
+                    .iter()
+                    .map(|d| format!("{} ({})", d.token, d.kind.label()))
+                    .collect();
+                eprintln!(
+                    "unknown organization {other}; known: {}, or `all` (see --list-orgs)",
+                    known.join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
     };
     let mut cfg = sac_bench::experiment_config();
     if std::env::args().any(|a| a == "--hw-coherence") {

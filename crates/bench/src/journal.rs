@@ -27,9 +27,12 @@ use std::path::{Path, PathBuf};
 /// How a journaled cell ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordOutcome {
-    /// The cell completed; its canonical stats JSON is stored verbatim.
+    /// The cell completed; its payload is stored verbatim — the canonical
+    /// stats JSON for simulation cells, the rendered text for report
+    /// sections.
     Completed {
-        /// Output of [`RunStats::to_canonical_json`].
+        /// Output of [`RunStats::to_canonical_json`] (simulation cells) or
+        /// the section's rendered text (report-section cells).
         stats_json: String,
     },
     /// The cell exhausted its retries (or failed non-retryably).
@@ -124,6 +127,16 @@ impl JournalRecord {
                 .map(Some)
                 .map_err(JournalError::from),
             RecordOutcome::Quarantined { .. } => Ok(None),
+        }
+    }
+
+    /// The recorded payload verbatim, if this cell completed. For cells
+    /// that are not simulation runs (e.g. report sections), this is the
+    /// accessor to use instead of [`JournalRecord::stats`].
+    pub fn payload(&self) -> Option<&str> {
+        match &self.outcome {
+            RecordOutcome::Completed { stats_json } => Some(stats_json),
+            RecordOutcome::Quarantined { .. } => None,
         }
     }
 }

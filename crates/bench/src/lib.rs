@@ -464,6 +464,103 @@ pub fn run_profiles(
         .collect())
 }
 
+/// One independently rendered section of a report binary (e.g. a table or
+/// a model dump), runnable as a sweep cell so report binaries get the same
+/// isolation, retry, and journal/resume machinery as simulation sweeps.
+#[derive(Debug, Clone)]
+pub struct ReportSection {
+    /// Stable section name; the journal cell is `"{report}/{name}"`.
+    pub name: &'static str,
+    /// Debug dump of everything that determines the rendered text. It is
+    /// hashed into the journal key, so a section whose inputs changed is
+    /// re-rendered instead of replayed from a stale record.
+    pub inputs: String,
+    /// Render the section to the exact text the binary should print.
+    pub render: fn() -> String,
+}
+
+/// Render every section of `report` through the sweep machinery and return
+/// the rendered texts in input order.
+///
+/// Each section runs isolated with bounded retries (see
+/// [`sweep::run_cell`]); with journaling enabled the rendered text is
+/// persisted verbatim the moment a section finishes, and sections recorded
+/// by a matching earlier run are replayed instead of re-rendered.
+///
+/// # Errors
+/// [`SweepFailure`] listing every quarantined section.
+pub fn run_report_sections(
+    report: &str,
+    sections: &[ReportSection],
+    opts: &SweepOptions,
+) -> Result<Vec<String>, SweepFailure> {
+    let journal = opts.open_journal();
+    let outcomes = sweep::map(sections.to_vec(), |s| {
+        let name = format!("{report}/{}", s.name);
+        let hash = journal::fnv1a_64(format!("{report}|{}|{}", s.name, s.inputs).as_bytes());
+        if let Some(j) = &journal {
+            let replay = j
+                .lock()
+                .expect("journal lock")
+                .lookup(&name, hash)
+                .and_then(|r| r.payload().map(str::to_string));
+            if let Some(text) = replay {
+                eprintln!("  replayed {name} from journal");
+                return (
+                    name,
+                    CellOutcome {
+                        attempts: 0,
+                        result: Ok(text),
+                    },
+                );
+            }
+        }
+        let out = sweep::run_cell(|_| Ok((s.render)()));
+        if let Some(j) = &journal {
+            let outcome = match &out.result {
+                Ok(text) => RecordOutcome::Completed {
+                    stats_json: text.clone(),
+                },
+                Err(e) => RecordOutcome::Quarantined {
+                    kind: e.kind().to_string(),
+                    error: e.to_string(),
+                },
+            };
+            j.lock()
+                .expect("journal lock")
+                .append(JournalRecord {
+                    cell: name.clone(),
+                    config_hash: hash,
+                    attempts: out.attempts,
+                    outcome,
+                })
+                .expect("write run journal");
+        }
+        (name, out)
+    });
+
+    let quarantined: Vec<CellFailure> = outcomes
+        .iter()
+        .filter_map(|(name, out)| {
+            out.result.as_ref().err().map(|e| CellFailure {
+                cell: name.clone(),
+                attempts: out.attempts,
+                error: e.clone(),
+            })
+        })
+        .collect();
+    if !quarantined.is_empty() {
+        return Err(SweepFailure {
+            completed: outcomes.len() - quarantined.len(),
+            quarantined,
+        });
+    }
+    Ok(outcomes
+        .into_iter()
+        .map(|(_, out)| out.result.expect("quarantine handled above"))
+        .collect())
+}
+
 /// Harmonic-mean speedup over `rows` filtered by preference (`None` = all).
 pub fn group_speedup(
     rows: &[BenchRows],
@@ -556,6 +653,69 @@ mod tests {
             2,
             "replayed cells are not re-journaled"
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn report_sections_record_and_replay() {
+        let path =
+            std::env::temp_dir().join(format!("sac-bench-report-{}.jsonl", std::process::id()));
+        let sections = [
+            ReportSection {
+                name: "alpha",
+                inputs: "v1".to_string(),
+                render: || "alpha text\n".to_string(),
+            },
+            ReportSection {
+                name: "beta",
+                inputs: "v1".to_string(),
+                render: || "beta text\n".to_string(),
+            },
+        ];
+
+        let fresh = run_report_sections(
+            "demo",
+            &sections,
+            &SweepOptions {
+                journal: Some(path.clone()),
+                resume: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(fresh, vec!["alpha text\n", "beta text\n"]);
+        let j = Journal::open(&path).unwrap();
+        assert_eq!(j.records().len(), 2, "one record per section");
+        assert_eq!(j.records()[0].payload(), Some("alpha text\n"));
+
+        // A resume replays both sections verbatim without re-rendering.
+        let resumed = run_report_sections(
+            "demo",
+            &sections,
+            &SweepOptions {
+                journal: None,
+                resume: Some(path.clone()),
+            },
+        )
+        .unwrap();
+        assert_eq!(resumed, fresh);
+        assert_eq!(Journal::open(&path).unwrap().records().len(), 2);
+
+        // Changed inputs invalidate the stale record and re-render.
+        let changed = [ReportSection {
+            name: "alpha",
+            inputs: "v2".to_string(),
+            render: || "alpha v2\n".to_string(),
+        }];
+        let rerun = run_report_sections(
+            "demo",
+            &changed,
+            &SweepOptions {
+                journal: None,
+                resume: Some(path.clone()),
+            },
+        )
+        .unwrap();
+        assert_eq!(rerun, vec!["alpha v2\n"]);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -1,0 +1,713 @@
+//! The cycle-stepped simulation engine.
+//!
+//! This module holds the builder ([`SimBuilder`]), the top-level machine
+//! state ([`Simulator`]) and the run loop; the mechanics are decomposed
+//! into focused submodules:
+//!
+//! * `tick` — the per-cycle datapath pipeline (issue, crossbars, slices,
+//!   memory, ring, controller hooks);
+//! * `coherence` — the hardware-coherence sharer directory and write
+//!   invalidation;
+//! * `boundary` — kernel-boundary flush/writeback/drain sequencing;
+//! * `diagnostics` — the forward-progress watchdog, deadlock snapshots and
+//!   the request-conservation audit;
+//! * `faults` — scheduled hardware-fault application and the degraded-EAB
+//!   refresh.
+//!
+//! Everything that varies *by LLC organization* — routing, fills, way
+//! splits, boundary actions, reconfiguration — lives behind
+//! [`crate::org::LlcOrgPolicy`]; the engine only applies what the policy
+//! decides.
+
+#![deny(missing_docs)]
+
+mod boundary;
+mod coherence;
+mod diagnostics;
+mod faults;
+mod tick;
+
+pub use diagnostics::{
+    ChipConservation, ChipSnapshot, ConservationReport, DeadlockSnapshot, SimError,
+};
+
+use crate::chip::Chip;
+use crate::cluster::Cluster;
+use crate::org::{self, LlcOrgPolicy, Pause, RouteMode};
+use crate::packet::RingPayload;
+use crate::stats::{KernelStats, RunStats};
+use coherence::SharerDirectory;
+use mcgpu_mem::{DramRequest, PageTable};
+use mcgpu_noc::RingNetwork;
+use mcgpu_trace::Workload;
+use mcgpu_types::{ChipId, ConfigError, FaultPlan, LlcOrgKind, MachineConfig};
+use sac::SacConfig;
+
+/// Builder for a [`Simulator`].
+///
+/// # Example
+/// See the [crate docs](crate).
+#[derive(Debug, Clone)]
+pub struct SimBuilder {
+    cfg: MachineConfig,
+    org: LlcOrgKind,
+    sac_cfg: SacConfig,
+    max_cycles: u64,
+    dynamic_epoch: u64,
+    fault_plan: FaultPlan,
+    watchdog_window: u64,
+    deadline: Option<std::time::Duration>,
+    audit_period: u64,
+}
+
+/// Request-conservation audit cadence in debug builds. Release builds
+/// default the audit off (`0`); callers opt in via
+/// [`SimBuilder::conservation_audit`].
+const AUDIT_PERIOD_DEFAULT: u64 = 4096;
+
+impl SimBuilder {
+    /// Start from a machine configuration. The forward-progress watchdog
+    /// window defaults to the configuration's `watchdog_cycles` (generous
+    /// against every legitimate stall in the model, the longest being a
+    /// full SAC drain of a saturated machine, yet far shorter than the
+    /// cycle budget).
+    pub fn new(cfg: MachineConfig) -> Self {
+        let sac_cfg = SacConfig::for_machine(&cfg);
+        let watchdog_window = cfg.watchdog_cycles;
+        SimBuilder {
+            cfg,
+            org: LlcOrgKind::MemorySide,
+            sac_cfg,
+            max_cycles: 50_000_000,
+            dynamic_epoch: 8192,
+            fault_plan: FaultPlan::none(),
+            watchdog_window,
+            deadline: None,
+            audit_period: if cfg!(debug_assertions) {
+                AUDIT_PERIOD_DEFAULT
+            } else {
+                0
+            },
+        }
+    }
+
+    /// Select the LLC organization to simulate.
+    pub fn organization(mut self, org: LlcOrgKind) -> Self {
+        self.org = org;
+        self
+    }
+
+    /// Override the SAC parameters (profiling window, θ).
+    pub fn sac_config(mut self, sac_cfg: SacConfig) -> Self {
+        self.sac_cfg = sac_cfg;
+        self
+    }
+
+    /// Override the livelock cycle budget.
+    pub fn max_cycles(mut self, max: u64) -> Self {
+        self.max_cycles = max;
+        self
+    }
+
+    /// Override the Dynamic LLC's adjustment epoch.
+    pub fn dynamic_epoch(mut self, cycles: u64) -> Self {
+        self.dynamic_epoch = cycles;
+        self
+    }
+
+    /// Inject the given fault schedule during the run.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Override the forward-progress watchdog window: the run aborts with
+    /// [`SimError::Deadlock`] when no request retires for this many
+    /// consecutive cycles. `u64::MAX` disables the watchdog.
+    pub fn watchdog_window(mut self, cycles: u64) -> Self {
+        self.watchdog_window = cycles;
+        self
+    }
+
+    /// Set a wall-clock deadline: the run aborts with [`SimError::Timeout`]
+    /// once this much real time has elapsed. The check is abort-only and
+    /// runs on a coarse cycle grid, so runs that complete are byte-identical
+    /// with and without a deadline.
+    pub fn deadline(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Run the request-conservation audit every `period` cycles (`0`
+    /// disables it). Defaults to every 4096 cycles in debug builds and off
+    /// in release builds. The audit is read-only, so enabling it never
+    /// changes simulation results — only whether corruption is detected.
+    pub fn conservation_audit(mut self, period: u64) -> Self {
+        self.audit_period = period;
+        self
+    }
+
+    /// Build the simulator.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] when the machine configuration fails
+    /// validation, the fault plan does not fit the machine, or the selected
+    /// organization cannot run on it (e.g. a way-partitioned organization
+    /// on a direct-mapped LLC).
+    pub fn build(self) -> Result<Simulator, ConfigError> {
+        self.cfg.validate()?;
+        self.fault_plan.validate(&self.cfg)?;
+        if self.watchdog_window == 0 {
+            return Err(ConfigError::new(
+                "watchdog window must be positive (use u64::MAX to disable)",
+            ));
+        }
+        let policy = org::build_policy(self.org, &self.cfg, self.sac_cfg, self.dynamic_epoch)?;
+        Ok(Simulator::new(self, policy))
+    }
+}
+
+/// The multi-chip GPU simulator. Construct with [`SimBuilder`].
+#[derive(Debug)]
+pub struct Simulator {
+    cfg: MachineConfig,
+    /// The LLC-organization policy: every routing/fill/partition/boundary
+    /// decision, plus the organization's internal controller state.
+    policy: Box<dyn LlcOrgPolicy>,
+    chips: Vec<Chip>,
+    ring: RingNetwork<RingPayload>,
+    page_table: PageTable,
+    cycle: u64,
+    max_cycles: u64,
+    next_id: u64,
+    in_flight: u64,
+    max_in_flight: u64,
+    pause: Pause,
+
+    /// Chip-granularity sharer directory for hardware coherence.
+    directory: SharerDirectory,
+
+    // --- resilience ---
+    /// Scheduled hardware degradation, applied as the clock passes each
+    /// event's cycle.
+    fault_plan: FaultPlan,
+    /// Forward-progress watchdog window (`u64::MAX` = disabled).
+    watchdog_window: u64,
+    /// Progress signature at the last cycle that made progress.
+    watchdog_sig: u64,
+    /// Last cycle at which the progress signature changed.
+    watchdog_cycle: u64,
+    /// Remaining bandwidth fraction per inter-chip link pair (`0.0` =
+    /// failed), for the degraded-EAB feed to SAC.
+    link_factor: Vec<f64>,
+    /// Remaining DRAM bandwidth fraction per chip (throttle only; channel
+    /// failures are read off the partitions directly).
+    dram_factor: Vec<f64>,
+    /// Wall-clock budget for one run (`None` = unlimited).
+    deadline: Option<std::time::Duration>,
+    /// When the current run started (set by `run_observed`; only read when
+    /// a deadline is configured).
+    deadline_start: Option<std::time::Instant>,
+    /// Request-conservation audit cadence in cycles (`0` = disabled).
+    audit_period: u64,
+
+    // --- accumulators ---
+    writes_done: u64,
+    responses_by_origin: [u64; 4],
+    overhead_cycles: u64,
+    occ_samples: u64,
+    occ_local: f64,
+    occ_fill: f64,
+    kernels: Vec<KernelStats>,
+
+    // --- per-cycle scratch buffers (reused, never reallocated in steady
+    // state) ---
+    /// Ring arrivals being dispatched this cycle.
+    ring_scratch: Vec<RingPayload>,
+    /// DRAM completions being processed this cycle.
+    dram_scratch: Vec<DramRequest>,
+}
+
+impl Simulator {
+    fn new(b: SimBuilder, policy: Box<dyn LlcOrgPolicy>) -> Self {
+        let SimBuilder {
+            cfg,
+            org: _,
+            sac_cfg: _,
+            max_cycles,
+            dynamic_epoch: _,
+            fault_plan,
+            watchdog_window,
+            deadline,
+            audit_period,
+        } = b;
+        let chips: Vec<Chip> = ChipId::all(cfg.chips).map(|c| Chip::new(&cfg, c)).collect();
+        let ring = RingNetwork::new(&cfg, 32);
+
+        let mut sim = Simulator {
+            page_table: PageTable::new(cfg.page_size),
+            chips,
+            ring,
+            cycle: 0,
+            max_cycles,
+            next_id: 0,
+            in_flight: 0,
+            max_in_flight: 0,
+            pause: Pause::Running,
+            policy,
+            directory: SharerDirectory::default(),
+            fault_plan,
+            watchdog_window,
+            watchdog_sig: 0,
+            watchdog_cycle: 0,
+            link_factor: vec![1.0; cfg.chips],
+            dram_factor: vec![1.0; cfg.chips],
+            deadline,
+            deadline_start: None,
+            audit_period,
+            writes_done: 0,
+            responses_by_origin: [0; 4],
+            overhead_cycles: 0,
+            occ_samples: 0,
+            occ_local: 0.0,
+            occ_fill: 0.0,
+            kernels: Vec::new(),
+            ring_scratch: Vec::new(),
+            dram_scratch: Vec::new(),
+            cfg,
+        };
+        sim.apply_partitioning();
+        sim
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The simulated LLC organization.
+    pub fn organization(&self) -> LlcOrgKind {
+        self.policy.kind()
+    }
+
+    /// Apply (or clear) the policy's way split on every LLC slice.
+    fn apply_partitioning(&mut self) {
+        let split = self.policy.way_split();
+        for chip in &mut self.chips {
+            for slice in &mut chip.slices {
+                match split {
+                    Some(ways) => slice.cache.set_partition(ways),
+                    None => slice.cache.clear_partition(),
+                }
+            }
+        }
+    }
+
+    /// The policy's current request routing mode.
+    fn route_mode(&self) -> RouteMode {
+        self.policy.route_mode()
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop.
+    // ------------------------------------------------------------------
+
+    /// Run a complete workload, returning its statistics.
+    ///
+    /// # Errors
+    /// [`SimError::CycleLimit`] if the run exceeds the cycle budget.
+    pub fn run(&mut self, wl: &Workload) -> Result<RunStats, SimError> {
+        self.run_observed(wl, u64::MAX, |_, _, _| {})
+    }
+
+    /// Like [`run`](Simulator::run), but invokes `observer(cycle,
+    /// completed_accesses, active_clusters)` every `every` cycles — the
+    /// instantaneous throughput timeline behind Fig. 12's time-varying
+    /// analysis.
+    ///
+    /// # Errors
+    /// [`SimError::CycleLimit`] if the run exceeds the cycle budget.
+    pub fn run_observed(
+        &mut self,
+        wl: &Workload,
+        every: u64,
+        mut observer: impl FnMut(u64, u64, usize),
+    ) -> Result<RunStats, SimError> {
+        if self.deadline.is_some() {
+            self.deadline_start = Some(std::time::Instant::now());
+        }
+        // Pre-seed page placement from the workload layout (host-to-device
+        // transfers touch the data before kernel 0). This keeps placement
+        // identical across LLC organizations; pages outside the layout (none
+        // in generated workloads) still fall back to first-touch.
+        for p in 0..wl.layout.total_pages() {
+            let page = mcgpu_types::PageAddr(p);
+            if let Some(home) = wl.layout.natural_home(page) {
+                self.page_table.home_of(page, home);
+            }
+        }
+        for (ki, kernel) in wl.kernels.iter().enumerate() {
+            // Load the kernel's streams.
+            let gap = kernel.behavior.compute_gap;
+            for (flat, chip) in self.chips.iter_mut().enumerate() {
+                for (ci, cluster) in chip.clusters.iter_mut().enumerate() {
+                    let idx = flat * self.cfg.clusters_per_chip + ci;
+                    cluster.load_kernel(kernel.per_cluster[idx].clone(), gap);
+                }
+            }
+            let kernel_start_cycle = self.cycle;
+            let work_before = self.cluster_reads_total() + self.writes_done;
+
+            let (now, ring_bytes, mem_bytes) =
+                (self.cycle, self.ring.bytes_sent(), self.mem_bytes_total());
+            self.policy.begin_kernel(now, ring_bytes, mem_bytes);
+
+            // Execute until the kernel completes.
+            while !self.kernel_done() {
+                self.tick(true);
+                self.check_progress()?;
+                if every != u64::MAX && self.cycle.is_multiple_of(every) {
+                    observer(
+                        self.cycle,
+                        self.cluster_reads_total() + self.writes_done,
+                        self.active_clusters(),
+                    );
+                }
+                if self.cycle >= self.max_cycles {
+                    return Err(SimError::CycleLimit {
+                        limit: self.max_cycles,
+                    });
+                }
+            }
+
+            // Kernel-boundary coherence + SAC revert (§3.6).
+            let boundary_start = self.cycle;
+            self.kernel_boundary()?;
+            self.overhead_cycles += self.cycle - boundary_start;
+
+            let sac_mode = self.policy.sac().and_then(|s| {
+                s.history()
+                    .iter()
+                    .rev()
+                    .find(|r| r.start_cycle >= kernel_start_cycle)
+                    .map(|r| r.mode)
+            });
+            self.kernels.push(KernelStats {
+                index: ki,
+                cycles: self.cycle - kernel_start_cycle,
+                accesses: self.cluster_reads_total() + self.writes_done - work_before,
+                sac_mode,
+            });
+        }
+        Ok(self.collect_stats())
+    }
+
+    fn kernel_done(&self) -> bool {
+        self.in_flight == 0
+            && self.pause == Pause::Running
+            && self
+                .chips
+                .iter()
+                .all(|c| c.clusters.iter().all(Cluster::done))
+    }
+
+    fn machine_quiescent(&self) -> bool {
+        self.in_flight == 0 && self.ring.is_empty() && self.chips.iter().all(Chip::is_quiescent)
+    }
+
+    /// Number of clusters still executing their current kernel stream.
+    pub fn active_clusters(&self) -> usize {
+        self.chips
+            .iter()
+            .flat_map(|c| c.clusters.iter())
+            .filter(|cl| !cl.done())
+            .count()
+    }
+
+    /// Reads completed, summed over every cluster (includes L1 hits and
+    /// MSHR-merged accesses, which never produce a network response).
+    fn cluster_reads_total(&self) -> u64 {
+        self.chips
+            .iter()
+            .flat_map(|c| c.clusters.iter())
+            .map(Cluster::reads_done)
+            .sum()
+    }
+
+    fn mem_bytes_total(&self) -> u64 {
+        self.chips
+            .iter()
+            .map(|c| {
+                c.memory.served_reads() * self.cfg.line_size
+                    + c.memory.served_writes() * mcgpu_types::packet::WRITE_PAYLOAD_BYTES
+            })
+            .sum()
+    }
+
+    fn sample_occupancy(&mut self) {
+        let mut local = 0usize;
+        let mut remote = 0usize;
+        let mut cap = 0usize;
+        for chip in &self.chips {
+            let (l, r, c) = chip.llc_occupancy();
+            local += l;
+            remote += r;
+            cap += c;
+        }
+        let valid = local + remote;
+        if valid > 0 {
+            self.occ_local += local as f64 / valid as f64;
+            self.occ_fill += valid as f64 / cap.max(1) as f64;
+            self.occ_samples += 1;
+        }
+    }
+
+    fn collect_stats(&self) -> RunStats {
+        let mut l1 = mcgpu_cache::CacheStats::default();
+        let mut llc = mcgpu_cache::CacheStats::default();
+        for chip in &self.chips {
+            l1.merge(&chip.l1_stats());
+            llc.merge(&chip.llc_stats());
+        }
+        RunStats {
+            organization: self.policy.kind(),
+            cycles: self.cycle,
+            reads: self.cluster_reads_total(),
+            writes: self.writes_done,
+            l1,
+            llc,
+            responses_by_origin: self.responses_by_origin,
+            llc_local_fraction: if self.occ_samples > 0 {
+                self.occ_local / self.occ_samples as f64
+            } else {
+                1.0
+            },
+            llc_occupancy: if self.occ_samples > 0 {
+                self.occ_fill / self.occ_samples as f64
+            } else {
+                0.0
+            },
+            ring_bytes: self.ring.bytes_sent(),
+            dram_reads: self.chips.iter().map(|c| c.memory.served_reads()).sum(),
+            dram_writes: self.chips.iter().map(|c| c.memory.served_writes()).sum(),
+            overhead_cycles: self.overhead_cycles,
+            max_in_flight: self.max_in_flight,
+            kernels: self.kernels.clone(),
+            sac_history: self
+                .policy
+                .sac()
+                .map(|s| s.history().to_vec())
+                .unwrap_or_default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcgpu_trace::{generate, profiles, TraceParams};
+    use mcgpu_types::CoherenceKind;
+
+    fn cfg() -> MachineConfig {
+        MachineConfig::experiment_baseline()
+    }
+
+    fn run(org: LlcOrgKind, bench: &str) -> RunStats {
+        let c = cfg();
+        let wl = generate(
+            &c,
+            &profiles::by_name(bench).unwrap(),
+            &TraceParams::quick(),
+        );
+        SimBuilder::new(c)
+            .organization(org)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap()
+    }
+
+    #[test]
+    fn all_organizations_complete_the_same_work() {
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let mut totals = Vec::new();
+        for org in LlcOrgKind::ALL {
+            let stats = SimBuilder::new(c.clone())
+                .organization(org)
+                .build()
+                .expect("valid machine configuration")
+                .run(&wl)
+                .unwrap();
+            assert!(stats.cycles > 0, "{org}");
+            totals.push((org, stats.reads + stats.writes));
+        }
+        let first = totals[0].1;
+        for (org, t) in totals {
+            assert_eq!(t, first, "work mismatch for {org}");
+        }
+    }
+
+    #[test]
+    fn responses_match_reads_minus_l1_hits_and_merges() {
+        let s = run(LlcOrgKind::MemorySide, "SN");
+        let delivered: u64 = s.responses_by_origin.iter().sum();
+        // Every delivered response completes >= 1 read; reads completed also
+        // include L1 hits, so delivered <= reads.
+        assert!(delivered > 0);
+        assert!(
+            delivered <= s.reads,
+            "delivered {delivered} > reads {}",
+            s.reads
+        );
+    }
+
+    #[test]
+    fn memory_side_caches_only_local_data() {
+        let s = run(LlcOrgKind::MemorySide, "CFD");
+        assert!(
+            s.llc_local_fraction > 0.999,
+            "memory-side local fraction {}",
+            s.llc_local_fraction
+        );
+    }
+
+    #[test]
+    fn sm_side_caches_remote_data_for_sharing_workloads() {
+        let s = run(LlcOrgKind::SmSide, "CFD");
+        assert!(
+            s.llc_local_fraction < 0.9,
+            "SM-side should hold remote data, local fraction {}",
+            s.llc_local_fraction
+        );
+    }
+
+    #[test]
+    fn sac_records_a_decision_per_kernel() {
+        let s = run(LlcOrgKind::Sac, "SN");
+        assert_eq!(
+            s.sac_history.len(),
+            profiles::by_name("SN").unwrap().total_kernels()
+        );
+        assert!(s.kernels.iter().all(|k| k.sac_mode.is_some()));
+    }
+
+    #[test]
+    fn cycle_limit_is_enforced() {
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let err = SimBuilder::new(c)
+            .organization(LlcOrgKind::MemorySide)
+            .max_cycles(100)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap_err();
+        assert_eq!(err, SimError::CycleLimit { limit: 100 });
+    }
+
+    #[test]
+    fn conservation_audit_passes_on_every_organization() {
+        let c = cfg();
+        let wl = generate(
+            &c,
+            &profiles::by_name("CFD").unwrap(),
+            &TraceParams::quick(),
+        );
+        for org in LlcOrgKind::ALL {
+            let stats = SimBuilder::new(c.clone())
+                .organization(org)
+                .conservation_audit(512)
+                .build()
+                .expect("valid machine configuration")
+                .run(&wl)
+                .unwrap_or_else(|e| panic!("{org}: {e}"));
+            assert!(stats.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn conservation_audit_detects_a_lost_request() {
+        let mut sim = SimBuilder::new(cfg())
+            .build()
+            .expect("valid machine configuration");
+        // An idle machine with a nonzero in-flight count is exactly the
+        // "request lost" corruption the audit exists to catch.
+        sim.in_flight = 3;
+        let err = sim.audit_conservation().unwrap_err();
+        match err {
+            SimError::InvariantViolation { report, .. } => {
+                assert_eq!(report.in_flight, 3);
+                assert_eq!(report.accounted, 0);
+            }
+            other => panic!("expected InvariantViolation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_deadline_aborts_with_timeout() {
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let err = SimBuilder::new(c)
+            .deadline(std::time::Duration::ZERO)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Timeout { .. }), "got {err}");
+    }
+
+    #[test]
+    fn watchdog_window_defaults_from_config() {
+        let mut c = cfg();
+        c.watchdog_cycles = 1234;
+        let sim = SimBuilder::new(c)
+            .build()
+            .expect("valid machine configuration");
+        assert_eq!(sim.watchdog_window, 1234);
+    }
+
+    #[test]
+    fn hardware_coherence_runs_clean() {
+        let mut c = cfg();
+        c.coherence = CoherenceKind::Hardware;
+        let wl = generate(&c, &profiles::by_name("RN").unwrap(), &TraceParams::quick());
+        let s = SimBuilder::new(c)
+            .organization(LlcOrgKind::SmSide)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap();
+        assert!(s.cycles > 0);
+    }
+
+    #[test]
+    fn sectored_machine_runs_clean() {
+        let mut c = cfg();
+        c.sectored = true;
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        for org in [LlcOrgKind::MemorySide, LlcOrgKind::Sac] {
+            let s = SimBuilder::new(c.clone())
+                .organization(org)
+                .build()
+                .expect("valid machine configuration")
+                .run(&wl)
+                .unwrap();
+            assert!(s.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn two_chip_machine_runs_clean() {
+        let mut c = cfg();
+        c.chips = 2;
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let s = SimBuilder::new(c)
+            .organization(LlcOrgKind::Sac)
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap();
+        assert!(s.cycles > 0);
+    }
+}

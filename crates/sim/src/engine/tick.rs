@@ -1,0 +1,743 @@
+//! The per-cycle datapath pipeline: issue, request crossbars, LLC slices,
+//! the memory bypass, DRAM partitions, response delivery, the inter-chip
+//! ring, and the per-cycle policy hook.
+
+use super::Simulator;
+use crate::chip::Chip;
+use crate::cluster::Cluster;
+use crate::org::{EpochCtx, Pause, RouteMode};
+use crate::packet::{FillAction, ReqEnvelope, ReqStage, RingPayload, RspEnvelope};
+use mcgpu_cache::{DataHome, LookupOutcome};
+use mcgpu_mem::{interleave, DramRequest};
+use mcgpu_types::{
+    AccessKind, ChipId, LineAddr, MemAccess, Request, RequestId, Response, ResponseOrigin,
+};
+
+/// Ring egress queue bound (requests waiting to leave the chip).
+const PENDING_RING_LIMIT: usize = 64;
+/// Maximum instructions a cluster may run ahead of the slowest cluster
+/// (one CTA wave of the distributed CTA scheduler).
+const CTA_WAVE_LEAD: usize = 384;
+/// LLC occupancy sampling period in cycles (Fig. 9).
+const OCC_SAMPLE_PERIOD: u64 = 256;
+
+impl Simulator {
+    #[inline]
+    fn slice_of(&self, line: LineAddr) -> usize {
+        interleave::slice_index(line, self.cfg.slices_per_chip)
+    }
+
+    fn sector_of(&self, access: &MemAccess) -> Option<mcgpu_types::SectorId> {
+        self.cfg.sectored.then(|| {
+            LineAddr::sector_of(access.addr, self.cfg.line_size, self.cfg.sectors_per_line)
+        })
+    }
+
+    pub(super) fn tick(&mut self, allow_issue: bool) {
+        self.cycle += 1;
+        let now = self.cycle;
+        self.apply_due_faults(now);
+        let issuing = allow_issue && self.pause == Pause::Running;
+
+        if issuing {
+            self.issue_phase();
+        }
+
+        // Request network.
+        for c in 0..self.chips.len() {
+            // Ring-delivered requests re-enter the crossbar.
+            while let Some(env) = self.chips[c].pending_req.front().copied() {
+                let port = self.slice_of(env.req.access.addr.line(self.cfg.line_size));
+                let bytes = env.wire_bytes();
+                if self.chips[c].xbar_req.try_push(port, env, bytes).is_err() {
+                    break;
+                }
+                self.chips[c].pending_req.pop_front();
+            }
+            self.chips[c].xbar_req.tick(now);
+            for port in 0..self.cfg.slices_per_chip {
+                loop {
+                    if !self.chips[c].slices[port].service.can_push() {
+                        break;
+                    }
+                    match self.chips[c].xbar_req.pop_ready(port, now) {
+                        Some(env) => {
+                            let charge = self.chips[c].slices[port].charge_bytes(&env);
+                            self.chips[c].slices[port]
+                                .service
+                                .try_push(env, charge)
+                                .expect("can_push checked");
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+
+        // LLC slices.
+        for c in 0..self.chips.len() {
+            for s in 0..self.cfg.slices_per_chip {
+                self.chips[c].slices[s].service.tick(now);
+                while let Some(env) = self.chips[c].slices[s].service.pop_ready(now) {
+                    self.process_at_slice(c, s, env);
+                }
+            }
+        }
+
+        // Bypass path into memory (SM-side remote misses).
+        for c in 0..self.chips.len() {
+            self.chips[c].bypass_to_mem.tick(now);
+            while let Some(env) = self.chips[c].bypass_to_mem.pop_ready(now) {
+                self.chips[c].memory.push(DramRequest {
+                    request: env.req,
+                    from_local_slice: false,
+                    slice: None,
+                });
+            }
+        }
+
+        // Memory partitions.
+        for c in 0..self.chips.len() {
+            self.chips[c].memory.tick(now);
+            let mut done = std::mem::take(&mut self.dram_scratch);
+            self.chips[c].memory.pop_ready_into(now, &mut done);
+            for d in done.drain(..) {
+                self.process_mem_completion(c, d);
+            }
+            self.dram_scratch = done;
+        }
+
+        // Response network and delivery.
+        for c in 0..self.chips.len() {
+            while let Some(env) = self.chips[c].pending_rsp.front().copied() {
+                let port = env.rsp.dest.index as usize;
+                let bytes = env.wire_bytes(self.cfg.line_size);
+                if self.chips[c].xbar_rsp.try_push(port, env, bytes).is_err() {
+                    break;
+                }
+                self.chips[c].pending_rsp.pop_front();
+            }
+            self.chips[c].xbar_rsp.tick(now);
+            for port in 0..self.cfg.clusters_per_chip {
+                while let Some(env) = self.chips[c].xbar_rsp.pop_ready(port, now) {
+                    self.deliver_response(c, env);
+                }
+            }
+        }
+
+        // Inter-chip ring.
+        self.ring_phase(now);
+
+        // Controllers and sampling.
+        self.controller_phase(now);
+        if now.is_multiple_of(OCC_SAMPLE_PERIOD) {
+            self.sample_occupancy();
+        }
+    }
+
+    fn issue_phase(&mut self) {
+        let mode = self.route_mode();
+        let profiling = self.policy.sac().is_some_and(|s| s.is_profiling());
+        let n_clusters = self.cfg.clusters_per_chip;
+        // Round-robin arbitration: rotate which cluster gets first claim on
+        // the cycle's NoC injection bandwidth, as a real allocator would.
+        // A fixed priority order starves high-index clusters and produces
+        // artificial straggler tails at kernel ends.
+        let rotation = (self.cycle as usize) % n_clusters;
+        // Distributed CTA scheduling issues work in bounded waves: no
+        // cluster may run further ahead of the slowest cluster than one
+        // wave of CTAs. This bounds the drift between the clusters' shared
+        // working-set phases (and the end-of-kernel straggler tail), as the
+        // hardware CTA scheduler does.
+        let min_progress = self
+            .chips
+            .iter()
+            .flat_map(|ch| ch.clusters.iter())
+            .filter(|cl| !cl.done())
+            .map(Cluster::progress)
+            .min()
+            .unwrap_or(0);
+        for c in 0..self.chips.len() {
+            let chip_id = ChipId(c as u8);
+            for i in 0..n_clusters {
+                let cl = (i + rotation) % n_clusters;
+                if self.chips[c].clusters[cl].progress() > min_progress + CTA_WAVE_LEAD {
+                    continue;
+                }
+                let Some((acc, needs_request)) = self.chips[c].clusters[cl].issue() else {
+                    continue;
+                };
+                let line = acc.addr.line(self.cfg.line_size);
+                let home = self
+                    .page_table
+                    .home_of(acc.addr.page(self.cfg.page_size), chip_id);
+                if !needs_request {
+                    // Cluster-MSHR merge: a real L1 miss (observable by the
+                    // profiling counters) that needs no new network request.
+                    // It completes with the in-flight fill, so it counts as
+                    // a memory-side hit for the profiled hit rate.
+                    if profiling {
+                        let sector = self.sector_of(&acc);
+                        let slice = self.slice_of(line);
+                        let spc = self.cfg.slices_per_chip;
+                        let sac = self.policy.sac_mut().expect("profiling implies sac");
+                        sac.collector_mut().observe_request(
+                            chip_id,
+                            home,
+                            line,
+                            sector,
+                            home.index() * spc + slice,
+                            c * spc + slice,
+                        );
+                        sac.collector_mut().observe_memside_llc(true);
+                    }
+                    continue;
+                }
+                let req = Request {
+                    id: RequestId(self.next_id),
+                    origin: self.chips[c].clusters[cl].id(),
+                    access: acc,
+                    home,
+                };
+                let slice = self.slice_of(line);
+                let (port_chip, stage) = match mode {
+                    RouteMode::MemorySide => (home, ReqStage::ToHomeSlice),
+                    RouteMode::SmSide => (chip_id, ReqStage::ToLocalSlice),
+                    RouteMode::Tiered if home == chip_id => (chip_id, ReqStage::ToHomeSlice),
+                    RouteMode::Tiered => (chip_id, ReqStage::ToLocalSlice),
+                };
+                let env = ReqEnvelope { req, stage };
+                let injected = if port_chip == chip_id {
+                    self.chips[c]
+                        .xbar_req
+                        .try_push(slice, env, env.wire_bytes())
+                        .is_ok()
+                } else if self.chips[c].pending_ring.len() < PENDING_RING_LIMIT {
+                    self.chips[c].pending_ring.push_back(RingPayload::Req(env));
+                    true
+                } else {
+                    false
+                };
+                if injected {
+                    self.next_id += 1;
+                    self.in_flight += 1;
+                    self.max_in_flight = self.max_in_flight.max(self.in_flight);
+                    if profiling {
+                        let sector = self.sector_of(&acc);
+                        let spc = self.cfg.slices_per_chip;
+                        let sac = self.policy.sac_mut().expect("profiling implies sac");
+                        sac.collector_mut().observe_request(
+                            chip_id,
+                            home,
+                            line,
+                            sector,
+                            home.index() * spc + slice,
+                            c * spc + slice,
+                        );
+                    }
+                } else {
+                    self.chips[c].clusters[cl].defer(acc);
+                }
+            }
+        }
+    }
+
+    /// Handle a request arriving at slice `s` of chip `c`.
+    fn process_at_slice(&mut self, c: usize, s: usize, env: ReqEnvelope) {
+        let chip_id = ChipId(c as u8);
+        let line = env.req.access.addr.line(self.cfg.line_size);
+        let sector = self.sector_of(&env.req.access);
+        let requester = env.req.origin.chip;
+        let is_write = env.req.access.kind.is_write();
+        let profiling = self.policy.sac().is_some_and(|sc| sc.is_profiling());
+
+        // A disabled (fused-off) slice holds nothing: every request misses
+        // straight through to memory without touching the cache array.
+        let outcome = if self.chips[c].slices[s].disabled {
+            LookupOutcome::Miss
+        } else {
+            self.chips[c].slices[s].cache.lookup(line, sector, is_write)
+        };
+        let hit = outcome == LookupOutcome::Hit;
+
+        if profiling && env.stage == ReqStage::ToHomeSlice {
+            // A slice-MSHR merge is bandwidth-equivalent to a hit (the data
+            // arrives without further DRAM or ring traffic), so it counts
+            // as one for the profiled memory-side hit rate — otherwise the
+            // measured rate is biased low relative to the CRD's prediction,
+            // which observes the full (unmerged) request stream.
+            let merged_would_hit = !hit && self.chips[c].slices[s].pending.contains(line.index());
+            if let Some(sac) = self.policy.sac_mut() {
+                sac.collector_mut()
+                    .observe_memside_llc(hit || merged_would_hit);
+            }
+        }
+
+        match env.stage {
+            // Memory-side role: this is the home chip's slice.
+            ReqStage::ToHomeSlice => {
+                debug_assert_eq!(chip_id, env.req.home);
+                if is_write {
+                    if hit {
+                        self.absorb_write();
+                    } else if self.try_merge_at_slice(c, s, line, env) {
+                        // Slice MSHR hit: the store rides the in-flight fetch.
+                    } else {
+                        // Fetch-on-write: the 32 B coalesced store cannot
+                        // dirty a line that is not resident; read the line
+                        // from (local) memory first.
+                        self.begin_fetch(c, s, line);
+                        self.chips[c].memory.push(DramRequest {
+                            request: env.req,
+                            from_local_slice: true,
+                            slice: Some(s as u16),
+                        });
+                    }
+                } else if hit {
+                    let origin = if requester == chip_id {
+                        ResponseOrigin::LocalLlc
+                    } else {
+                        ResponseOrigin::RemoteLlc
+                    };
+                    self.emit_response(c, env.req, origin);
+                } else if self.try_merge_at_slice(c, s, line, env) {
+                    // Slice MSHR hit: merged onto the in-flight fetch.
+                } else {
+                    self.begin_fetch(c, s, line);
+                    self.chips[c].memory.push(DramRequest {
+                        request: env.req,
+                        from_local_slice: true,
+                        slice: Some(s as u16),
+                    });
+                }
+            }
+            // SM-side role (or the L1.5 level of the tiered organizations):
+            // this is the requesting chip's slice.
+            ReqStage::ToLocalSlice => {
+                debug_assert_eq!(chip_id, requester);
+                let home = env.req.home;
+                let data_home = if home == chip_id {
+                    DataHome::Local
+                } else {
+                    DataHome::Remote
+                };
+                let _ = data_home;
+                if is_write {
+                    if hit {
+                        self.coherence_on_write(c, line);
+                        self.absorb_write();
+                    } else {
+                        // Fetch-on-write: pull the line from its home (local
+                        // memory, or across the ring for remote data) before
+                        // dirtying the local replica.
+                        self.coherence_on_write(c, line);
+                        let forward_to_home =
+                            home != chip_id && self.route_mode() == RouteMode::Tiered;
+                        if !forward_to_home && self.try_merge_at_slice(c, s, line, env) {
+                            // Slice MSHR hit: rides the in-flight fetch.
+                        } else if home == chip_id {
+                            self.begin_fetch(c, s, line);
+                            self.chips[c].memory.push(DramRequest {
+                                request: env.req,
+                                from_local_slice: true,
+                                slice: Some(s as u16),
+                            });
+                        } else if forward_to_home {
+                            // The tiered organizations write remote data
+                            // through to the home slice instead of
+                            // replicating written lines locally.
+                            self.push_ring(
+                                c,
+                                RingPayload::Req(ReqEnvelope {
+                                    req: env.req,
+                                    stage: ReqStage::ToHomeSlice,
+                                }),
+                            );
+                        } else {
+                            self.begin_fetch(c, s, line);
+                            self.push_ring(
+                                c,
+                                RingPayload::Req(ReqEnvelope {
+                                    req: env.req,
+                                    stage: ReqStage::ToHomeMemBypass,
+                                }),
+                            );
+                        }
+                    }
+                } else if hit {
+                    self.emit_response(c, env.req, ResponseOrigin::LocalLlc);
+                } else if self.try_merge_at_slice(c, s, line, env) {
+                    // Slice MSHR hit: merged onto the in-flight fetch.
+                } else {
+                    self.begin_fetch(c, s, line);
+                    match self.route_mode() {
+                        RouteMode::SmSide | RouteMode::MemorySide => {
+                            // (MemorySide can momentarily see ToLocalSlice
+                            // envelopes right after a SAC revert drain; they
+                            // are treated as SM-side leftovers.)
+                            if home == chip_id {
+                                self.chips[c].memory.push(DramRequest {
+                                    request: env.req,
+                                    from_local_slice: true,
+                                    slice: Some(s as u16),
+                                });
+                            } else {
+                                self.push_ring(
+                                    c,
+                                    RingPayload::Req(ReqEnvelope {
+                                        req: env.req,
+                                        stage: ReqStage::ToHomeMemBypass,
+                                    }),
+                                );
+                            }
+                        }
+                        RouteMode::Tiered => {
+                            debug_assert_ne!(home, chip_id, "local-homed goes ToHomeSlice");
+                            self.push_ring(
+                                c,
+                                RingPayload::Req(ReqEnvelope {
+                                    req: env.req,
+                                    stage: ReqStage::ToHomeSlice,
+                                }),
+                            );
+                        }
+                    }
+                }
+            }
+            ReqStage::ToHomeMemBypass => {
+                unreachable!("bypass requests go straight to memory, not to a slice")
+            }
+        }
+    }
+
+    /// Merge `env` onto an outstanding line fetch at slice `s` of chip `c`,
+    /// if one exists (slice MSHR). Returns `true` when merged.
+    fn try_merge_at_slice(&mut self, c: usize, s: usize, line: LineAddr, env: ReqEnvelope) -> bool {
+        self.chips[c].slices[s].pending.merge(line.index(), env)
+    }
+
+    /// Register an outstanding fetch for `line` at slice `s` of chip `c`.
+    fn begin_fetch(&mut self, c: usize, s: usize, line: LineAddr) {
+        self.chips[c].slices[s].pending.begin(line.index());
+    }
+
+    /// The line arrived at slice `s` of chip `c`: complete all merged
+    /// waiters. `origin_override` carries the true data origin when the
+    /// fill came over the ring; `None` derives local/remote memory relative
+    /// to this chip (fills from this chip's own partition).
+    fn drain_merged(
+        &mut self,
+        c: usize,
+        s: usize,
+        line: LineAddr,
+        origin_override: Option<ResponseOrigin>,
+    ) {
+        let Some(mut waiters) = self.chips[c].slices[s].pending.take(line.index()) else {
+            return;
+        };
+        let chip_id = ChipId(c as u8);
+        for env in waiters.drain(..) {
+            if env.req.access.kind.is_write() {
+                // Dirty the just-filled line and absorb the store (unless
+                // the slice was fused off, in which case nothing is filled).
+                let sector = self.sector_of(&env.req.access);
+                if !self.chips[c].slices[s].disabled {
+                    self.chips[c].slices[s]
+                        .cache
+                        .fill(line, sector, DataHome::Local, true);
+                }
+                self.absorb_write();
+            } else {
+                let origin = origin_override.unwrap_or(if env.req.origin.chip == chip_id {
+                    ResponseOrigin::LocalMem
+                } else {
+                    ResponseOrigin::RemoteMem
+                });
+                self.emit_response(c, env.req, origin);
+            }
+        }
+        self.chips[c].slices[s].pending.recycle(waiters);
+    }
+
+    /// A write reached its destination cache: it is complete.
+    fn absorb_write(&mut self) {
+        self.writes_done += 1;
+        self.in_flight -= 1;
+    }
+
+    /// Deal with a dirty eviction from chip `c`'s LLC.
+    fn handle_eviction(&mut self, c: usize, ev: Option<mcgpu_cache::Eviction>) {
+        let Some(ev) = ev else { return };
+        if !ev.dirty {
+            return;
+        }
+        match ev.home {
+            DataHome::Local => self.chips[c].memory.push_writeback(ev.line),
+            DataHome::Remote => {
+                let page = ev.line.page(self.cfg.line_size, self.cfg.page_size);
+                let home = self
+                    .page_table
+                    .lookup(page)
+                    .expect("cached lines have mapped pages");
+                self.push_ring(
+                    c,
+                    RingPayload::Writeback {
+                        line: ev.line,
+                        home,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Handle a completed DRAM access at chip `c` (a read miss, or a
+    /// fetch-on-write).
+    fn process_mem_completion(&mut self, c: usize, d: DramRequest) {
+        let chip_id = ChipId(c as u8);
+        let is_write = d.request.access.kind.is_write();
+        // Fill the slice the miss came from (memory-side, or SM-side local).
+        if d.from_local_slice {
+            if let Some(s) = d.slice {
+                // A slice disabled while this fetch was in flight no longer
+                // allocates; the data still answers the merged requesters.
+                if !self.chips[c].slices[s as usize].disabled {
+                    let line = d.request.access.addr.line(self.cfg.line_size);
+                    let sector = self.sector_of(&d.request.access);
+                    let ev = self.chips[c].slices[s as usize].cache.fill(
+                        line,
+                        sector,
+                        DataHome::Local,
+                        is_write,
+                    );
+                    self.handle_eviction(c, ev);
+                }
+            }
+            if let Some(s) = d.slice {
+                let line = d.request.access.addr.line(self.cfg.line_size);
+                self.drain_merged(c, s as usize, line, None);
+            }
+            if is_write {
+                // The fetch-on-write completed; the store is absorbed here.
+                self.absorb_write();
+                return;
+            }
+        }
+        let origin = if d.request.origin.chip == chip_id {
+            ResponseOrigin::LocalMem
+        } else {
+            ResponseOrigin::RemoteMem
+        };
+        self.emit_response(c, d.request, origin);
+    }
+
+    /// Create and route a response from chip `c` towards the requester
+    /// (a read's data, or a remote fetch-on-write's line).
+    fn emit_response(&mut self, c: usize, req: Request, origin: ResponseOrigin) {
+        let chip_id = ChipId(c as u8);
+        let requester = req.origin.chip;
+        debug_assert!(
+            req.access.kind == AccessKind::Read || requester != chip_id,
+            "local writes absorb at slices or memory, never via responses"
+        );
+        // Local responses never replicate; remote responses replicate (or
+        // not) exactly as the organization's policy dictates.
+        let fill = if requester == chip_id {
+            FillAction::None
+        } else {
+            self.policy.remote_fill_action()
+        };
+        let env = RspEnvelope {
+            rsp: Response {
+                id: req.id,
+                dest: req.origin,
+                access: req.access,
+                origin,
+            },
+            fill,
+        };
+        if requester == chip_id {
+            self.chips[c].pending_rsp.push_back(env);
+        } else {
+            self.push_ring(c, RingPayload::Rsp(env));
+        }
+    }
+
+    /// Deliver a response to its SM cluster on chip `c`.
+    fn deliver_response(&mut self, c: usize, env: RspEnvelope) {
+        debug_assert_eq!(env.rsp.dest.chip.index(), c);
+        let cl = env.rsp.dest.index as usize;
+        self.chips[c].clusters[cl].complete_read(&env.rsp.access);
+        let idx = ResponseOrigin::ALL
+            .iter()
+            .position(|&o| o == env.rsp.origin)
+            .expect("known origin");
+        self.responses_by_origin[idx] += 1;
+        self.in_flight -= 1;
+    }
+
+    /// Queue a payload for the inter-chip ring (bounded; requests check the
+    /// bound before issue, internal traffic may exceed it briefly).
+    pub(super) fn push_ring(&mut self, c: usize, payload: RingPayload) {
+        self.chips[c].pending_ring.push_back(payload);
+    }
+
+    fn ring_dest(&self, p: &RingPayload, from: ChipId) -> ChipId {
+        let d = match p {
+            RingPayload::Req(env) => env.req.home,
+            RingPayload::Rsp(env) => env.rsp.dest.chip,
+            RingPayload::Writeback { home, .. } => *home,
+            RingPayload::Inval { target, .. } => *target,
+        };
+        debug_assert_ne!(d, from, "ring payloads must cross chips");
+        d
+    }
+
+    fn ring_phase(&mut self, now: u64) {
+        let line_size = self.cfg.line_size;
+        // Egress: retry, drain pending into the egress pipe, pipe into ring.
+        for c in 0..self.chips.len() {
+            let from = ChipId(c as u8);
+            if let Some(p) = self.chips[c].ring_retry.take() {
+                let dest = self.ring_dest(&p, from);
+                let bytes = p.wire_bytes(line_size);
+                if let Err(p) = self.ring.try_send(from, dest, p, bytes) {
+                    self.chips[c].ring_retry = Some(p);
+                }
+            }
+            while let Some(p) = self.chips[c].pending_ring.front() {
+                let bytes = p.wire_bytes(line_size);
+                let p = *p;
+                if self.chips[c].ring_egress.try_push(p, bytes).is_err() {
+                    break;
+                }
+                self.chips[c].pending_ring.pop_front();
+            }
+            self.chips[c].ring_egress.tick(now);
+            while self.chips[c].ring_retry.is_none() {
+                let Some(p) = self.chips[c].ring_egress.pop_ready(now) else {
+                    break;
+                };
+                let dest = self.ring_dest(&p, from);
+                let bytes = p.wire_bytes(line_size);
+                if let Err(p) = self.ring.try_send(from, dest, p, bytes) {
+                    self.chips[c].ring_retry = Some(p);
+                }
+            }
+        }
+
+        self.ring.tick(now);
+
+        // Arrivals.
+        for c in 0..self.chips.len() {
+            let chip_id = ChipId(c as u8);
+            let mut arrivals = std::mem::take(&mut self.ring_scratch);
+            self.ring.pop_arrivals_into(chip_id, now, &mut arrivals);
+            for p in arrivals.drain(..) {
+                match p {
+                    RingPayload::Req(env) => match env.stage {
+                        ReqStage::ToHomeSlice => self.chips[c].pending_req.push_back(env),
+                        ReqStage::ToHomeMemBypass => {
+                            let bytes = env.wire_bytes();
+                            self.chips[c]
+                                .bypass_to_mem
+                                .try_push(env, bytes)
+                                .expect("bypass pipe is unbounded");
+                        }
+                        ReqStage::ToLocalSlice => {
+                            unreachable!("local-slice requests never ride the ring")
+                        }
+                    },
+                    RingPayload::Rsp(env) => {
+                        let is_write = env.rsp.access.kind.is_write();
+                        if env.fill == FillAction::FillLocalSlice {
+                            let line = env.rsp.access.addr.line(self.cfg.line_size);
+                            let sector = self.sector_of(&env.rsp.access);
+                            let s = self.slice_of(line);
+                            if !self.chips[c].slices[s].disabled {
+                                let ev = self.chips[c].slices[s].cache.fill(
+                                    line,
+                                    sector,
+                                    DataHome::Remote,
+                                    is_write,
+                                );
+                                self.handle_eviction(c, ev);
+                                self.directory_fill(c, line);
+                            }
+                            self.drain_merged(c, s, line, Some(env.rsp.origin));
+                        }
+                        if is_write {
+                            // A completed remote fetch-on-write: the store
+                            // is absorbed into the (now dirty) local replica.
+                            self.absorb_write();
+                        } else {
+                            self.chips[c].pending_rsp.push_back(env);
+                        }
+                    }
+                    RingPayload::Writeback { line, home } => {
+                        debug_assert_eq!(home, chip_id);
+                        self.chips[c].memory.push_writeback(line);
+                    }
+                    RingPayload::Inval { line, target } => {
+                        debug_assert_eq!(target, chip_id);
+                        let s = self.slice_of(line);
+                        self.chips[c].slices[s].cache.invalidate(line);
+                    }
+                }
+            }
+            self.ring_scratch = arrivals;
+        }
+    }
+
+    /// The per-cycle policy hook: hand the organization's policy the cycle
+    /// context (with lazily computed quiescence/work signals so non-SAC
+    /// organizations pay nothing for them) and apply whatever actions it
+    /// returns, in a fixed order that matches the historical controller
+    /// sequencing: dirty writeback, pause transition, overhead accounting,
+    /// way-split repartition.
+    fn controller_phase(&mut self, now: u64) {
+        let ring_bytes = self.ring.bytes_sent();
+        let mem_bytes = self.mem_bytes_total();
+        let actions = {
+            // Borrow individual fields (all disjoint from `policy`) so the
+            // policy can observe the machine while it mutates itself.
+            let chips = &self.chips;
+            let ring = &self.ring;
+            let in_flight = self.in_flight;
+            let writes_done = self.writes_done;
+            let quiescent =
+                move || in_flight == 0 && ring.is_empty() && chips.iter().all(Chip::is_quiescent);
+            let work_done = move || {
+                chips
+                    .iter()
+                    .flat_map(|c| c.clusters.iter())
+                    .map(Cluster::reads_done)
+                    .sum::<u64>()
+                    + writes_done
+            };
+            let ctx = EpochCtx {
+                now,
+                ring_bytes,
+                mem_bytes,
+                quiescent: &quiescent,
+                work_done: &work_done,
+            };
+            self.policy.on_cycle(&ctx, self.pause)
+        };
+        if actions.writeback_dirty {
+            self.start_llc_dirty_writeback();
+        }
+        if let Some(p) = actions.set_pause {
+            self.pause = p;
+        }
+        if actions.overhead_cycle {
+            self.overhead_cycles += 1;
+        }
+        if let Some(ways) = actions.set_local_ways {
+            for chip in &mut self.chips {
+                for slice in &mut chip.slices {
+                    slice.cache.set_partition(ways);
+                }
+            }
+        }
+    }
+}

@@ -39,6 +39,7 @@ pub mod chip;
 pub mod cluster;
 pub mod dynamic;
 pub mod engine;
+pub mod org;
 pub mod packet;
 pub mod stats;
 
@@ -46,4 +47,5 @@ pub use engine::{
     ChipConservation, ChipSnapshot, ConservationReport, DeadlockSnapshot, SimBuilder, SimError,
     Simulator,
 };
+pub use org::{BoundaryAction, LlcOrgPolicy, OrgDescriptor, RouteMode, REGISTRY};
 pub use stats::{KernelStats, RunStats};

@@ -1,0 +1,58 @@
+//! The Static "L1.5" organization of Arunkumar et al.
+
+use super::{BoundaryAction, LlcOrgPolicy, RouteMode};
+use crate::packet::FillAction;
+use mcgpu_types::{CoherenceKind, ConfigError, LlcOrgKind, PolicyCtx};
+
+/// Static-split policy: half the LLC ways cache local (home) data
+/// memory-side, half cache remote data SM-side. The split is fixed for the
+/// whole run; remote-pool misses travel on to the home slice (tiered
+/// routing).
+#[derive(Debug)]
+pub struct StaticHalfPolicy {
+    local_ways: usize,
+}
+
+impl StaticHalfPolicy {
+    /// Create the static-split policy for the machine in `ctx`.
+    ///
+    /// # Errors
+    /// [`ConfigError`] when the LLC has fewer than 2 ways (both pools need
+    /// at least one way).
+    pub fn new(ctx: &PolicyCtx) -> Result<Self, ConfigError> {
+        if ctx.llc_assoc < 2 {
+            return Err(ConfigError::new(
+                "way-partitioned organizations need an LLC with at least 2 ways",
+            ));
+        }
+        Ok(StaticHalfPolicy {
+            local_ways: ctx.llc_assoc / 2,
+        })
+    }
+}
+
+impl LlcOrgPolicy for StaticHalfPolicy {
+    fn kind(&self) -> LlcOrgKind {
+        LlcOrgKind::StaticHalf
+    }
+
+    fn route_mode(&self) -> RouteMode {
+        RouteMode::Tiered
+    }
+
+    fn remote_fill_action(&self) -> FillAction {
+        FillAction::FillLocalSlice
+    }
+
+    fn way_split(&self) -> Option<usize> {
+        Some(self.local_ways)
+    }
+
+    fn boundary_action(&self, coherence: CoherenceKind) -> BoundaryAction {
+        match coherence {
+            // Only the remote pool replicates; the local pool is home data.
+            CoherenceKind::Software => BoundaryAction::FlushRemoteDirty,
+            CoherenceKind::Hardware => BoundaryAction::DropRemoteReplicas,
+        }
+    }
+}

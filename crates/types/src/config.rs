@@ -74,6 +74,28 @@ pub enum CoherenceKind {
     Hardware,
 }
 
+/// The slice of a [`MachineConfig`] that LLC-organization policies consult
+/// when making routing, fill, way-partition and kernel-boundary decisions.
+///
+/// Extracted once at simulator-build time ([`MachineConfig::policy_ctx`]) so
+/// a policy carries only the structural facts its decisions depend on, never
+/// the full machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PolicyCtx {
+    /// Number of chips in the machine.
+    pub chips: usize,
+    /// LLC associativity (ways per set) — the domain of a way split.
+    pub llc_assoc: usize,
+    /// Total LLC slices machine-wide.
+    pub total_slices: usize,
+    /// LLC sets per chip (capacity ÷ ways ÷ line size).
+    pub llc_sets_per_chip: usize,
+    /// Whether the LLC tracks per-sector validity.
+    pub sectored: bool,
+    /// The coherence scheme enforced at kernel boundaries.
+    pub coherence: CoherenceKind,
+}
+
 /// Memory interface generation (Fig. 14 "memory interface" sweep).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MemoryInterface {
@@ -395,6 +417,19 @@ impl MachineConfig {
     /// Total LLC slices in the machine.
     pub fn total_slices(&self) -> usize {
         self.chips * self.slices_per_chip
+    }
+
+    /// The policy-facing slice of this configuration (see [`PolicyCtx`]).
+    pub fn policy_ctx(&self) -> PolicyCtx {
+        PolicyCtx {
+            chips: self.chips,
+            llc_assoc: self.llc_assoc,
+            total_slices: self.total_slices(),
+            llc_sets_per_chip: (self.llc_bytes_per_chip / (self.llc_assoc as u64 * self.line_size))
+                as usize,
+            sectored: self.sectored,
+            coherence: self.coherence,
+        }
     }
 
     /// Total DRAM bandwidth, GB/s.

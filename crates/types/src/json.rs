@@ -2,7 +2,7 @@
 //!
 //! The workspace has no registry access, so it cannot pull `serde_json`;
 //! this module implements just enough of RFC 8259 to read back what the
-//! workspace itself writes: the canonical [`RunStats`] JSON emitted by
+//! workspace itself writes: the canonical `RunStats` JSON emitted by
 //! `mcgpu_sim::stats` and the JSONL records of the sweep run journal.
 //! Numbers keep their source text (see [`JsonValue::Number`]) so a
 //! parse → re-emit round trip is byte-exact — the property the resumable

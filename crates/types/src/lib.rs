@@ -32,7 +32,9 @@ pub mod pipe;
 
 pub use addr::{Address, LineAddr, PageAddr, SectorId};
 pub use budget::BandwidthBudget;
-pub use config::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, ScaleFactor, GB_S};
+pub use config::{
+    CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, PolicyCtx, ScaleFactor, GB_S,
+};
 pub use error::{ConfigError, JournalError, ParseError, TraceError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{ChannelId, ChipId, ClusterId, SliceId};

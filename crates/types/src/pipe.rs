@@ -3,7 +3,7 @@
 //! [`Pipe`] is the single queueing primitive every bandwidth-limited resource
 //! in the simulator is built from: NoC ports, inter-chip links, LLC slice
 //! ports and DRAM channels. Items enter a bounded waiting queue, start
-//! "transmission" when the [`BandwidthBudget`](crate::BandwidthBudget)
+//! "transmission" when the [`BandwidthBudget`]
 //! admits their size, and become available `latency` cycles later.
 
 use crate::budget::BandwidthBudget;
