@@ -4,6 +4,7 @@
 //! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X]
 //!        [--hw-coherence] [--sectored] [--json] [--jobs N] [--list-orgs]
 //!        [--watchdog-cycles N] [--journal PATH] [--resume PATH]
+//!        [--obs] [--obs-window N] [--obs-out PATH] [--trace-out PATH]
 //! ```
 //!
 //! ORG is any token or label from the LLC-organization registry
@@ -18,10 +19,18 @@
 //! to an append-only JSONL run journal; after an interruption,
 //! `--resume PATH` replays completed cells byte-identically and re-runs
 //! only missing or quarantined ones.
+//!
+//! Observability (single organization only; strictly read-only, so the
+//! printed statistics stay byte-identical): `--obs` records latency
+//! histograms and the epoch timeline, `--obs-window N` sets the timeline
+//! window in cycles (default 10000), `--obs-out PATH` writes the canonical
+//! observability JSON, and `--trace-out PATH` writes a Chrome `trace_event`
+//! JSON (load in `chrome://tracing` or Perfetto). `--obs-out`/`--trace-out`
+//! imply `--obs`; `--trace-out` raises the level to `trace`.
 
-use mcgpu_trace::{profiles, TraceParams};
-use mcgpu_types::{CoherenceKind, LlcOrgKind, ResponseOrigin};
-use sac_bench::{exit_on_quarantine, run_benchmark, SweepOptions};
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::{CoherenceKind, LlcOrgKind, ObsConfig, ResponseOrigin};
+use sac_bench::{exit_on_quarantine, run_benchmark, run_one_observed, SweepOptions};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -89,7 +98,16 @@ fn main() {
     };
     let opts = SweepOptions::from_args();
 
+    let trace_out = arg_value("--trace-out");
+    let obs_out = arg_value("--obs-out");
+    let obs_requested =
+        std::env::args().any(|a| a == "--obs") || obs_out.is_some() || trace_out.is_some();
+
     let Some(org) = org else {
+        if obs_requested {
+            eprintln!("--obs/--obs-out/--trace-out need a single --org, not `all`");
+            std::process::exit(2);
+        }
         // --org all: fan every organization out over the sweep pool and
         // print a comparison table relative to the memory-side baseline.
         let rows = exit_on_quarantine(run_benchmark(
@@ -123,8 +141,35 @@ fn main() {
         }
         return;
     };
-    let rows = exit_on_quarantine(run_benchmark(&cfg, &profile, &params, &[org], &opts));
-    let stats = rows.stats(org);
+    let (stats, report, total_accesses) = if obs_requested {
+        let mut obs = if trace_out.is_some() {
+            ObsConfig::trace()
+        } else {
+            ObsConfig::metrics()
+        };
+        if let Some(w) = arg_value("--obs-window").and_then(|v| v.parse().ok()) {
+            obs = obs.with_epoch_window(w);
+        }
+        let wl = generate(&cfg, &profile, &params);
+        let total = wl.total_accesses();
+        let (stats, report) = run_one_observed(&cfg, &wl, org, obs);
+        (stats, report, total)
+    } else {
+        let rows = exit_on_quarantine(run_benchmark(&cfg, &profile, &params, &[org], &opts));
+        let total = rows.workload.total_accesses();
+        (rows.stats(org).clone(), None, total)
+    };
+    let stats = &stats;
+    if let Some(r) = &report {
+        if let Some(path) = &obs_out {
+            std::fs::write(path, r.to_canonical_json())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        }
+        if let Some(path) = &trace_out {
+            let trace = r.trace_json.as_deref().expect("trace level was requested");
+            std::fs::write(path, trace).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        }
+    }
     if std::env::args().any(|a| a == "--json") {
         print!("{}", stats.to_canonical_json());
         return;
@@ -132,9 +177,7 @@ fn main() {
 
     println!(
         "benchmark          : {} ({} accesses, input x{})",
-        bench,
-        rows.workload.total_accesses(),
-        params.input_scale
+        bench, total_accesses, params.input_scale
     );
     println!("organization       : {}", org.label());
     println!("cycles             : {}", stats.cycles);
@@ -168,6 +211,34 @@ fn main() {
             println!("  kernel {i}: {} (EAB mem {:.0} vs sm {:.0}, R_local {:.2}, hitM {:.2}, hitS {:.2})",
                 r.mode, r.eab_memory_side, r.eab_sm_side,
                 r.inputs.r_local, r.inputs.llc_hit_memory_side, r.inputs.llc_hit_sm_side);
+        }
+    }
+    if let Some(r) = &report {
+        println!(
+            "latency (cycles)   : {:>10} {:>9} {:>7} {:>7} {:>7}",
+            "class", "count", "p50", "p90", "p99"
+        );
+        for o in ResponseOrigin::ALL {
+            let h = r.class_histogram(o);
+            println!(
+                "  {:>18} {:>9} {:>7} {:>7} {:>7}",
+                o.label(),
+                h.count(),
+                h.percentile(0.50),
+                h.percentile(0.90),
+                h.percentile(0.99)
+            );
+        }
+        println!(
+            "timeline           : {} epoch(s) of {} cycles",
+            r.timeline.len(),
+            r.epoch_window
+        );
+        if let Some(path) = &obs_out {
+            println!("obs report         : wrote {path}");
+        }
+        if let Some(path) = &trace_out {
+            println!("event trace        : wrote {path}");
         }
     }
 }

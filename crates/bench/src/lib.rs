@@ -23,9 +23,9 @@
 //! `--resume results/run.jsonl` after an interruption to replay completed
 //! cells byte-identically and re-execute only missing or quarantined ones.
 
-use mcgpu_sim::{RunStats, SimBuilder};
+use mcgpu_sim::{ObsReport, RunStats, SimBuilder};
 use mcgpu_trace::{generate, profiles, BenchmarkProfile, TraceParams, Workload};
-use mcgpu_types::{LlcOrgKind, MachineConfig};
+use mcgpu_types::{LlcOrgKind, MachineConfig, ObsConfig};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
@@ -299,6 +299,42 @@ pub fn try_run_one(
 /// Panics on any simulation error; use [`try_run_one`] in sweeps.
 pub fn run_one(cfg: &MachineConfig, workload: &Workload, org: LlcOrgKind) -> RunStats {
     try_run_one(cfg, workload, org).unwrap_or_else(|e| panic!("{}/{org}: {e}", workload.name))
+}
+
+/// Like [`try_run_one`], but with the observability layer configured by
+/// `obs`: the returned [`ObsReport`] carries the run's latency histograms,
+/// epoch timeline, and (at the trace level) the Chrome-trace JSON. The
+/// report is `None` when `obs` is off. The [`RunStats`] are byte-identical
+/// to an unobserved run at any level — the observer is strictly read-only.
+///
+/// # Errors
+/// [`CellError::Sim`] for configuration rejections and runtime aborts.
+pub fn try_run_one_observed(
+    cfg: &MachineConfig,
+    workload: &Workload,
+    org: LlcOrgKind,
+    obs: ObsConfig,
+) -> Result<(RunStats, Option<ObsReport>), CellError> {
+    let mut sim = SimBuilder::new(cfg.clone())
+        .organization(org)
+        .observability(obs)
+        .build()?;
+    let stats = sim.run(workload)?;
+    Ok((stats, sim.take_obs_report()))
+}
+
+/// Run one observed `(workload, organization)` simulation.
+///
+/// # Panics
+/// Panics on any simulation error; use [`try_run_one_observed`] in sweeps.
+pub fn run_one_observed(
+    cfg: &MachineConfig,
+    workload: &Workload,
+    org: LlcOrgKind,
+    obs: ObsConfig,
+) -> (RunStats, Option<ObsReport>) {
+    try_run_one_observed(cfg, workload, org, obs)
+        .unwrap_or_else(|e| panic!("{}/{org}: {e}", workload.name))
 }
 
 /// One isolated attempt of a sweep cell. Deterministic backoff: attempt

@@ -220,6 +220,32 @@ impl SacController {
         &mut self.collector
     }
 
+    /// Read-only access to the profiling counters (observability taps).
+    pub fn collector(&self) -> &ProfileCollector {
+        &self.collector
+    }
+
+    /// Diagnostic label of the current state.
+    pub fn state_label(&self) -> &'static str {
+        match self.state {
+            SacState::Idle => "idle",
+            SacState::Profiling { .. } => "profiling",
+            SacState::Draining {
+                to: LlcMode::SmSide,
+            } => "draining-to-sm-side",
+            SacState::Draining {
+                to: LlcMode::MemorySide,
+            } => "draining-to-memory-side",
+            SacState::Flushing => "flushing",
+            SacState::Running {
+                mode: LlcMode::MemorySide,
+            } => "running-memory-side",
+            SacState::Running {
+                mode: LlcMode::SmSide,
+            } => "running-sm-side",
+        }
+    }
+
     /// Start a new kernel at cycle `now`: reset the counters and enter the
     /// profiling window in the memory-side configuration.
     pub fn begin_kernel(&mut self, now: u64) {

@@ -116,6 +116,14 @@ impl ProfileCollector {
         self.total_requests
     }
 
+    /// CRD occupancy across all chips as `(valid blocks, block capacity)`
+    /// (observability gauge).
+    pub fn crd_occupancy(&self) -> (u64, u64) {
+        self.crds.iter().fold((0, 0), |(o, c), crd| {
+            (o + crd.occupied(), c + crd.capacity())
+        })
+    }
+
     /// The aggregated EAB inputs for the window so far.
     pub fn inputs(&self) -> EabInputs {
         let r_local = if self.total_requests == 0 {

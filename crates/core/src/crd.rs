@@ -185,6 +185,19 @@ impl Crd {
         self.hits
     }
 
+    /// Valid blocks currently held in the directory (observability gauge).
+    pub fn occupied(&self) -> u64 {
+        self.sets
+            .iter()
+            .map(|set| set.iter().filter(|b| b.valid).count() as u64)
+            .sum()
+    }
+
+    /// Total block capacity (`sets × ways`).
+    pub fn capacity(&self) -> u64 {
+        (self.sets.len() * self.ways) as u64
+    }
+
     /// Reset only the hit/request counters, keeping the directory contents
     /// warm (used by the mid-window warm-up reset).
     pub fn reset_counters(&mut self) {
@@ -286,6 +299,20 @@ mod tests {
         assert_eq!(crd.requests(), 0);
         assert_eq!(crd.predicted_hit_rate(), 0.0);
         assert_eq!(crd.observe(l, None, ChipId(0)), Some(false));
+    }
+
+    #[test]
+    fn occupancy_counts_valid_blocks() {
+        let mut crd = Crd::paper_default(64);
+        assert_eq!(crd.occupied(), 0);
+        assert_eq!(crd.capacity(), 8 * 16);
+        let l = sampled_line(&crd);
+        crd.observe(l, None, ChipId(0));
+        assert_eq!(crd.occupied(), 1);
+        crd.reset_counters();
+        assert_eq!(crd.occupied(), 1, "counter reset keeps the directory warm");
+        crd.reset();
+        assert_eq!(crd.occupied(), 0);
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct MemoryPartition {
     line_size: u64,
     served_reads: u64,
     served_writes: u64,
+    /// Bytes accepted into the partition (reads, writes and writebacks;
+    /// observability tap — channel re-distribution after a fault does not
+    /// re-count).
+    accepted_bytes: u64,
 }
 
 impl MemoryPartition {
@@ -54,6 +58,7 @@ impl MemoryPartition {
             line_size,
             served_reads: 0,
             served_writes: 0,
+            accepted_bytes: 0,
         }
     }
 
@@ -122,18 +127,23 @@ impl MemoryPartition {
         true
     }
 
-    /// Route `dreq` to its (live) PAE channel, charging the right byte cost.
-    fn repush(&mut self, dreq: DramRequest) {
-        let line = dreq.request.access.addr.line(self.line_size);
-        let ch = self.target_channel(line);
-        let bytes = if dreq.request.id == mcgpu_types::RequestId(u64::MAX) {
+    /// The DRAM byte cost of `dreq`.
+    fn byte_cost(&self, dreq: &DramRequest) -> u64 {
+        if dreq.request.id == mcgpu_types::RequestId(u64::MAX) {
             self.line_size // writeback sentinel: full dirty line
         } else {
             match dreq.request.access.kind {
                 AccessKind::Read => self.line_size,
                 AccessKind::Write => mcgpu_types::packet::WRITE_PAYLOAD_BYTES,
             }
-        };
+        }
+    }
+
+    /// Route `dreq` to its (live) PAE channel, charging the right byte cost.
+    fn repush(&mut self, dreq: DramRequest) {
+        let line = dreq.request.access.addr.line(self.line_size);
+        let ch = self.target_channel(line);
+        let bytes = self.byte_cost(&dreq);
         // DRAM channels are unbounded queues: backpressure is applied
         // upstream by the LLC/NoC queues in the simulator.
         self.channels[ch]
@@ -146,6 +156,7 @@ impl MemoryPartition {
     /// (write-through traffic ultimately writes a full line's sector burst —
     /// we charge the 32 B coalesced sector).
     pub fn push(&mut self, dreq: DramRequest) {
+        self.accepted_bytes += self.byte_cost(&dreq);
         self.repush(dreq);
     }
 
@@ -164,6 +175,7 @@ impl MemoryPartition {
             from_local_slice: true,
             slice: None,
         };
+        self.accepted_bytes += self.byte_cost(&sentinel);
         self.repush(sentinel);
     }
 
@@ -229,6 +241,11 @@ impl MemoryPartition {
     /// Writes served so far.
     pub fn served_writes(&self) -> u64 {
         self.served_writes
+    }
+
+    /// Bytes accepted into the partition so far (observability tap).
+    pub fn accepted_bytes(&self) -> u64 {
+        self.accepted_bytes
     }
 }
 

@@ -52,6 +52,8 @@ pub struct RingNetwork<T> {
     topo: MachineConfig,
     delivered: u64,
     bytes_sent: u64,
+    /// Bytes injected per source chip (observability tap).
+    sent_from: Vec<u64>,
 }
 
 impl<T> RingNetwork<T> {
@@ -76,6 +78,7 @@ impl<T> RingNetwork<T> {
             topo: cfg.clone(),
             delivered: 0,
             bytes_sent: 0,
+            sent_from: vec![0; n],
         }
     }
 
@@ -189,6 +192,7 @@ impl<T> RingNetwork<T> {
             .try_push(pkt, bytes)
             .map(|()| {
                 self.bytes_sent += bytes;
+                self.sent_from[from.index()] += bytes;
             })
             .map_err(|pkt| pkt.payload)
     }
@@ -310,6 +314,11 @@ impl<T> RingNetwork<T> {
     /// Total bytes injected so far.
     pub fn bytes_sent(&self) -> u64 {
         self.bytes_sent
+    }
+
+    /// Bytes injected so far by `chip` (observability tap).
+    pub fn bytes_sent_from(&self, chip: ChipId) -> u64 {
+        self.sent_from[chip.index()]
     }
 }
 

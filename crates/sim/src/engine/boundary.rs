@@ -56,6 +56,7 @@ impl Simulator {
     /// reflect the mode the kernel actually ran in), the drain runs next,
     /// and the policy is told the drain finished last.
     pub(super) fn kernel_boundary(&mut self) -> Result<(), SimError> {
+        let boundary_start = self.cycle;
         // L1s are invalidated under both coherence schemes (write-through,
         // so no traffic).
         for chip in &mut self.chips {
@@ -108,6 +109,9 @@ impl Simulator {
         }
         let now = self.cycle;
         self.policy.boundary_drained(now);
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.note_boundary(boundary_start, now);
+        }
         Ok(())
     }
 }

@@ -33,6 +33,7 @@ pub use diagnostics::{
 
 use crate::chip::Chip;
 use crate::cluster::Cluster;
+use crate::obs::{ChipSample, MachineSnapshot, ObsReport, Observer};
 use crate::org::{self, LlcOrgPolicy, Pause, RouteMode};
 use crate::packet::RingPayload;
 use crate::stats::{KernelStats, RunStats};
@@ -40,7 +41,7 @@ use coherence::SharerDirectory;
 use mcgpu_mem::{DramRequest, PageTable};
 use mcgpu_noc::RingNetwork;
 use mcgpu_trace::Workload;
-use mcgpu_types::{ChipId, ConfigError, FaultPlan, LlcOrgKind, MachineConfig};
+use mcgpu_types::{ChipId, ConfigError, FaultPlan, LlcOrgKind, MachineConfig, ObsConfig};
 use sac::SacConfig;
 
 /// Builder for a [`Simulator`].
@@ -58,6 +59,7 @@ pub struct SimBuilder {
     watchdog_window: u64,
     deadline: Option<std::time::Duration>,
     audit_period: u64,
+    obs: ObsConfig,
 }
 
 /// Request-conservation audit cadence in debug builds. Release builds
@@ -88,6 +90,7 @@ impl SimBuilder {
             } else {
                 0
             },
+            obs: ObsConfig::off(),
         }
     }
 
@@ -147,6 +150,16 @@ impl SimBuilder {
         self
     }
 
+    /// Select how much observability data the run records (histograms,
+    /// epoch timeline, event trace). Defaults to [`mcgpu_types::ObsLevel::Off`].
+    /// The observability layer is strictly read-only: any level produces
+    /// byte-identical [`RunStats`] to an unobserved run. Retrieve the
+    /// recorded data with [`Simulator::take_obs_report`] after the run.
+    pub fn observability(mut self, obs: ObsConfig) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Build the simulator.
     ///
     /// # Errors
@@ -157,6 +170,7 @@ impl SimBuilder {
     pub fn build(self) -> Result<Simulator, ConfigError> {
         self.cfg.validate()?;
         self.fault_plan.validate(&self.cfg)?;
+        self.obs.validate()?;
         if self.watchdog_window == 0 {
             return Err(ConfigError::new(
                 "watchdog window must be positive (use u64::MAX to disable)",
@@ -211,6 +225,12 @@ pub struct Simulator {
     /// Request-conservation audit cadence in cycles (`0` = disabled).
     audit_period: u64,
 
+    // --- observability ---
+    /// Read-only run observer (`None` when observability is off, which is
+    /// the default; every hook below is then a single branch). Boxed so the
+    /// hot `Simulator` layout does not carry the recorder buffers inline.
+    obs: Option<Box<Observer>>,
+
     // --- accumulators ---
     writes_done: u64,
     responses_by_origin: [u64; 4],
@@ -240,7 +260,12 @@ impl Simulator {
             watchdog_window,
             deadline,
             audit_period,
+            obs,
         } = b;
+        let obs = obs
+            .level
+            .enabled()
+            .then(|| Box::new(Observer::new(obs, cfg.chips)));
         let chips: Vec<Chip> = ChipId::all(cfg.chips).map(|c| Chip::new(&cfg, c)).collect();
         let ring = RingNetwork::new(&cfg, 32);
 
@@ -265,6 +290,7 @@ impl Simulator {
             deadline,
             deadline_start: None,
             audit_period,
+            obs,
             writes_done: 0,
             responses_by_origin: [0; 4],
             overhead_cycles: 0,
@@ -392,12 +418,17 @@ impl Simulator {
                     .find(|r| r.start_cycle >= kernel_start_cycle)
                     .map(|r| r.mode)
             });
+            let accesses = self.cluster_reads_total() + self.writes_done - work_before;
             self.kernels.push(KernelStats {
                 index: ki,
                 cycles: self.cycle - kernel_start_cycle,
-                accesses: self.cluster_reads_total() + self.writes_done - work_before,
+                accesses,
                 sac_mode,
             });
+            let end = self.cycle;
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.note_kernel(ki, kernel_start_cycle, end, accesses);
+            }
         }
         Ok(self.collect_stats())
     }
@@ -442,6 +473,104 @@ impl Simulator {
                     + c.memory.served_writes() * mcgpu_types::packet::WRITE_PAYLOAD_BYTES
             })
             .sum()
+    }
+
+    /// Capture the machine's cumulative counters and instantaneous state
+    /// for the observability timeline. Read-only; called on the epoch grid
+    /// and once at run end.
+    fn machine_snapshot(&self) -> MachineSnapshot {
+        let mut l1 = mcgpu_cache::CacheStats::default();
+        let mut llc = mcgpu_cache::CacheStats::default();
+        for chip in &self.chips {
+            l1.merge(&chip.l1_stats());
+            llc.merge(&chip.llc_stats());
+        }
+        let sac = self.policy.sac();
+        let (crd_occupied, crd_capacity) = sac
+            .map(|s| s.collector().crd_occupancy())
+            .unwrap_or_default();
+        let chips = self
+            .chips
+            .iter()
+            .enumerate()
+            .map(|(c, chip)| {
+                let cl = chip.llc_stats();
+                ChipSample {
+                    dram_served: chip.memory.accepted_bytes(),
+                    queue: (chip.memory.pending_requests()
+                        + chip
+                            .slices
+                            .iter()
+                            .map(|s| s.service.len() + s.pending.waiting())
+                            .sum::<usize>()) as u64,
+                    llc_accesses: cl.accesses,
+                    llc_hits: cl.hits,
+                    ring_sent_bytes: self.ring.bytes_sent_from(ChipId(c as u8)),
+                }
+            })
+            .collect();
+        MachineSnapshot {
+            cycle: self.cycle,
+            reads: self.cluster_reads_total(),
+            writes: self.writes_done,
+            in_flight: self.in_flight,
+            active_clusters: self.active_clusters() as u64,
+            ring_bytes: self.ring.bytes_sent(),
+            ring_delivered: self.ring.delivered(),
+            noc_bytes: self
+                .chips
+                .iter()
+                .map(|c| c.xbar_req.injected_bytes() + c.xbar_rsp.injected_bytes())
+                .sum(),
+            noc_rejected: self
+                .chips
+                .iter()
+                .map(|c| c.xbar_req.rejected() + c.xbar_rsp.rejected())
+                .sum(),
+            dram_bytes: self.chips.iter().map(|c| c.memory.accepted_bytes()).sum(),
+            dram_reads: self.chips.iter().map(|c| c.memory.served_reads()).sum(),
+            dram_writes: self.chips.iter().map(|c| c.memory.served_writes()).sum(),
+            dram_queue: self
+                .chips
+                .iter()
+                .map(|c| c.memory.pending_requests() as u64)
+                .sum(),
+            slice_queue: self
+                .chips
+                .iter()
+                .flat_map(|c| c.slices.iter())
+                .map(|s| (s.service.len() + s.pending.waiting()) as u64)
+                .sum(),
+            llc_accesses: llc.accesses,
+            llc_hits: llc.hits,
+            l1_accesses: l1.accesses,
+            l1_hits: l1.hits,
+            route_mode: self.route_mode().label(),
+            pause: self.pause.label(),
+            controller: self.policy.controller_state_label().unwrap_or("-"),
+            sac_decisions: sac.map(|s| s.history().len() as u64).unwrap_or(0),
+            sac_window_requests: sac.map(|s| s.collector().total_requests()).unwrap_or(0),
+            crd_occupied,
+            crd_capacity,
+            chips,
+        }
+    }
+
+    /// Consume the run's observability data (histograms, timeline, trace)
+    /// into an [`ObsReport`]. Returns `None` when observability was off, or
+    /// when the report was already taken. Call after [`Simulator::run`].
+    pub fn take_obs_report(&mut self) -> Option<ObsReport> {
+        self.obs.as_ref()?;
+        let snap = self.machine_snapshot();
+        let history: Vec<sac::controller::KernelRecord> = self
+            .policy
+            .sac()
+            .map(|s| s.history().to_vec())
+            .unwrap_or_default();
+        let org = self.policy.kind().label();
+        self.obs
+            .take()
+            .map(|o| o.finalize(org, self.cycle, &snap, &history))
     }
 
     fn sample_occupancy(&mut self) {

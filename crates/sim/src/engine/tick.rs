@@ -133,6 +133,18 @@ impl Simulator {
         if now.is_multiple_of(OCC_SAMPLE_PERIOD) {
             self.sample_occupancy();
         }
+        // Observability timeline (read-only; snapshot is built before the
+        // observer is borrowed mutably).
+        let obs_due = self
+            .obs
+            .as_deref()
+            .is_some_and(|o| now.is_multiple_of(o.epoch_window()));
+        if obs_due {
+            let snap = self.machine_snapshot();
+            if let Some(o) = self.obs.as_deref_mut() {
+                o.sample_epoch(&snap);
+            }
+        }
     }
 
     fn issue_phase(&mut self) {
@@ -222,6 +234,10 @@ impl Simulator {
                     self.next_id += 1;
                     self.in_flight += 1;
                     self.max_in_flight = self.max_in_flight.max(self.in_flight);
+                    let now = self.cycle;
+                    if let Some(o) = self.obs.as_deref_mut() {
+                        o.note_issue(now);
+                    }
                     if profiling {
                         let sector = self.sector_of(&acc);
                         let spc = self.cfg.slices_per_chip;
@@ -573,6 +589,10 @@ impl Simulator {
             .expect("known origin");
         self.responses_by_origin[idx] += 1;
         self.in_flight -= 1;
+        let now = self.cycle;
+        if let Some(o) = self.obs.as_deref_mut() {
+            o.note_response(c, idx, env.rsp.id.0, now);
+        }
     }
 
     /// Queue a payload for the inter-chip ring (bounded; requests check the
@@ -727,6 +747,11 @@ impl Simulator {
             self.start_llc_dirty_writeback();
         }
         if let Some(p) = actions.set_pause {
+            if p != self.pause {
+                if let Some(o) = self.obs.as_deref_mut() {
+                    o.note_pause(now, p.label());
+                }
+            }
             self.pause = p;
         }
         if actions.overhead_cycle {

@@ -39,6 +39,7 @@ pub mod chip;
 pub mod cluster;
 pub mod dynamic;
 pub mod engine;
+pub mod obs;
 pub mod org;
 pub mod packet;
 pub mod stats;
@@ -47,5 +48,6 @@ pub use engine::{
     ChipConservation, ChipSnapshot, ConservationReport, DeadlockSnapshot, SimBuilder, SimError,
     Simulator,
 };
+pub use obs::{EpochSample, LatencyHistogram, MachineSnapshot, ObsReport, Observer, HIST_BUCKETS};
 pub use org::{BoundaryAction, LlcOrgPolicy, OrgDescriptor, RouteMode, REGISTRY};
 pub use stats::{KernelStats, RunStats};

@@ -206,6 +206,13 @@ pub trait LlcOrgPolicy: std::fmt::Debug + Send {
         EpochActions::default()
     }
 
+    /// Diagnostic label of the policy's internal controller state, for
+    /// organizations that have one (`None` otherwise). The observability
+    /// timeline records it each epoch.
+    fn controller_state_label(&self) -> Option<&'static str> {
+        None
+    }
+
     /// The SAC controller, when this policy is the SAC organization — the
     /// engine's profiling taps and statistics reporting read it directly.
     fn sac(&self) -> Option<&SacController> {

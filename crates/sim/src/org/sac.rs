@@ -123,6 +123,10 @@ impl LlcOrgPolicy for SacPolicy {
         actions
     }
 
+    fn controller_state_label(&self) -> Option<&'static str> {
+        Some(self.ctl.state_label())
+    }
+
     fn sac(&self) -> Option<&SacController> {
         Some(&self.ctl)
     }

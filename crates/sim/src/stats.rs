@@ -330,7 +330,9 @@ impl RunStats {
 /// Tiny canonical-JSON emitter: objects and arrays with deterministic
 /// layout. Floats use `{:?}` (shortest representation that round-trips),
 /// so byte equality of the output is exactly bit equality of the stats.
-struct JsonWriter {
+/// Shared with the observability report emitter (`crate::obs`), which
+/// uses the same conventions for its own documents.
+pub(crate) struct JsonWriter {
     out: String,
     indent: usize,
     /// Whether the current container already has a member (comma control).
@@ -338,7 +340,7 @@ struct JsonWriter {
 }
 
 impl JsonWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         JsonWriter {
             out: String::new(),
             indent: 0,
@@ -366,13 +368,13 @@ impl JsonWriter {
         }
     }
 
-    fn open(&mut self) {
+    pub(crate) fn open(&mut self) {
         self.out.push('{');
         self.indent += 1;
         self.has_member.push(false);
     }
 
-    fn close(&mut self) {
+    pub(crate) fn close(&mut self) {
         self.indent -= 1;
         self.has_member.pop();
         self.out.push('\n');
@@ -380,29 +382,29 @@ impl JsonWriter {
         self.out.push('}');
     }
 
-    fn str_field(&mut self, key: &str, v: &str) {
+    pub(crate) fn str_field(&mut self, key: &str, v: &str) {
         self.newline_key(key);
         self.out.push('"');
         self.out.push_str(v);
         self.out.push('"');
     }
 
-    fn u64_field(&mut self, key: &str, v: u64) {
+    pub(crate) fn u64_field(&mut self, key: &str, v: u64) {
         self.newline_key(key);
         self.out.push_str(&v.to_string());
     }
 
-    fn f64_field(&mut self, key: &str, v: f64) {
+    pub(crate) fn f64_field(&mut self, key: &str, v: f64) {
         self.newline_key(key);
         self.out.push_str(&format!("{v:?}"));
     }
 
-    fn bool_field(&mut self, key: &str, v: bool) {
+    pub(crate) fn bool_field(&mut self, key: &str, v: bool) {
         self.newline_key(key);
         self.out.push_str(if v { "true" } else { "false" });
     }
 
-    fn u64_array_field(&mut self, key: &str, vs: &[u64]) {
+    pub(crate) fn u64_array_field(&mut self, key: &str, vs: &[u64]) {
         self.newline_key(key);
         self.out.push('[');
         for (i, v) in vs.iter().enumerate() {
@@ -427,7 +429,12 @@ impl JsonWriter {
         self.close();
     }
 
-    fn array_field(&mut self, key: &str, len: usize, mut item: impl FnMut(&mut Self, usize)) {
+    pub(crate) fn array_field(
+        &mut self,
+        key: &str,
+        len: usize,
+        mut item: impl FnMut(&mut Self, usize),
+    ) {
         self.newline_key(key);
         if len == 0 {
             self.out.push_str("[]");
@@ -449,7 +456,7 @@ impl JsonWriter {
         self.out.push(']');
     }
 
-    fn finish(mut self) -> String {
+    pub(crate) fn finish(mut self) -> String {
         self.out.push('\n');
         self.out
     }
@@ -540,6 +547,46 @@ mod tests {
         assert_eq!(back, s);
         // Bit-exact: re-serializing yields identical bytes.
         assert_eq!(back.to_canonical_json(), json);
+    }
+
+    #[test]
+    fn canonical_json_key_set_is_pinned() {
+        // Guard against counters that are accumulated but never surfaced
+        // (or surfaced twice): the exact top-level key set of the golden
+        // format is pinned here, in order. Changing it requires a golden
+        // regeneration, which is a deliberate, reviewed event.
+        let mut s = stats(1, 1);
+        s.organization = LlcOrgKind::Sac;
+        let json = s.to_canonical_json();
+        let keys: Vec<&str> = json
+            .lines()
+            .filter(|l| l.starts_with("  \""))
+            .map(|l| {
+                let rest = &l[3..];
+                &rest[..rest.find('"').unwrap()]
+            })
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "organization",
+                "cycles",
+                "reads",
+                "writes",
+                "l1",
+                "llc",
+                "responses_by_origin",
+                "llc_local_fraction",
+                "llc_occupancy",
+                "ring_bytes",
+                "dram_reads",
+                "dram_writes",
+                "overhead_cycles",
+                "max_in_flight",
+                "kernels",
+                "sac_history",
+            ]
+        );
     }
 
     #[test]

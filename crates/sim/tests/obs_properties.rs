@@ -1,0 +1,140 @@
+//! Property-based tests for the observability histogram
+//! ([`mcgpu_sim::LatencyHistogram`]): the merge algebra (associative,
+//! commutative, identity), conservation of counts and sums under arbitrary
+//! split/merge, percentile monotonicity, and the log2 bucket geometry at
+//! the 0 and `u64::MAX` edges.
+
+use mcgpu_sim::{LatencyHistogram, HIST_BUCKETS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn hist_of(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Latencies spanning every bucket magnitude, not just small ints.
+fn latency() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(u64::MAX),
+        1u64..1024,
+        any::<u64>(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in vec(latency(), 0..64),
+        b in vec(latency(), 0..64),
+        c in vec(latency(), 0..64),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut right_tail = hb.clone();
+        right_tail.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &right);
+
+        // a ∪ b == b ∪ a
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+
+        // The empty histogram is the merge identity.
+        let mut with_empty = ha.clone();
+        with_empty.merge(&LatencyHistogram::new());
+        prop_assert_eq!(&with_empty, &ha);
+    }
+
+    #[test]
+    fn split_then_merge_conserves_everything(
+        values in vec(latency(), 1..256),
+        cut in any::<u64>(),
+    ) {
+        let whole = hist_of(&values);
+        let cut = (cut as usize) % (values.len() + 1);
+        let (lo, hi) = values.split_at(cut);
+        let mut merged = hist_of(lo);
+        merged.merge(&hist_of(hi));
+
+        // Full structural equality: counts per bucket, count, sum, min, max.
+        prop_assert_eq!(&merged, &whole);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(
+            merged.sum(),
+            values.iter().map(|&v| u128::from(v)).sum::<u128>()
+        );
+        prop_assert_eq!(merged.min(), values.iter().copied().min().unwrap_or(0));
+        prop_assert_eq!(merged.max(), values.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bound_the_data(
+        values in vec(latency(), 1..256),
+    ) {
+        let h = hist_of(&values);
+        let grid = [0.0, 0.10, 0.25, 0.50, 0.75, 0.90, 0.99, 1.0];
+        for w in grid.windows(2) {
+            prop_assert!(
+                h.percentile(w[0]) <= h.percentile(w[1]),
+                "p{} = {} > p{} = {}",
+                w[0], h.percentile(w[0]), w[1], h.percentile(w[1])
+            );
+        }
+        // Every percentile is a bucket upper bound, so it is >= the true
+        // value at that rank; the lowest cannot undershoot the min's
+        // bucket, the highest cannot undershoot the max itself.
+        prop_assert!(h.percentile(0.0) >= h.min());
+        prop_assert!(h.percentile(1.0) >= h.max());
+        // Out-of-range p clamps rather than panicking.
+        prop_assert_eq!(h.percentile(-1.0), h.percentile(0.0));
+        prop_assert_eq!(h.percentile(2.0), h.percentile(1.0));
+    }
+
+    #[test]
+    fn every_value_lands_in_a_bucket_that_contains_it(v in latency()) {
+        let b = LatencyHistogram::bucket_of(v);
+        prop_assert!(b < HIST_BUCKETS);
+        let (lo, hi) = LatencyHistogram::bucket_bounds(b);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {b} = [{lo}, {hi}]");
+    }
+}
+
+#[test]
+fn zero_and_max_edges() {
+    // 0 gets the dedicated first bucket; u64::MAX saturates the last.
+    assert_eq!(LatencyHistogram::bucket_of(0), 0);
+    assert_eq!(LatencyHistogram::bucket_bounds(0), (0, 0));
+    assert_eq!(LatencyHistogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    assert_eq!(
+        LatencyHistogram::bucket_bounds(HIST_BUCKETS - 1).1,
+        u64::MAX
+    );
+
+    let mut h = LatencyHistogram::new();
+    h.record(0);
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+    // The u128 sum does not wrap even with repeated u64::MAX samples.
+    assert_eq!(h.sum(), 2 * u128::from(u64::MAX));
+    assert_eq!(h.percentile(0.0), 0);
+    assert_eq!(h.percentile(1.0), u64::MAX);
+}

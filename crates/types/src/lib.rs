@@ -27,6 +27,7 @@ pub mod error;
 pub mod fault;
 pub mod ids;
 pub mod json;
+pub mod obs;
 pub mod packet;
 pub mod pipe;
 
@@ -38,5 +39,6 @@ pub use config::{
 pub use error::{ConfigError, JournalError, ParseError, TraceError};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{ChannelId, ChipId, ClusterId, SliceId};
+pub use obs::{ObsConfig, ObsLevel};
 pub use packet::{AccessKind, MemAccess, Request, RequestId, Response, ResponseOrigin};
 pub use pipe::Pipe;

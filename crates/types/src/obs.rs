@@ -1,0 +1,144 @@
+//! Observability configuration: how much the simulator records about a run.
+//!
+//! The observability layer (latency histograms, epoch timelines and the
+//! Chrome-trace sink in `mcgpu-sim`) is strictly read-only: it observes the
+//! machine but never feeds back into it, so enabling any level leaves the
+//! simulated results byte-identical to an unobserved run. The level only
+//! controls how much is *recorded*.
+//!
+//! The default is [`ObsLevel::Off`], which costs one branch per engine hook
+//! and allocates nothing.
+
+use crate::error::ConfigError;
+
+/// How much observability data the simulator records during a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ObsLevel {
+    /// Record nothing (the default; near-zero overhead).
+    #[default]
+    Off,
+    /// Record latency histograms and the per-epoch timeline.
+    Metrics,
+    /// Everything in [`ObsLevel::Metrics`] plus the Chrome `trace_event`
+    /// sink (kernel and reconfiguration spans, per-chip counter tracks).
+    Trace,
+}
+
+impl ObsLevel {
+    /// Whether any observability data is recorded at this level.
+    pub fn enabled(self) -> bool {
+        self != ObsLevel::Off
+    }
+
+    /// Whether the event-trace sink is active at this level.
+    pub fn trace_enabled(self) -> bool {
+        self == ObsLevel::Trace
+    }
+
+    /// Diagnostic label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObsLevel::Off => "off",
+            ObsLevel::Metrics => "metrics",
+            ObsLevel::Trace => "trace",
+        }
+    }
+}
+
+/// Observability configuration for one run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// What to record.
+    pub level: ObsLevel,
+    /// Timeline epoch window in cycles: one `EpochSample` row (defined by
+    /// the simulator's observability module) is
+    /// captured every `epoch_window` cycles (plus one trailing partial
+    /// epoch at run end).
+    pub epoch_window: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig::off()
+    }
+}
+
+impl ObsConfig {
+    /// Default timeline window (cycles per epoch sample).
+    pub const DEFAULT_EPOCH_WINDOW: u64 = 10_000;
+
+    /// Observability disabled (the default).
+    pub fn off() -> Self {
+        ObsConfig {
+            level: ObsLevel::Off,
+            epoch_window: Self::DEFAULT_EPOCH_WINDOW,
+        }
+    }
+
+    /// Histograms + timeline at the default epoch window.
+    pub fn metrics() -> Self {
+        ObsConfig {
+            level: ObsLevel::Metrics,
+            epoch_window: Self::DEFAULT_EPOCH_WINDOW,
+        }
+    }
+
+    /// Histograms + timeline + the Chrome-trace sink.
+    pub fn trace() -> Self {
+        ObsConfig {
+            level: ObsLevel::Trace,
+            epoch_window: Self::DEFAULT_EPOCH_WINDOW,
+        }
+    }
+
+    /// Override the timeline epoch window.
+    pub fn with_epoch_window(mut self, cycles: u64) -> Self {
+        self.epoch_window = cycles;
+        self
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Errors
+    /// [`ConfigError`] when observability is enabled with a zero epoch
+    /// window (the timeline sampler divides the run by it).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.level.enabled() && self.epoch_window == 0 {
+            return Err(ConfigError::new(
+                "observability epoch window must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_off() {
+        let cfg = ObsConfig::default();
+        assert_eq!(cfg.level, ObsLevel::Off);
+        assert!(!cfg.level.enabled());
+        assert!(!cfg.level.trace_enabled());
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn levels_nest() {
+        assert!(ObsLevel::Metrics.enabled());
+        assert!(!ObsLevel::Metrics.trace_enabled());
+        assert!(ObsLevel::Trace.enabled());
+        assert!(ObsLevel::Trace.trace_enabled());
+    }
+
+    #[test]
+    fn zero_window_is_rejected_only_when_enabled() {
+        assert!(ObsConfig::metrics()
+            .with_epoch_window(0)
+            .validate()
+            .is_err());
+        assert!(ObsConfig::off().with_epoch_window(0).validate().is_ok());
+    }
+}

@@ -1,0 +1,173 @@
+//! Chrome `trace_event` sink: schema validity and determinism.
+//!
+//! The trace must (a) parse as JSON and follow the `trace_event` object
+//! format (`traceEvents` array; `M`/`X`/`i`/`C` phases with the fields
+//! each phase requires), (b) be ordered: within one `(pid, tid)` track,
+//! timestamps never decrease and complete spans nest strictly (no partial
+//! overlap), and (c) be deterministic: timestamps are simulated cycles,
+//! never wall-clock, so two identical runs serialize byte-identical traces
+//! and observability reports.
+
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::json::{parse, JsonValue};
+use mcgpu_types::{LlcOrgKind, ObsConfig};
+use sac_bench::{experiment_config, run_one_observed};
+
+/// One observed SAC run of a Table-4 benchmark, small but long enough to
+/// cross several epochs and at least one reconfiguration.
+fn observed_run() -> (String, String) {
+    let cfg = experiment_config();
+    let profile = profiles::by_name("BFS").expect("BFS profile");
+    // quick volume: large enough for SAC to finish a profiling window and
+    // record per-kernel decisions (the trace must carry decision instants).
+    let wl = generate(&cfg, &profile, &TraceParams::quick());
+    let obs = ObsConfig::trace().with_epoch_window(2000);
+    let (_, report) = run_one_observed(&cfg, &wl, LlcOrgKind::Sac, obs);
+    let report = report.expect("observability was enabled");
+    let trace = report
+        .trace_json
+        .clone()
+        .expect("trace level emits a trace");
+    (trace, report.to_canonical_json())
+}
+
+fn events(doc: &JsonValue) -> &[JsonValue] {
+    doc.get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .expect("traceEvents array")
+}
+
+#[test]
+fn trace_parses_and_follows_the_trace_event_schema() {
+    let (trace, _) = observed_run();
+    let doc = parse(&trace).expect("trace is valid JSON");
+    let evs = events(&doc);
+    assert!(!evs.is_empty(), "trace has events");
+
+    let mut phases_seen = std::collections::BTreeSet::new();
+    for e in evs {
+        let ph = e.get("ph").and_then(JsonValue::as_str).expect("ph");
+        phases_seen.insert(ph.to_string());
+        assert!(e.get("pid").and_then(JsonValue::as_u64).is_some(), "pid");
+        assert!(e.get("tid").and_then(JsonValue::as_u64).is_some(), "tid");
+        assert!(e.get("name").and_then(JsonValue::as_str).is_some(), "name");
+        match ph {
+            // Metadata names processes/threads; no timestamp.
+            "M" => {
+                let name = e.get("name").and_then(JsonValue::as_str).unwrap();
+                assert!(
+                    name == "process_name" || name == "thread_name",
+                    "metadata name {name}"
+                );
+                assert!(e.get("args").and_then(|a| a.get("name")).is_some());
+            }
+            // Complete spans carry ts + dur.
+            "X" => {
+                assert!(e.get("ts").and_then(JsonValue::as_u64).is_some());
+                assert!(e.get("dur").and_then(JsonValue::as_u64).is_some());
+            }
+            // Instants carry ts and thread scope.
+            "i" => {
+                assert!(e.get("ts").and_then(JsonValue::as_u64).is_some());
+                assert_eq!(e.get("s").and_then(JsonValue::as_str), Some("t"));
+            }
+            // Counters carry ts and a numeric series.
+            "C" => {
+                assert!(e.get("ts").and_then(JsonValue::as_u64).is_some());
+                assert!(e.get("args").is_some());
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    for required in ["M", "X", "C"] {
+        assert!(phases_seen.contains(required), "trace emits ph={required}");
+    }
+    // SAC on BFS reconfigures: the trace must carry decision instants.
+    assert!(
+        phases_seen.contains("i"),
+        "SAC decisions appear as instants"
+    );
+}
+
+#[test]
+fn timestamps_are_ordered_and_spans_nest_per_track() {
+    let (trace, _) = observed_run();
+    let doc = parse(&trace).expect("trace is valid JSON");
+
+    use std::collections::BTreeMap;
+    let mut last_ts: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    // Open-span stack per track: (start, end) intervals.
+    let mut stacks: BTreeMap<(u64, u64), Vec<(u64, u64)>> = BTreeMap::new();
+
+    for e in events(&doc) {
+        let ph = e.get("ph").and_then(JsonValue::as_str).unwrap();
+        if ph == "M" {
+            continue;
+        }
+        let pid = e.get("pid").and_then(JsonValue::as_u64).unwrap();
+        let tid = e.get("tid").and_then(JsonValue::as_u64).unwrap();
+        let ts = e.get("ts").and_then(JsonValue::as_u64).unwrap();
+        let track = (pid, tid);
+
+        // Non-decreasing ts within the track, in serialized order.
+        if let Some(&prev) = last_ts.get(&track) {
+            assert!(prev <= ts, "track {track:?}: ts {ts} after {prev}");
+        }
+        last_ts.insert(track, ts);
+
+        if ph == "X" {
+            let dur = e.get("dur").and_then(JsonValue::as_u64).unwrap();
+            let end = ts + dur;
+            let stack = stacks.entry(track).or_default();
+            // Close every span that ended before this one starts.
+            while stack.last().is_some_and(|&(_, e0)| e0 <= ts) {
+                stack.pop();
+            }
+            // What remains must strictly contain the new span.
+            if let Some(&(s0, e0)) = stack.last() {
+                assert!(
+                    s0 <= ts && end <= e0,
+                    "track {track:?}: span [{ts}, {end}] partially overlaps [{s0}, {e0}]"
+                );
+            }
+            stack.push((ts, end));
+        }
+    }
+}
+
+#[test]
+fn two_identical_runs_serialize_byte_identically() {
+    let (trace_a, report_a) = observed_run();
+    let (trace_b, report_b) = observed_run();
+    assert_eq!(trace_a, trace_b, "trace must be wall-clock free");
+    assert_eq!(report_a, report_b, "obs report must be wall-clock free");
+}
+
+#[test]
+fn obs_report_json_is_closed_and_parseable() {
+    let (_, report) = observed_run();
+    let doc = parse(&report).expect("obs report is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(JsonValue::as_str),
+        Some("mcgpu-obs-v1")
+    );
+    let latency = doc.get("latency").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(latency.len(), 4, "one latency entry per chip");
+    for chip in latency {
+        let classes = chip.get("classes").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(classes.len(), 4, "one histogram per request class");
+    }
+    let timeline = doc.get("timeline").and_then(JsonValue::as_array).unwrap();
+    assert!(!timeline.is_empty());
+    // Epochs tile the run contiguously.
+    let mut prev_end = 0;
+    for (i, s) in timeline.iter().enumerate() {
+        assert_eq!(s.get("epoch").and_then(JsonValue::as_u64), Some(i as u64));
+        assert_eq!(
+            s.get("start_cycle").and_then(JsonValue::as_u64),
+            Some(prev_end)
+        );
+        prev_end = s.get("end_cycle").and_then(JsonValue::as_u64).unwrap();
+        assert!(prev_end > 0);
+    }
+}
