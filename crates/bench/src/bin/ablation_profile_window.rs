@@ -31,7 +31,7 @@ fn main() {
     // rest of the ablation grid.
     let outcomes = sweep::map_isolated(jobs.clone(), |&(b, window), attempt| {
         let mut scaled = cfg.clone();
-        scaled.watchdog_cycles = scaled.watchdog_cycles.saturating_mul(1 << attempt.min(32));
+        scaled.watchdog_cycles = sweep::escalate_budget(scaled.watchdog_cycles, attempt);
         let mut builder = SimBuilder::new(scaled);
         builder = match window {
             None => builder.organization(LlcOrgKind::MemorySide),

@@ -45,7 +45,7 @@ fn main() {
     // quarantined and reported instead of sinking the whole figure.
     let outcomes = sweep::map_isolated(pairs.clone(), |&(i, org), attempt| {
         let mut scaled = cfg.clone();
-        scaled.watchdog_cycles = scaled.watchdog_cycles.saturating_mul(1 << attempt.min(32));
+        scaled.watchdog_cycles = sweep::escalate_budget(scaled.watchdog_cycles, attempt);
         try_run_one(&scaled, &workloads[i], org)
     });
     let stats = exit_on_cell_failures(outcomes, |k| {

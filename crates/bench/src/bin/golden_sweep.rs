@@ -64,10 +64,11 @@ fn main() {
 
     let outcomes: Vec<(&'static str, CellOutcome<String>)> = sweep::map(suite(), |c: Case| {
         let hash = c.config_hash();
+        let desc = c.config_desc();
         let replayed = journal
             .lock()
             .expect("journal lock")
-            .lookup(c.name, hash)
+            .lookup_verified(c.name, hash, &desc)
             .and_then(|r| match &r.outcome {
                 RecordOutcome::Completed { stats_json } => Some(stats_json.clone()),
                 RecordOutcome::Quarantined { .. } => None,
@@ -101,6 +102,7 @@ fn main() {
             .append(JournalRecord {
                 cell: c.name.to_string(),
                 config_hash: hash,
+                config: Some(desc),
                 attempts: out.attempts,
                 outcome,
             })

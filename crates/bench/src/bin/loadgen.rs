@@ -1,0 +1,375 @@
+//! Load generator for the `sac_serve` sweep daemon, used by
+//! `scripts/ci_serve_chaos.sh` and for manual soak tests.
+//!
+//! ```text
+//! loadgen (--server HOST:PORT | --addr-file PATH) [--requests N]
+//!         [--concurrency C] [--out DIR] [--mode normal|overload]
+//!         [--benchmarks A,B] [--orgs x,y] [--total-accesses N]
+//!         [--deadline-s S]
+//! ```
+//!
+//! Normal mode drives `N` sweep requests to termination from `C` client
+//! threads: request `i`'s spec is a pure function of `i` (so two
+//! campaigns over the same index range are comparable byte-for-byte), and
+//! specs overlap heavily on purpose to exercise the daemon's shared
+//! result cache. Every terminal cell is written under `DIR/req-<i>/`:
+//! completed cells as `<cell>.json` (the canonical stats, verbatim) and
+//! quarantined cells as `<cell>.error.json` (the typed kind + message).
+//!
+//! The client is deliberately rude in exactly the ways the chaos harness
+//! needs: it honours `Retry-After` on 429, retries connection failures
+//! (the server may be `SIGKILL`ed and restarted mid-campaign — with
+//! `--addr-file` the address is re-read on every attempt, so a restart
+//! onto a new port is found automatically), and resubmits on 404 (the
+//! idempotent-id contract makes resubmission safe).
+//!
+//! Overload mode floods the daemon with single-cell requests with
+//! *distinct* specs (dedupe would otherwise absorb the flood) and reports
+//! how many submissions were refused with 429 backpressure; it does not
+//! wait for the work to finish.
+
+use mcgpu_types::json::{parse, JsonValue};
+use sac_bench::proto::{read_response, HttpResponse, ProtoError};
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+/// Where to find the server: a fixed address, or a file re-read on every
+/// attempt (survives a restart onto a new OS-assigned port).
+#[derive(Clone)]
+enum AddrSource {
+    Fixed(String),
+    File(PathBuf),
+}
+
+impl AddrSource {
+    fn resolve(&self) -> Option<String> {
+        match self {
+            AddrSource::Fixed(a) => Some(a.clone()),
+            AddrSource::File(p) => std::fs::read_to_string(p)
+                .ok()
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty()),
+        }
+    }
+}
+
+/// One HTTP exchange (`Connection: close`).
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Result<HttpResponse, ProtoError> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: {addr}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut std::io::BufReader::new(stream))
+}
+
+struct Campaign {
+    addr: AddrSource,
+    out: Option<PathBuf>,
+    deadline: Instant,
+    benchmarks: Vec<String>,
+    orgs: Vec<String>,
+    total_accesses: u64,
+    overload: bool,
+    backpressure: AtomicUsize,
+    resubmits: AtomicUsize,
+    completed: AtomicUsize,
+    failed_requests: AtomicUsize,
+    stuck: AtomicUsize,
+}
+
+impl Campaign {
+    /// Request `i`'s spec: a deterministic function of `i` only. Adjacent
+    /// requests share most of their grid, so the daemon's dedupe path is
+    /// always exercised; overload mode instead makes every spec unique.
+    fn spec_json(&self, i: usize) -> String {
+        let id = format!("req-{i:04}");
+        if self.overload {
+            // Distinct trace volume per request defeats dedupe on purpose.
+            return format!(
+                "{{\"id\": \"{id}\", \"benchmarks\": [\"{}\"], \"orgs\": [\"{}\"], \
+                 \"total_accesses\": {}}}",
+                self.benchmarks[i % self.benchmarks.len()],
+                self.orgs[i % self.orgs.len()],
+                1_000 + i as u64
+            );
+        }
+        let bench = &self.benchmarks[i % self.benchmarks.len()];
+        let orgs: Vec<String> = self.orgs.iter().map(|o| format!("\"{o}\"")).collect();
+        format!(
+            "{{\"id\": \"{id}\", \"benchmarks\": [\"{bench}\"], \"orgs\": [{}], \
+             \"total_accesses\": {}}}",
+            orgs.join(", "),
+            self.total_accesses
+        )
+    }
+
+    fn patient(&self) -> bool {
+        Instant::now() < self.deadline
+    }
+
+    /// Submit until accepted (202) or already-known (200). Returns false
+    /// if the overall deadline expired first.
+    fn submit(&self, id: &str, spec: &str) -> bool {
+        while self.patient() {
+            let Some(addr) = self.addr.resolve() else {
+                std::thread::sleep(Duration::from_millis(200));
+                continue;
+            };
+            match http(&addr, "POST", "/v1/sweeps", spec) {
+                Ok(r) if r.status == 202 || r.status == 200 => return true,
+                Ok(r) if r.status == 429 => {
+                    self.backpressure.fetch_add(1, Ordering::Relaxed);
+                    if self.overload {
+                        // The probe only needs the refusal to be observed.
+                        return false;
+                    }
+                    let secs: u64 = r
+                        .header("retry-after")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(1);
+                    std::thread::sleep(Duration::from_secs(secs));
+                }
+                Ok(r) => {
+                    eprintln!("loadgen: {id}: submit refused: {} {}", r.status, r.text());
+                    return false;
+                }
+                // Connection refused / reset: the server is down or being
+                // restarted. Back off and re-resolve the address.
+                Err(_) => std::thread::sleep(Duration::from_millis(200)),
+            }
+        }
+        false
+    }
+
+    /// Drive request `i` to a terminal phase and write its results.
+    fn drive(&self, i: usize) {
+        let id = format!("req-{i:04}");
+        let spec = self.spec_json(i);
+        if !self.submit(&id, &spec) {
+            if !self.overload {
+                self.stuck.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        if self.overload {
+            return;
+        }
+        // Poll to terminal. 404 means the daemon died between our 202 and
+        // its manifest fsync — impossible by construction — or, far more
+        // likely, we resubmitted to a fresh instance before ever being
+        // accepted; either way, idempotent resubmission is the answer.
+        let status = loop {
+            if !self.patient() {
+                self.stuck.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            let Some(addr) = self.addr.resolve() else {
+                std::thread::sleep(Duration::from_millis(200));
+                continue;
+            };
+            match http(&addr, "GET", &format!("/v1/sweeps/{id}"), "") {
+                Ok(r) if r.status == 200 => {
+                    let Ok(v) = parse(&r.text()) else {
+                        std::thread::sleep(Duration::from_millis(100));
+                        continue;
+                    };
+                    let phase = v.get("phase").and_then(JsonValue::as_str).unwrap_or("");
+                    if phase == "completed" || phase == "failed" {
+                        break v;
+                    }
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Ok(r) if r.status == 404 => {
+                    self.resubmits.fetch_add(1, Ordering::Relaxed);
+                    if !self.submit(&id, &spec) {
+                        self.stuck.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+                Ok(_) | Err(_) => std::thread::sleep(Duration::from_millis(200)),
+            }
+        };
+
+        let phase = status
+            .get("phase")
+            .and_then(JsonValue::as_str)
+            .unwrap_or("");
+        if phase == "failed" {
+            self.failed_requests.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        }
+        let Some(out) = &self.out else { return };
+        let dir = out.join(&id);
+        if let Err(e) = self.write_results(&id, &status, &dir) {
+            eprintln!("loadgen: {id}: cannot write results: {e}");
+            self.stuck.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Fetch each terminal cell and write it under `dir`. Completed cells
+    /// are written verbatim (the byte-identity the chaos harness diffs);
+    /// quarantined cells become a small typed error document.
+    fn write_results(&self, id: &str, status: &JsonValue, dir: &Path) -> Result<(), String> {
+        std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        let cells = status
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .ok_or("status without cells")?;
+        for c in cells {
+            let name = c
+                .get("cell")
+                .and_then(JsonValue::as_str)
+                .ok_or("cell name")?;
+            let index = c
+                .get("index")
+                .and_then(JsonValue::as_u64)
+                .ok_or("cell index")?;
+            let phase = c.get("phase").and_then(JsonValue::as_str).unwrap_or("");
+            let stem = name.replace('/', "_");
+            match phase {
+                "completed" => {
+                    let body = self.fetch_stats(id, index)?;
+                    std::fs::write(dir.join(format!("{stem}.json")), body)
+                        .map_err(|e| e.to_string())?;
+                }
+                "quarantined" => {
+                    let kind = c
+                        .get("kind")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or("unknown");
+                    let error = c.get("error").and_then(JsonValue::as_str).unwrap_or("");
+                    let mut doc = format!("{{\"kind\": \"{kind}\", \"error\": \"");
+                    mcgpu_types::json::escape_into(error, &mut doc);
+                    doc.push_str("\"}\n");
+                    std::fs::write(dir.join(format!("{stem}.error.json")), doc)
+                        .map_err(|e| e.to_string())?;
+                }
+                other => return Err(format!("cell {name} not terminal: {other}")),
+            }
+        }
+        Ok(())
+    }
+
+    fn fetch_stats(&self, id: &str, index: u64) -> Result<Vec<u8>, String> {
+        let path = format!("/v1/sweeps/{id}/cells/{index}/stats");
+        while self.patient() {
+            let Some(addr) = self.addr.resolve() else {
+                std::thread::sleep(Duration::from_millis(200));
+                continue;
+            };
+            match http(&addr, "GET", &path, "") {
+                Ok(r) if r.status == 200 => return Ok(r.body),
+                Ok(r) => return Err(format!("stats fetch: {} {}", r.status, r.text())),
+                Err(_) => std::thread::sleep(Duration::from_millis(200)),
+            }
+        }
+        Err("deadline expired fetching stats".to_string())
+    }
+}
+
+fn main() {
+    let addr = match (arg_value("--server"), arg_value("--addr-file")) {
+        (Some(a), _) => AddrSource::Fixed(
+            a.trim_start_matches("http://")
+                .trim_end_matches('/')
+                .to_string(),
+        ),
+        (None, Some(p)) => AddrSource::File(PathBuf::from(p)),
+        (None, None) => {
+            eprintln!("usage: loadgen (--server HOST:PORT | --addr-file PATH) [--requests N] ...");
+            std::process::exit(2);
+        }
+    };
+    let requests: usize = arg_value("--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let concurrency: usize = arg_value("--concurrency")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let deadline_s: u64 = arg_value("--deadline-s")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(600);
+    let overload = arg_value("--mode").as_deref() == Some("overload");
+    let campaign = Arc::new(Campaign {
+        addr,
+        out: arg_value("--out").map(PathBuf::from),
+        deadline: Instant::now() + Duration::from_secs(deadline_s),
+        benchmarks: arg_value("--benchmarks")
+            .unwrap_or_else(|| "SN,CFD,SRAD".to_string())
+            .split(',')
+            .map(str::to_string)
+            .collect(),
+        orgs: arg_value("--orgs")
+            .unwrap_or_else(|| "sac,mem".to_string())
+            .split(',')
+            .map(str::to_string)
+            .collect(),
+        total_accesses: arg_value("--total-accesses")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4_000),
+        overload,
+        backpressure: AtomicUsize::new(0),
+        resubmits: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        failed_requests: AtomicUsize::new(0),
+        stuck: AtomicUsize::new(0),
+    });
+
+    let start = Instant::now();
+    let workers: Vec<_> = (0..concurrency.max(1))
+        .map(|t| {
+            let c = Arc::clone(&campaign);
+            std::thread::spawn(move || {
+                let mut i = t;
+                while i < requests {
+                    c.drive(i);
+                    i += concurrency.max(1);
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        let _ = w.join();
+    }
+
+    let stuck = campaign.stuck.load(Ordering::Relaxed);
+    println!(
+        "loadgen: {requests} request(s): {} completed, {} failed (typed), {} stuck; \
+         {} resubmit(s), backpressure responses: {}; wall {:.1}s",
+        campaign.completed.load(Ordering::Relaxed),
+        campaign.failed_requests.load(Ordering::Relaxed),
+        stuck,
+        campaign.resubmits.load(Ordering::Relaxed),
+        campaign.backpressure.load(Ordering::Relaxed),
+        start.elapsed().as_secs_f64()
+    );
+    // Overload probes only measure refusals; in normal mode every request
+    // must have terminated with a result or a typed error.
+    if !overload && stuck > 0 {
+        std::process::exit(1);
+    }
+}

@@ -67,7 +67,7 @@ fn main() {
         let profile = profiles::by_name(name).expect("profile");
         let wl = generate(&cfg, &profile, &params);
         let mut scaled = cfg.clone();
-        scaled.watchdog_cycles = scaled.watchdog_cycles.saturating_mul(1 << attempt.min(32));
+        scaled.watchdog_cycles = sweep::escalate_budget(scaled.watchdog_cycles, attempt);
         let stats = try_run_one(&scaled, &wl, LlcOrgKind::MemorySide)?;
         Ok((Arc::new(wl), stats.reads + stats.writes))
     });

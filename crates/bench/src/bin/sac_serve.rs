@@ -1,0 +1,78 @@
+//! The sweep service daemon: a long-running HTTP/JSON front end for the
+//! crash-safe sweep machinery (see `DESIGN.md`, "Sweep service daemon").
+//!
+//! ```text
+//! sac_serve --state DIR [--addr HOST:PORT] [--max-queue N]
+//!           [--stall-ms N] [--jobs N]
+//! ```
+//!
+//! `--state DIR` (default `results/serve`) holds the run journal, the
+//! request manifest and `serve.addr` (the bound address, for scripts;
+//! `--addr 127.0.0.1:0` lets the OS pick a port). Restarting with the same
+//! state directory recovers every acknowledged request: completed cells
+//! replay byte-identically from the journal, interrupted ones re-execute.
+//! `--max-queue N` bounds the admission queue (excess requests get 429 +
+//! `Retry-After`); `--jobs N` bounds the simulation pool as in every other
+//! harness binary; `--stall-ms N` is the chaos-test hook that delays each
+//! fresh cell execution.
+//!
+//! API summary (one request per connection, JSON bodies):
+//!
+//! ```text
+//! POST /v1/sweeps                       submit  {"id", "benchmarks", "orgs", ...}
+//! GET  /v1/sweeps/<id>                  status document
+//! GET  /v1/sweeps/<id>/events?from=N    chunked JSONL event stream
+//! GET  /v1/sweeps/<id>/cells/<i>/stats  canonical stats JSON (byte-identical)
+//! POST /v1/sweeps/<id>/cancel           cancel pending cells
+//! GET  /v1/healthz                      liveness + queue depths
+//! ```
+
+use sac_bench::serve::{Server, ServerConfig};
+use std::path::PathBuf;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
+
+fn main() {
+    let cfg = ServerConfig {
+        addr: arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        state_dir: PathBuf::from(
+            arg_value("--state").unwrap_or_else(|| "results/serve".to_string()),
+        ),
+        max_queue: arg_value("--max-queue")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256),
+        stall_ms: arg_value("--stall-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    };
+    let state_dir = cfg.state_dir.clone();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sac_serve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // The scripted harness discovers the port from this line (and from
+    // the `serve.addr` file in the state directory).
+    println!("sac_serve listening http://{}", server.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "sac_serve: state {} | {} worker thread(s)",
+        state_dir.display(),
+        sac_bench::sweep::jobs()
+    );
+    server.join();
+}

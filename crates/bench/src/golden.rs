@@ -96,4 +96,10 @@ impl Case {
     pub fn config_hash(&self) -> u64 {
         crate::cell_config_hash(&self.config(), &Self::params(), self.bench, self.org)
     }
+
+    /// Full canonical configuration description whose hash is
+    /// [`Case::config_hash`]; stored in the journal as the collision guard.
+    pub fn config_desc(&self) -> String {
+        crate::cell_config_desc(&self.config(), &Self::params(), self.bench, self.org)
+    }
 }

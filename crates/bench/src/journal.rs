@@ -51,6 +51,12 @@ pub struct JournalRecord {
     pub cell: String,
     /// [`cell_config_hash`] of the inputs that produced this outcome.
     pub config_hash: u64,
+    /// The full canonical input description the hash was computed from
+    /// (see [`cell_config_desc`]), stored alongside the 64-bit hash so a
+    /// cache hit can verify it is not an FNV collision before replaying.
+    /// `None` on records written before the field existed; such records
+    /// match on hash alone (the pre-guard behaviour).
+    pub config: Option<String>,
     /// Attempts executed before this outcome.
     pub attempts: u32,
     /// The outcome.
@@ -65,7 +71,13 @@ impl JournalRecord {
         escape_into(&self.cell, &mut s);
         s.push_str("\", \"config_hash\": \"");
         s.push_str(&format!("{:016x}", self.config_hash));
-        s.push_str(&format!("\", \"attempts\": {}", self.attempts));
+        s.push('"');
+        if let Some(config) = &self.config {
+            s.push_str(", \"config\": \"");
+            escape_into(config, &mut s);
+            s.push('"');
+        }
+        s.push_str(&format!(", \"attempts\": {}", self.attempts));
         match &self.outcome {
             RecordOutcome::Completed { stats_json } => {
                 s.push_str(", \"outcome\": \"completed\", \"stats\": \"");
@@ -111,6 +123,10 @@ impl JournalRecord {
         Ok(JournalRecord {
             cell: strf(&v, "cell")?.to_string(),
             config_hash,
+            config: v
+                .get("config")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
             attempts,
             outcome,
         })
@@ -213,6 +229,26 @@ impl Journal {
             .find(|r| r.cell == cell && r.config_hash == config_hash)
     }
 
+    /// [`Journal::lookup`] with a collision guard: the record must also
+    /// carry the *same canonical input description* as `config`. A 64-bit
+    /// FNV hash can collide, and latest-wins lookup would then silently
+    /// serve a different experiment's stats from the cache; verifying the
+    /// full description turns that into a cache miss (the caller falls
+    /// back to re-simulation). Records written before the `config` field
+    /// existed carry no description and match on hash alone.
+    pub fn lookup_verified(
+        &self,
+        cell: &str,
+        config_hash: u64,
+        config: &str,
+    ) -> Option<&JournalRecord> {
+        self.records.iter().rev().find(|r| {
+            r.cell == cell
+                && r.config_hash == config_hash
+                && r.config.as_deref().is_none_or(|c| c == config)
+        })
+    }
+
     /// Append one record and persist the journal atomically.
     ///
     /// # Errors
@@ -252,17 +288,31 @@ pub fn fnv1a_64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Hash of everything that determines a cell's result: the machine
-/// configuration, the trace parameters, the benchmark name and the LLC
-/// organization (all via their `Debug` forms, which cover every field).
-/// Used to invalidate journal records when any input changes.
+/// Canonical description of everything that determines a cell's result:
+/// the machine configuration, the trace parameters, the benchmark name and
+/// the LLC organization (all via their `Debug` forms, which cover every
+/// field). [`cell_config_hash`] is the FNV-1a-64 of this string; the
+/// string itself is stored in each [`JournalRecord`] so
+/// [`Journal::lookup_verified`] can reject hash collisions.
+pub fn cell_config_desc(
+    cfg: &MachineConfig,
+    params: &TraceParams,
+    bench: &str,
+    org: LlcOrgKind,
+) -> String {
+    format!("{cfg:?}|{params:?}|{bench}|{org:?}")
+}
+
+/// Hash of [`cell_config_desc`], used to invalidate journal records when
+/// any input changes (and, with the stored description, to guard against
+/// collisions on cache hits).
 pub fn cell_config_hash(
     cfg: &MachineConfig,
     params: &TraceParams,
     bench: &str,
     org: LlcOrgKind,
 ) -> u64 {
-    fnv1a_64(format!("{cfg:?}|{params:?}|{bench}|{org:?}").as_bytes())
+    fnv1a_64(cell_config_desc(cfg, params, bench, org).as_bytes())
 }
 
 #[cfg(test)]
@@ -273,6 +323,7 @@ mod tests {
         JournalRecord {
             cell: cell.to_string(),
             config_hash: hash,
+            config: Some(format!("desc-{hash:x}")),
             attempts: 1,
             outcome: RecordOutcome::Completed {
                 stats_json: json.to_string(),
@@ -293,6 +344,7 @@ mod tests {
         j.append(JournalRecord {
             cell: "CFD/dynamic".to_string(),
             config_hash: 7,
+            config: None,
             attempts: 3,
             outcome: RecordOutcome::Quarantined {
                 kind: "deadlock".to_string(),
@@ -312,6 +364,79 @@ mod tests {
             None,
             "a stale config hash must not replay"
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verified_lookup_rejects_a_hash_collision() {
+        let path = tmp_path("collision");
+        let mut j = Journal::create(&path).unwrap();
+        // Two distinct experiments whose descriptions hash identically
+        // (simulated collision: same stored hash, different description).
+        let mut rec = completed("SN/SAC", 0x1234, "{\"cycles\": 1\n");
+        rec.config = Some("experiment-A".to_string());
+        j.append(rec).unwrap();
+
+        let back = Journal::open(&path).unwrap();
+        assert!(
+            back.lookup_verified("SN/SAC", 0x1234, "experiment-A")
+                .is_some(),
+            "matching description replays"
+        );
+        assert!(
+            back.lookup_verified("SN/SAC", 0x1234, "experiment-B")
+                .is_none(),
+            "a colliding hash with a different description must miss the \
+             cache and fall back to re-simulation"
+        );
+        // Hash-only lookup still sees the record (resume compatibility).
+        assert!(back.lookup("SN/SAC", 0x1234).is_some());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn verified_lookup_accepts_legacy_records_without_config() {
+        let path = tmp_path("legacy");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(JournalRecord {
+            cell: "a".to_string(),
+            config_hash: 5,
+            config: None,
+            attempts: 1,
+            outcome: RecordOutcome::Completed {
+                stats_json: "{}".to_string(),
+            },
+        })
+        .unwrap();
+        // A pre-guard record carries no description; it matches on hash
+        // alone, exactly as it did before the field existed.
+        let back = Journal::open(&path).unwrap();
+        assert!(back.lookup_verified("a", 5, "anything").is_some());
+        // And its line contains no config field at all.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.contains("\"config\""), "line: {text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn config_desc_round_trips_through_the_journal() {
+        let cfg = MachineConfig::experiment_baseline();
+        let params = TraceParams::quick();
+        let desc = cell_config_desc(&cfg, &params, "SN", LlcOrgKind::Sac);
+        let path = tmp_path("desc-roundtrip");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(JournalRecord {
+            cell: "SN/SAC".to_string(),
+            config_hash: fnv1a_64(desc.as_bytes()),
+            config: Some(desc.clone()),
+            attempts: 1,
+            outcome: RecordOutcome::Completed {
+                stats_json: "{}".to_string(),
+            },
+        })
+        .unwrap();
+        let back = Journal::open(&path).unwrap();
+        assert_eq!(back.records()[0].config.as_deref(), Some(desc.as_str()));
         std::fs::remove_file(&path).unwrap();
     }
 

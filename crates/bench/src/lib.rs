@@ -31,10 +31,12 @@ use std::sync::{Arc, Mutex};
 
 pub mod golden;
 pub mod journal;
+pub mod proto;
 pub mod resilience;
+pub mod serve;
 pub mod sweep;
 
-pub use journal::{cell_config_hash, Journal, JournalRecord, RecordOutcome};
+pub use journal::{cell_config_desc, cell_config_hash, Journal, JournalRecord, RecordOutcome};
 pub use mcgpu_sim::stats::harmonic_mean;
 pub use sweep::{CellError, CellOutcome};
 
@@ -349,7 +351,7 @@ fn run_cell_attempt(
     attempt: u32,
 ) -> Result<RunStats, CellError> {
     let mut c = cfg.clone();
-    c.watchdog_cycles = c.watchdog_cycles.saturating_mul(1u64 << attempt.min(32));
+    c.watchdog_cycles = sweep::escalate_budget(c.watchdog_cycles, attempt);
     try_run_one(&c, workload, org)
 }
 
@@ -417,12 +419,13 @@ pub fn run_profiles(
         .collect();
     let outcomes = sweep::map(pairs, |(pi, org)| {
         let name = format!("{}/{}", profs[pi].name, org.label());
-        let hash = cell_config_hash(cfg, params, profs[pi].name, org);
+        let desc = cell_config_desc(cfg, params, profs[pi].name, org);
+        let hash = journal::fnv1a_64(desc.as_bytes());
         if let Some(j) = &journal {
             let replay = j
                 .lock()
                 .expect("journal lock")
-                .lookup(&name, hash)
+                .lookup_verified(&name, hash, &desc)
                 .and_then(|r| r.stats().ok().flatten());
             if let Some(stats) = replay {
                 eprintln!("  replayed {name} from journal");
@@ -451,6 +454,7 @@ pub fn run_profiles(
                 .append(JournalRecord {
                     cell: name.clone(),
                     config_hash: hash,
+                    config: Some(desc),
                     attempts: out.attempts,
                     outcome,
                 })
@@ -533,12 +537,13 @@ pub fn run_report_sections(
     let journal = opts.open_journal();
     let outcomes = sweep::map(sections.to_vec(), |s| {
         let name = format!("{report}/{}", s.name);
-        let hash = journal::fnv1a_64(format!("{report}|{}|{}", s.name, s.inputs).as_bytes());
+        let desc = format!("{report}|{}|{}", s.name, s.inputs);
+        let hash = journal::fnv1a_64(desc.as_bytes());
         if let Some(j) = &journal {
             let replay = j
                 .lock()
                 .expect("journal lock")
-                .lookup(&name, hash)
+                .lookup_verified(&name, hash, &desc)
                 .and_then(|r| r.payload().map(str::to_string));
             if let Some(text) = replay {
                 eprintln!("  replayed {name} from journal");
@@ -567,6 +572,7 @@ pub fn run_report_sections(
                 .append(JournalRecord {
                     cell: name.clone(),
                     config_hash: hash,
+                    config: Some(desc),
                     attempts: out.attempts,
                     outcome,
                 })

@@ -1,0 +1,485 @@
+//! Minimal HTTP/1.1 layer for the sweep service daemon (`sac_serve`).
+//!
+//! The workspace has no registry access, so the daemon cannot pull a web
+//! framework; this module implements just enough of RFC 9112 over
+//! `std::net::TcpStream` for a loopback control-plane API: one request per
+//! connection (`Connection: close`), `Content-Length` bodies with hard size
+//! caps on both the header block and the body, and chunked transfer
+//! encoding for the event-streaming endpoint. Both halves live here — the
+//! server side used by [`crate::serve`] and the client side used by the
+//! `loadgen` load generator and the integration tests — so a single parser
+//! is exercised from both directions.
+//!
+//! Everything is generic over [`std::io::BufRead`]/[`std::io::Write`], so
+//! the unit tests drive the exact production code paths from in-memory
+//! buffers.
+
+use std::io::{BufRead, Read, Write};
+
+/// Hard cap on the request line + header block, in bytes.
+pub const MAX_HEADER_BYTES: usize = 16 * 1024;
+
+/// Hard cap on a request or response body, in bytes.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A failure reading or parsing an HTTP message.
+#[derive(Debug)]
+pub enum ProtoError {
+    /// The header block or body exceeds its size cap.
+    TooLarge,
+    /// The bytes are not a well-formed HTTP/1.1 message.
+    Malformed(String),
+    /// The underlying transport failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtoError::TooLarge => write!(f, "message exceeds size cap"),
+            ProtoError::Malformed(why) => write!(f, "malformed HTTP message: {why}"),
+            ProtoError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::Io(e)
+    }
+}
+
+fn malformed(why: impl Into<String>) -> ProtoError {
+    ProtoError::Malformed(why.into())
+}
+
+/// A parsed HTTP request (server side).
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Uppercase method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path without the query string (`/v1/sweeps`).
+    pub path: String,
+    /// Decoded query parameters, in source order.
+    pub query: Vec<(String, String)>,
+    /// Headers with lower-cased names, in source order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// The first header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first query parameter named `name`, if any.
+    pub fn query(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read the header block (request line / status line + headers) up to the
+/// blank line, enforcing [`MAX_HEADER_BYTES`].
+fn read_header_block<R: BufRead>(r: &mut R) -> Result<Vec<String>, ProtoError> {
+    let mut lines = Vec::new();
+    let mut total = 0usize;
+    loop {
+        let mut line = String::new();
+        let n = r.read_line(&mut line)?;
+        if n == 0 {
+            return Err(malformed("connection closed before end of headers"));
+        }
+        total += n;
+        if total > MAX_HEADER_BYTES {
+            return Err(ProtoError::TooLarge);
+        }
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            return Ok(lines);
+        }
+        lines.push(line.to_string());
+    }
+}
+
+fn parse_headers(lines: &[String]) -> Result<Vec<(String, String)>, ProtoError> {
+    lines
+        .iter()
+        .map(|l| {
+            let (k, v) = l
+                .split_once(':')
+                .ok_or_else(|| malformed(format!("header line without `:`: {l}")))?;
+            Ok((k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        })
+        .collect()
+}
+
+fn content_length(headers: &[(String, String)]) -> Result<usize, ProtoError> {
+    match headers.iter().find(|(k, _)| k == "content-length") {
+        None => Ok(0),
+        Some((_, v)) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| malformed(format!("bad Content-Length `{v}`")))?;
+            if n > MAX_BODY_BYTES {
+                return Err(ProtoError::TooLarge);
+            }
+            Ok(n)
+        }
+    }
+}
+
+fn read_exact_body<R: BufRead>(r: &mut R, len: usize) -> Result<Vec<u8>, ProtoError> {
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)
+        .map_err(|_| malformed("connection closed before end of body"))?;
+    Ok(body)
+}
+
+/// Decode `%xx` escapes and `+` in a query component. Invalid escapes are
+/// kept verbatim — the daemon's identifiers never contain `%` anyway.
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Parse one HTTP/1.1 request from `r`, enforcing the size caps.
+///
+/// # Errors
+/// [`ProtoError::TooLarge`] when a cap is exceeded (the server maps it to
+/// 413), [`ProtoError::Malformed`] for anything else unparsable (mapped to
+/// 400).
+pub fn read_request<R: BufRead>(r: &mut R) -> Result<HttpRequest, ProtoError> {
+    let lines = read_header_block(r)?;
+    let request_line = lines.first().ok_or_else(|| malformed("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| malformed("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or_else(|| malformed("missing path"))?;
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported version `{version}`")));
+    }
+    let (path, query_str) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let query = query_str
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (url_decode(k), url_decode(v)),
+            None => (url_decode(kv), String::new()),
+        })
+        .collect();
+    let headers = parse_headers(&lines[1..])?;
+    let body = read_exact_body(r, content_length(&headers)?)?;
+    Ok(HttpRequest {
+        method,
+        path: path.to_string(),
+        query,
+        headers,
+        body,
+    })
+}
+
+/// The standard reason phrase for the status codes the daemon emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `Connection: close` response with a `Content-Length`
+/// body.
+///
+/// # Errors
+/// I/O errors writing to `w`.
+pub fn write_response<W: Write>(
+    w: &mut W,
+    status: u16,
+    extra_headers: &[(&str, String)],
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(w, "HTTP/1.1 {status} {}\r\n", status_reason(status))?;
+    write!(w, "content-type: {content_type}\r\n")?;
+    write!(w, "content-length: {}\r\n", body.len())?;
+    write!(w, "connection: close\r\n")?;
+    for (k, v) in extra_headers {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A chunked-transfer response body (the event-streaming endpoint).
+///
+/// [`ChunkedBody::start`] writes the response head; each [`ChunkedBody::chunk`]
+/// is flushed immediately so a client sees events as they happen;
+/// [`ChunkedBody::finish`] writes the terminating zero-length chunk.
+pub struct ChunkedBody<W: Write> {
+    w: W,
+}
+
+impl<W: Write> ChunkedBody<W> {
+    /// Write the response head and return the chunk writer.
+    ///
+    /// # Errors
+    /// I/O errors writing to `w`.
+    pub fn start(mut w: W, status: u16, content_type: &str) -> std::io::Result<ChunkedBody<W>> {
+        write!(w, "HTTP/1.1 {status} {}\r\n", status_reason(status))?;
+        write!(w, "content-type: {content_type}\r\n")?;
+        write!(w, "transfer-encoding: chunked\r\n")?;
+        write!(w, "connection: close\r\n\r\n")?;
+        w.flush()?;
+        Ok(ChunkedBody { w })
+    }
+
+    /// Write one chunk and flush it.
+    ///
+    /// # Errors
+    /// I/O errors writing to the transport (e.g. the client hung up).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(()); // an empty chunk would terminate the body
+        }
+        write!(self.w, "{:x}\r\n", data.len())?;
+        self.w.write_all(data)?;
+        self.w.write_all(b"\r\n")?;
+        self.w.flush()
+    }
+
+    /// Terminate the body.
+    ///
+    /// # Errors
+    /// I/O errors writing to the transport.
+    pub fn finish(mut self) -> std::io::Result<()> {
+        self.w.write_all(b"0\r\n\r\n")?;
+        self.w.flush()
+    }
+}
+
+/// A parsed HTTP response (client side).
+#[derive(Debug)]
+pub struct HttpResponse {
+    /// Numeric status code.
+    pub status: u16,
+    /// Headers with lower-cased names, in source order.
+    pub headers: Vec<(String, String)>,
+    /// The body, with chunked transfer encoding already decoded.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first header named `name` (lower-case), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// Parse one HTTP/1.1 response from `r`, decoding `Content-Length`,
+/// chunked, and read-to-EOF bodies.
+///
+/// # Errors
+/// [`ProtoError`] when the bytes are not a well-formed response or a size
+/// cap is exceeded.
+pub fn read_response<R: BufRead>(r: &mut R) -> Result<HttpResponse, ProtoError> {
+    let lines = read_header_block(r)?;
+    let status_line = lines.first().ok_or_else(|| malformed("empty response"))?;
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().ok_or_else(|| malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported version `{version}`")));
+    }
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| malformed("missing status code"))?;
+    let headers = parse_headers(&lines[1..])?;
+    let chunked = headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"));
+    let body = if chunked {
+        read_chunked_body(r)?
+    } else if headers.iter().any(|(k, _)| k == "content-length") {
+        read_exact_body(r, content_length(&headers)?)?
+    } else {
+        // No framing: body runs to connection close.
+        let mut body = Vec::new();
+        r.take(MAX_BODY_BYTES as u64 + 1).read_to_end(&mut body)?;
+        if body.len() > MAX_BODY_BYTES {
+            return Err(ProtoError::TooLarge);
+        }
+        body
+    };
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+fn read_chunked_body<R: BufRead>(r: &mut R) -> Result<Vec<u8>, ProtoError> {
+    let mut body = Vec::new();
+    loop {
+        let mut size_line = String::new();
+        if r.read_line(&mut size_line)? == 0 {
+            return Err(malformed("connection closed inside chunked body"));
+        }
+        let size_str = size_line.trim();
+        let size = usize::from_str_radix(size_str.split(';').next().unwrap_or(""), 16)
+            .map_err(|_| malformed(format!("bad chunk size `{size_str}`")))?;
+        if size == 0 {
+            // Trailer section (we send none) ends with a blank line.
+            let mut trailer = String::new();
+            let _ = r.read_line(&mut trailer);
+            return Ok(body);
+        }
+        if body.len() + size > MAX_BODY_BYTES {
+            return Err(ProtoError::TooLarge);
+        }
+        let mut chunk = vec![0u8; size + 2]; // data + CRLF
+        r.read_exact(&mut chunk)
+            .map_err(|_| malformed("connection closed inside chunk"))?;
+        body.extend_from_slice(&chunk[..size]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body_and_query() {
+        let raw = b"POST /v1/sweeps?from=3&flag HTTP/1.1\r\n\
+                    Host: x\r\nContent-Length: 5\r\n\r\nhello";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/sweeps");
+        assert_eq!(req.query("from"), Some("3"));
+        assert_eq!(req.query("flag"), Some(""));
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn rejects_oversized_headers_and_bodies() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nx: {}\r\n\r\n",
+            "a".repeat(MAX_HEADER_BYTES)
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge_header.as_bytes())),
+            Err(ProtoError::TooLarge)
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge_body.as_bytes())),
+            Err(ProtoError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_request(&mut Cursor::new(&b"not http\r\n\r\n"[..])).is_err());
+        assert!(read_request(&mut Cursor::new(&b"GET /\r\n\r\n"[..])).is_err());
+        assert!(read_request(&mut Cursor::new(&b""[..])).is_err());
+    }
+
+    #[test]
+    fn response_round_trips_through_writer_and_parser() {
+        let mut wire = Vec::new();
+        write_response(
+            &mut wire,
+            429,
+            &[("retry-after", "1".to_string())],
+            "application/json",
+            br#"{"error": "queue-full"}"#,
+        )
+        .unwrap();
+        let resp = read_response(&mut Cursor::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 429);
+        assert_eq!(resp.header("retry-after"), Some("1"));
+        assert_eq!(resp.text(), r#"{"error": "queue-full"}"#);
+    }
+
+    #[test]
+    fn chunked_body_round_trips() {
+        let mut wire = Vec::new();
+        {
+            let mut body = ChunkedBody::start(&mut wire, 200, "application/jsonl").unwrap();
+            body.chunk(b"{\"seq\": 0}\n").unwrap();
+            body.chunk(b"").unwrap(); // ignored, must not terminate
+            body.chunk(b"{\"seq\": 1}\n").unwrap();
+            body.finish().unwrap();
+        }
+        let resp = read_response(&mut Cursor::new(&wire[..])).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.text(), "{\"seq\": 0}\n{\"seq\": 1}\n");
+    }
+
+    #[test]
+    fn url_decoding_handles_escapes() {
+        assert_eq!(url_decode("a%2Fb+c"), "a/b c");
+        assert_eq!(url_decode("plain"), "plain");
+        assert_eq!(url_decode("bad%zz"), "bad%zz");
+    }
+}

@@ -1,0 +1,1297 @@
+//! The sweep service daemon behind the `sac_serve` binary.
+//!
+//! `sac_serve` turns the crash-safe sweep machinery into a long-running,
+//! multi-tenant service: clients `POST` sweep requests (benchmark ×
+//! organization grids with optional budgets) over a minimal HTTP/1.1 API
+//! ([`crate::proto`]), the daemon schedules the cells onto the shared
+//! [`crate::sweep::map_isolated`] pool, and every result or typed failure
+//! is durably journaled before it is acknowledged. See `DESIGN.md`,
+//! "Sweep service daemon" for the full contract. The load/chaos harness
+//! (`scripts/ci_serve_chaos.sh` + the `loadgen` binary) exercises it end
+//! to end, including a `SIGKILL` mid-campaign.
+//!
+//! The architecture, in one breath: a listener thread accepts connections
+//! and answers the control-plane endpoints; a scheduler thread drains the
+//! bounded admission queue in batches through `map_isolated`, publishing
+//! each cell's outcome (journal append first, then state update) the
+//! moment it is known; a reaper thread expires per-request wall-clock
+//! budgets by raising the cells' cooperative cancellation flags. All
+//! shared state sits behind one mutex with two condvars (`work` wakes the
+//! scheduler, `progress` wakes status pollers and event streams).
+//!
+//! Durability and identity guarantees:
+//!
+//! - a request is acknowledged (`202`) only after its manifest record is
+//!   fsynced, so an acknowledged request survives `SIGKILL`;
+//! - identical cells — same `(cell name, config hash)` with a verified
+//!   full-config match ([`Journal::lookup_verified`]) — are simulated
+//!   once, ever: concurrent duplicates subscribe to the in-flight job and
+//!   later duplicates replay the journal byte-identically;
+//! - after a crash and restart, accepted-but-unfinished requests are
+//!   re-adopted: journaled completions replay byte-identically, journaled
+//!   *retryable* quarantines re-execute, non-retryable ones stay
+//!   quarantined ([`CellError::kind_retryable`]);
+//! - budget trips (cycle limit, watchdog, cancellation) travel through the
+//!   normal retry taxonomy and end as typed quarantined cells, never as
+//!   silently dropped work.
+
+use crate::journal::{cell_config_desc, fnv1a_64, Journal, JournalRecord, RecordOutcome};
+use crate::proto::{self, ChunkedBody, HttpRequest, ProtoError};
+use crate::sweep::{self, CellError};
+use mcgpu_sim::{org, SimBuilder, SimError};
+use mcgpu_trace::{generate, profiles, TraceParams};
+use mcgpu_types::json::{escape_into, parse, JsonValue};
+use mcgpu_types::{CellPhase, LlcOrgKind, MachineConfig, ObsConfig, RequestPhase, ServeErrorCode};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hard cap on `total_accesses` a request may ask for, so one tenant
+/// cannot park the pool on a gigantic trace.
+pub const MAX_TOTAL_ACCESSES: u64 = 5_000_000;
+
+/// `Retry-After` seconds advertised with a 429.
+const RETRY_AFTER_SECS: u64 = 1;
+
+// ---------------------------------------------------------------------------
+// Sweep specification
+// ---------------------------------------------------------------------------
+
+/// A validated sweep request: the (benchmark × organization) grid plus
+/// optional budgets. Parsed from the `POST /v1/sweeps` body and stored in
+/// canonical form in the request manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Canonical benchmark names (validated against the profile registry).
+    pub benchmarks: Vec<String>,
+    /// Organizations, in request order.
+    pub orgs: Vec<LlcOrgKind>,
+    /// Trace volume per cell.
+    pub total_accesses: u64,
+    /// Per-cell simulated-cycle budget (escalated on retries); `None`
+    /// means unbounded.
+    pub max_cycles: Option<u64>,
+    /// Watchdog window override (`u64::MAX` disables the watchdog).
+    pub watchdog_cycles: Option<u64>,
+    /// Wall-clock budget for the whole request; on expiry every pending
+    /// cell is cancelled through the retry taxonomy. A restart resets the
+    /// clock for re-adopted requests.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SweepSpec {
+    /// Parse and validate the spec fields of a JSON object (everything but
+    /// the request id). Unknown fields are ignored.
+    ///
+    /// # Errors
+    /// A human-readable reason, reported to the client as `bad-request`.
+    pub fn from_json(v: &JsonValue) -> Result<SweepSpec, String> {
+        let bench_vals = v
+            .get("benchmarks")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field `benchmarks`")?;
+        let mut benchmarks = Vec::new();
+        for b in bench_vals {
+            let name = b.as_str().ok_or("`benchmarks` entries must be strings")?;
+            let profile =
+                profiles::by_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            benchmarks.push(profile.name.to_string());
+        }
+        let org_vals = v
+            .get("orgs")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing array field `orgs`")?;
+        let mut orgs = Vec::new();
+        for o in org_vals {
+            let token = o.as_str().ok_or("`orgs` entries must be strings")?;
+            let kind = org::org_by_token(token).ok_or_else(|| {
+                format!(
+                    "unknown organization `{token}` (valid: {})",
+                    org::tokens().join(", ")
+                )
+            })?;
+            orgs.push(kind);
+        }
+        if benchmarks.is_empty() || orgs.is_empty() {
+            return Err("`benchmarks` and `orgs` must be non-empty".to_string());
+        }
+        let uint = |key: &str| -> Result<Option<u64>, String> {
+            match v.get(key) {
+                None | Some(JsonValue::Null) => Ok(None),
+                Some(x) => x
+                    .as_u64()
+                    .map(Some)
+                    .ok_or_else(|| format!("`{key}` must be an unsigned integer")),
+            }
+        };
+        let total_accesses = uint("total_accesses")?.unwrap_or(15_000);
+        if total_accesses == 0 || total_accesses > MAX_TOTAL_ACCESSES {
+            return Err(format!(
+                "`total_accesses` must be in 1..={MAX_TOTAL_ACCESSES}"
+            ));
+        }
+        let spec = SweepSpec {
+            benchmarks,
+            orgs,
+            total_accesses,
+            max_cycles: uint("max_cycles")?,
+            watchdog_cycles: uint("watchdog_cycles")?,
+            deadline_ms: uint("deadline_ms")?,
+        };
+        // The same validation path every harness uses: a simulator must
+        // actually build on this machine for each requested organization.
+        let cfg = spec.machine();
+        for &o in &spec.orgs {
+            SimBuilder::new(cfg.clone())
+                .organization(o)
+                .build()
+                .map_err(|e| format!("configuration rejected for {o}: {e}"))?;
+        }
+        Ok(spec)
+    }
+
+    /// Canonical JSON form: stable field order and canonical benchmark /
+    /// organization spellings, so spec equality (idempotent resubmission
+    /// vs `spec-conflict`) is a byte comparison.
+    pub fn canonical_json(&self) -> String {
+        let mut s = String::from("{\"benchmarks\": [");
+        for (i, b) in self.benchmarks.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push('"');
+            escape_into(b, &mut s);
+            s.push('"');
+        }
+        s.push_str("], \"orgs\": [");
+        for (i, &o) in self.orgs.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push('"');
+            s.push_str(org::descriptor(o).token);
+            s.push('"');
+        }
+        s.push_str(&format!("], \"total_accesses\": {}", self.total_accesses));
+        for (key, val) in [
+            ("max_cycles", self.max_cycles),
+            ("watchdog_cycles", self.watchdog_cycles),
+            ("deadline_ms", self.deadline_ms),
+        ] {
+            match val {
+                Some(n) => s.push_str(&format!(", \"{key}\": {n}")),
+                None => s.push_str(&format!(", \"{key}\": null")),
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// The machine every cell of this request runs on.
+    pub fn machine(&self) -> MachineConfig {
+        let mut cfg = MachineConfig::experiment_baseline();
+        if let Some(w) = self.watchdog_cycles {
+            cfg.watchdog_cycles = w;
+        }
+        cfg
+    }
+
+    /// The trace volume every cell of this request uses.
+    pub fn params(&self) -> TraceParams {
+        TraceParams {
+            total_accesses: self.total_accesses as usize,
+            ..TraceParams::quick()
+        }
+    }
+
+    /// The request's cells in grid order: `(cell name, config hash, full
+    /// config description)` per (benchmark × organization) pair.
+    ///
+    /// Budgets (`max_cycles`, `deadline_ms`) are deliberately *not* part
+    /// of the identity: they are abort-only knobs that can never change a
+    /// completed run's statistics, so two requests differing only in
+    /// budgets share cells and cache hits.
+    pub fn cells(&self) -> Vec<(String, u64, String)> {
+        let cfg = self.machine();
+        let params = self.params();
+        let mut out = Vec::new();
+        for bench in &self.benchmarks {
+            for &o in &self.orgs {
+                let name = format!("{bench}/{}", org::descriptor(o).token);
+                let desc = cell_config_desc(&cfg, &params, bench, o);
+                out.push((name, fnv1a_64(desc.as_bytes()), desc));
+            }
+        }
+        out
+    }
+}
+
+/// Validate a client-chosen request id: non-empty, bounded, and safe to
+/// embed in paths and JSON (`[A-Za-z0-9._-]`).
+pub fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 128
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+}
+
+// ---------------------------------------------------------------------------
+// Server state
+// ---------------------------------------------------------------------------
+
+/// Daemon tuning knobs, normally set from the `sac_serve` command line.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (use port 0 to let the OS pick).
+    pub addr: String,
+    /// Directory holding `journal.jsonl`, `manifest.jsonl` and
+    /// `serve.addr`. Restarting with the same directory recovers all
+    /// acknowledged work.
+    pub state_dir: PathBuf,
+    /// Backpressure threshold: a request is refused with 429 while at
+    /// least this many cells are already queued (a single request may
+    /// overshoot the threshold, so requests larger than the cap are still
+    /// admittable on an idle server).
+    pub max_queue: usize,
+    /// Test hook: sleep this long at the start of every *fresh* cell
+    /// execution so a chaos harness can reliably `SIGKILL` mid-campaign.
+    /// Delays execution only; cannot change any result.
+    pub stall_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            state_dir: PathBuf::from("results/serve"),
+            max_queue: 256,
+            stall_ms: 0,
+        }
+    }
+}
+
+/// One cell of one request, as seen by clients.
+#[derive(Debug, Clone)]
+struct Cell {
+    name: String,
+    hash: u64,
+    desc: String,
+    phase: CellPhase,
+    attempts: u32,
+    /// Served from the journal / shared cache instead of freshly simulated.
+    cached: bool,
+    stats: Option<Arc<String>>,
+    error: Option<(String, String)>, // (kind, message)
+}
+
+#[derive(Debug)]
+struct RequestState {
+    spec: SweepSpec,
+    spec_canon: String,
+    phase: RequestPhase,
+    cells: Vec<Cell>,
+    cancelled: bool,
+    deadline: Option<Instant>,
+    events: Vec<String>,
+    /// A `done` manifest op for this request is already on disk.
+    done_recorded: bool,
+}
+
+type JobKey = (String, u64); // (cell name, config hash)
+
+/// One unit of simulation work, shared by every request that asked for the
+/// same cell.
+#[derive(Debug)]
+struct Job {
+    bench: String,
+    orgk: LlcOrgKind,
+    machine: MachineConfig,
+    params: TraceParams,
+    desc: String,
+    max_cycles: Option<u64>,
+    cancel: Arc<AtomicBool>,
+    subscribers: Vec<(String, usize)>, // (request id, cell index)
+}
+
+#[derive(Debug, Default)]
+struct State {
+    requests: HashMap<String, RequestState>,
+    jobs: HashMap<JobKey, Job>,
+    queue: VecDeque<JobKey>,
+    running: usize,
+    shutting_down: bool,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    state: Mutex<State>,
+    /// Wakes the scheduler when the queue grows or shutdown begins.
+    work: Condvar,
+    /// Wakes status pollers / event streams when any request progresses.
+    progress: Condvar,
+    journal: Mutex<Journal>,
+    manifest: Mutex<std::fs::File>,
+}
+
+/// A running daemon instance. Dropping the handle does not stop the
+/// daemon; call [`Server::stop`] (tests) or block on [`Server::join`]
+/// (the binary).
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    listener: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start the daemon: recover state from `cfg.state_dir`, bind the
+    /// listener, and spawn the scheduler and reaper threads.
+    ///
+    /// # Errors
+    /// I/O errors creating the state directory or binding the address.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        std::fs::create_dir_all(&cfg.state_dir)?;
+        let journal = Journal::open(cfg.state_dir.join("journal.jsonl"))?;
+        let manifest_path = cfg.state_dir.join("manifest.jsonl");
+        let recovered = load_manifest(&manifest_path);
+        let manifest = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&manifest_path)?;
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+
+        let inner = Arc::new(Inner {
+            cfg,
+            state: Mutex::new(State::default()),
+            work: Condvar::new(),
+            progress: Condvar::new(),
+            journal: Mutex::new(journal),
+            manifest: Mutex::new(manifest),
+        });
+
+        // Re-adopt every acknowledged request before accepting traffic:
+        // completed cells replay from the journal byte-identically,
+        // retryable quarantines and never-run cells re-enter the queue.
+        {
+            let mut st = inner.state.lock().expect("state lock");
+            for (id, (canon, done_phase)) in recovered {
+                let parsed = parse(&canon)
+                    .ok()
+                    .and_then(|v| SweepSpec::from_json(&v).ok());
+                let Some(spec) = parsed else {
+                    eprintln!("sac_serve: dropping unreadable manifest spec for `{id}`");
+                    continue;
+                };
+                admit_locked(&inner, &mut st, id.clone(), spec, done_phase.is_some());
+                if let Some(req) = st.requests.get_mut(&id) {
+                    req.done_recorded = done_phase.is_some();
+                    push_event(
+                        &id,
+                        req,
+                        &format!("\"recovered\": true, \"phase\": \"{}\"", req.phase),
+                    );
+                }
+            }
+            let n = st.requests.len();
+            if n > 0 {
+                eprintln!("sac_serve: re-adopted {n} request(s) from the manifest");
+            }
+        }
+
+        // Scheduler.
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || scheduler_loop(&inner));
+        }
+        // Reaper for per-request wall-clock budgets.
+        {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || reaper_loop(&inner));
+        }
+        // Listener.
+        let listener_thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || listener_loop(&inner, &listener))
+        };
+
+        // Publish the bound address for scripts (the port may be
+        // OS-assigned); rewritten atomically so a concurrently restarting
+        // client never reads a torn line.
+        let addr_tmp = inner.cfg.state_dir.join("serve.addr.tmp");
+        std::fs::write(&addr_tmp, format!("{addr}\n"))?;
+        std::fs::rename(&addr_tmp, inner.cfg.state_dir.join("serve.addr"))?;
+
+        Ok(Server {
+            inner,
+            addr,
+            listener: Some(listener_thread),
+        })
+    }
+
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Block until the listener exits (i.e. forever, in the binary).
+    pub fn join(mut self) {
+        if let Some(t) = self.listener.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// Best-effort graceful stop for in-process tests: refuse new work,
+    /// wake every waiter, and unblock the accept loop. In-flight batches
+    /// finish in the background.
+    pub fn stop(mut self) {
+        {
+            let mut st = self.inner.state.lock().expect("state lock");
+            st.shutting_down = true;
+            self.inner.work.notify_all();
+            self.inner.progress.notify_all();
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.listener.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// Load the request manifest: `id -> (canonical spec JSON, done phase)`.
+/// Stops at the first malformed line (torn tail from a crash mid-append).
+fn load_manifest(path: &std::path::Path) -> Vec<(String, (String, Option<RequestPhase>))> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut order: Vec<String> = Vec::new();
+    let mut map: HashMap<String, (String, Option<RequestPhase>)> = HashMap::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = parse(line) else { break };
+        let op = v.get("op").and_then(JsonValue::as_str);
+        let id = v.get("id").and_then(JsonValue::as_str);
+        match (op, id) {
+            (Some("accepted"), Some(id)) => {
+                let Some(spec) = v.get("spec").and_then(JsonValue::as_str) else {
+                    break;
+                };
+                if !map.contains_key(id) {
+                    order.push(id.to_string());
+                }
+                map.insert(id.to_string(), (spec.to_string(), None));
+            }
+            (Some("done"), Some(id)) => {
+                let phase = v
+                    .get("phase")
+                    .and_then(JsonValue::as_str)
+                    .and_then(RequestPhase::parse);
+                if let Some(entry) = map.get_mut(id) {
+                    entry.1 = phase;
+                }
+            }
+            _ => break,
+        }
+    }
+    order
+        .into_iter()
+        .filter_map(|id| map.remove_entry(&id))
+        .collect()
+}
+
+/// Append one manifest op and fsync it. Manifest I/O failures abort the
+/// process — they are environment errors, and acknowledging work that is
+/// not durable would defeat the manifest's purpose.
+fn manifest_append(inner: &Inner, line: &str) {
+    let mut f = inner.manifest.lock().expect("manifest lock");
+    writeln!(f, "{line}").expect("write request manifest");
+    f.sync_all().expect("sync request manifest");
+}
+
+fn manifest_accepted_line(id: &str, spec_canon: &str) -> String {
+    let mut s = String::from("{\"op\": \"accepted\", \"id\": \"");
+    escape_into(id, &mut s);
+    s.push_str("\", \"spec\": \"");
+    escape_into(spec_canon, &mut s);
+    s.push_str("\"}");
+    s
+}
+
+fn manifest_done_line(id: &str, phase: RequestPhase) -> String {
+    let mut s = String::from("{\"op\": \"done\", \"id\": \"");
+    escape_into(id, &mut s);
+    s.push_str(&format!("\", \"phase\": \"{phase}\"}}"));
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Admission and publication
+// ---------------------------------------------------------------------------
+
+/// Append an event line to a request's log. `fields` is the inner JSON
+/// fragment (already escaped by the caller).
+fn push_event(id: &str, req: &mut RequestState, fields: &str) {
+    let seq = req.events.len();
+    let mut line = format!("{{\"seq\": {seq}, \"request\": \"");
+    escape_into(id, &mut line);
+    line.push_str("\", ");
+    line.push_str(fields);
+    line.push('}');
+    req.events.push(line);
+}
+
+fn cell_event(phase: CellPhase, cell: &Cell, extra: &str) -> String {
+    let mut s = String::from("\"cell\": \"");
+    escape_into(&cell.name, &mut s);
+    s.push_str(&format!(
+        "\", \"phase\": \"{phase}\", \"attempts\": {}, \"cached\": {}",
+        cell.attempts, cell.cached
+    ));
+    s.push_str(extra);
+    s
+}
+
+/// Build a request's cells, resolving each against the journal cache and
+/// subscribing the rest to (possibly pre-existing) jobs. Shared by live
+/// admission and restart recovery; the caller holds the state lock.
+///
+/// `adopt_only` (restart of a request already marked done) resolves cells
+/// from the journal without enqueueing anything new — with one exception:
+/// a done request whose journal record went missing re-enqueues the cell
+/// rather than invent a result.
+fn admit_locked(inner: &Inner, st: &mut State, id: String, spec: SweepSpec, adopt_only: bool) {
+    let mut cells = Vec::new();
+    let grid = spec.cells();
+    {
+        let journal = inner.journal.lock().expect("journal lock");
+        for (name, hash, desc) in grid {
+            let mut cell = Cell {
+                name,
+                hash,
+                desc,
+                phase: CellPhase::Queued,
+                attempts: 0,
+                cached: false,
+                stats: None,
+                error: None,
+            };
+            if let Some(r) = journal.lookup_verified(&cell.name, hash, &cell.desc) {
+                match &r.outcome {
+                    RecordOutcome::Completed { stats_json } => {
+                        cell.phase = CellPhase::Completed;
+                        cell.cached = true;
+                        cell.attempts = r.attempts;
+                        cell.stats = Some(Arc::new(stats_json.clone()));
+                    }
+                    RecordOutcome::Quarantined { kind, error } => {
+                        // Retryable (or unclassifiable) quarantines are
+                        // re-executed on adoption; permanent ones stand.
+                        if CellError::kind_retryable(kind) == Some(false) || adopt_only {
+                            cell.phase = CellPhase::Quarantined;
+                            cell.attempts = r.attempts;
+                            cell.cached = true;
+                            cell.error = Some((kind.clone(), error.clone()));
+                        }
+                    }
+                }
+            }
+            cells.push(cell);
+        }
+    }
+
+    let deadline = spec
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut req = RequestState {
+        spec_canon: spec.canonical_json(),
+        spec,
+        phase: RequestPhase::Active,
+        cells,
+        cancelled: false,
+        deadline,
+        events: Vec::new(),
+        done_recorded: false,
+    };
+
+    // Subscribe every unresolved cell to its job, creating and queueing
+    // jobs that do not exist yet.
+    let mut queued_any = false;
+    for idx in 0..req.cells.len() {
+        if req.cells[idx].phase.terminal() {
+            let line = cell_event(req.cells[idx].phase, &req.cells[idx], "");
+            push_event(&id, &mut req, &line);
+            continue;
+        }
+        let key = (req.cells[idx].name.clone(), req.cells[idx].hash);
+        match st.jobs.get_mut(&key) {
+            Some(job) => {
+                job.subscribers.push((id.clone(), idx));
+                // A deduped job runs under the loosest subscriber budget
+                // (budgets are abort-only; relaxing can never corrupt a
+                // result, only let it complete).
+                job.max_cycles = match (job.max_cycles, req.spec.max_cycles) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ => None,
+                };
+            }
+            None => {
+                let (bench, _) = req.cells[idx]
+                    .name
+                    .split_once('/')
+                    .expect("cell names are BENCH/org");
+                let orgk = req.spec.orgs[idx % req.spec.orgs.len()];
+                st.jobs.insert(
+                    key.clone(),
+                    Job {
+                        bench: bench.to_string(),
+                        orgk,
+                        machine: req.spec.machine(),
+                        params: req.spec.params(),
+                        desc: req.cells[idx].desc.clone(),
+                        max_cycles: req.spec.max_cycles,
+                        cancel: Arc::new(AtomicBool::new(false)),
+                        subscribers: vec![(id.clone(), idx)],
+                    },
+                );
+                st.queue.push_back(key);
+                queued_any = true;
+            }
+        }
+        let line = cell_event(CellPhase::Queued, &req.cells[idx], "");
+        push_event(&id, &mut req, &line);
+    }
+
+    st.requests.insert(id.clone(), req);
+    finalize_if_terminal(inner, st, &id);
+    if queued_any {
+        inner.work.notify_all();
+    }
+    inner.progress.notify_all();
+}
+
+/// If every cell of `id` is terminal, set the request's terminal phase and
+/// record the `done` manifest op (once). Caller holds the state lock.
+fn finalize_if_terminal(inner: &Inner, st: &mut State, id: &str) {
+    let Some(req) = st.requests.get_mut(id) else {
+        return;
+    };
+    if req.phase.terminal() || !req.cells.iter().all(|c| c.phase.terminal()) {
+        return;
+    }
+    let failed = req.cells.iter().any(|c| c.phase == CellPhase::Quarantined);
+    req.phase = if failed {
+        RequestPhase::Failed
+    } else {
+        RequestPhase::Completed
+    };
+    let phase = req.phase;
+    push_event(id, req, &format!("\"phase\": \"{phase}\""));
+    if !req.done_recorded {
+        req.done_recorded = true;
+        manifest_append(inner, &manifest_done_line(id, phase));
+    }
+    inner.progress.notify_all();
+}
+
+/// Deliver a finished job to every subscriber. Caller holds the state
+/// lock; the journal record was already appended.
+fn deliver_locked(
+    inner: &Inner,
+    st: &mut State,
+    key: &JobKey,
+    attempts: u32,
+    outcome: &RecordOutcome,
+    obs_json: Option<&str>,
+) {
+    let Some(job) = st.jobs.remove(key) else {
+        return;
+    };
+    st.running = st.running.saturating_sub(1);
+    let stats = match outcome {
+        RecordOutcome::Completed { stats_json } => Some(Arc::new(stats_json.clone())),
+        RecordOutcome::Quarantined { .. } => None,
+    };
+    for (id, idx) in job.subscribers {
+        let Some(req) = st.requests.get_mut(&id) else {
+            continue;
+        };
+        let cell = &mut req.cells[idx];
+        cell.attempts = attempts;
+        match outcome {
+            RecordOutcome::Completed { .. } => {
+                cell.phase = CellPhase::Completed;
+                cell.stats = stats.clone();
+            }
+            RecordOutcome::Quarantined { kind, error } => {
+                cell.phase = CellPhase::Quarantined;
+                cell.error = Some((kind.clone(), error.clone()));
+            }
+        }
+        let extra = match (&cell.error, obs_json) {
+            (Some((kind, error)), _) => {
+                let mut s = format!(", \"kind\": \"{kind}\", \"error\": \"");
+                escape_into(error, &mut s);
+                s.push('"');
+                s
+            }
+            (None, Some(obs)) => {
+                // The run's mcgpu-obs-v1 epoch timeline, streamed with the
+                // completion event.
+                let mut s = String::from(", \"obs\": \"");
+                escape_into(obs, &mut s);
+                s.push('"');
+                s
+            }
+            (None, None) => String::new(),
+        };
+        let line = cell_event(req.cells[idx].phase, &req.cells[idx], &extra);
+        push_event(&id, req, &line);
+        finalize_if_terminal(inner, st, &id);
+    }
+    inner.progress.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads
+// ---------------------------------------------------------------------------
+
+/// What the scheduler snapshots per job before releasing the state lock.
+struct RunItem {
+    key: JobKey,
+    bench: String,
+    orgk: LlcOrgKind,
+    machine: MachineConfig,
+    params: TraceParams,
+    desc: String,
+    max_cycles: Option<u64>,
+    cancel: Arc<AtomicBool>,
+}
+
+fn scheduler_loop(inner: &Arc<Inner>) {
+    loop {
+        let batch: Vec<RunItem> = {
+            let mut st = inner.state.lock().expect("state lock");
+            loop {
+                if st.shutting_down {
+                    return;
+                }
+                if !st.queue.is_empty() {
+                    break;
+                }
+                st = inner.work.wait(st).expect("state lock");
+            }
+            let keys: Vec<JobKey> = st.queue.drain(..).collect();
+            st.running += keys.len();
+            let mut items = Vec::with_capacity(keys.len());
+            for key in keys {
+                let job = st.jobs.get(&key).expect("queued job exists");
+                items.push(RunItem {
+                    bench: job.bench.clone(),
+                    orgk: job.orgk,
+                    machine: job.machine.clone(),
+                    params: job.params,
+                    desc: job.desc.clone(),
+                    max_cycles: job.max_cycles,
+                    cancel: Arc::clone(&job.cancel),
+                    key,
+                });
+                // Mark every subscriber cell running.
+                let subs = st
+                    .jobs
+                    .get(&items.last().expect("just pushed").key)
+                    .map(|j| j.subscribers.clone())
+                    .unwrap_or_default();
+                for (id, idx) in subs {
+                    if let Some(req) = st.requests.get_mut(&id) {
+                        req.cells[idx].phase = CellPhase::Running;
+                        let line = cell_event(CellPhase::Running, &req.cells[idx], "");
+                        push_event(&id, req, &line);
+                    }
+                }
+            }
+            inner.progress.notify_all();
+            items
+        };
+
+        // Fan the batch out; each completion is published from inside the
+        // closure the moment it is known, so event streams and duplicate
+        // requests see it without waiting for the whole batch. Keys are
+        // snapshotted first because `map_isolated` consumes the batch.
+        let keys: Vec<JobKey> = batch.iter().map(|i| i.key.clone()).collect();
+        let outcomes = sweep::map_isolated(batch, |item, attempt| {
+            let out = run_job_attempt(inner, item, attempt)?;
+            publish_completed(inner, item, attempt + 1, out);
+            Ok(())
+        });
+        // Quarantines are only final once `run_cell` stops retrying, so
+        // they are published after the batch.
+        for (key, out) in keys.iter().zip(&outcomes) {
+            if let Err(e) = &out.result {
+                publish_quarantined(inner, key, out.attempts, e);
+            }
+        }
+    }
+}
+
+/// One attempt of one job: generate the trace, build the simulator with
+/// the cooperative cancellation flag and escalated budgets, run, and
+/// return the canonical stats plus the obs-v1 report.
+fn run_job_attempt(
+    inner: &Inner,
+    item: &RunItem,
+    attempt: u32,
+) -> Result<(String, Option<String>), CellError> {
+    if item.cancel.load(Ordering::Relaxed) {
+        // Cancelled before it ever started: same taxonomy as a mid-run
+        // abort, without paying for trace generation.
+        return Err(CellError::Sim(SimError::Cancelled { cycle: 0 }));
+    }
+    if inner.cfg.stall_ms > 0 {
+        std::thread::sleep(Duration::from_millis(inner.cfg.stall_ms));
+    }
+    let profile = profiles::by_name(&item.bench).expect("benchmark validated at admission");
+    let mut cfg = item.machine.clone();
+    cfg.watchdog_cycles = sweep::escalate_budget(cfg.watchdog_cycles, attempt);
+    let wl = generate(&item.machine, &profile, &item.params);
+    let mut b = SimBuilder::new(cfg)
+        .organization(item.orgk)
+        .observability(ObsConfig::metrics())
+        .cancel_flag(Arc::clone(&item.cancel));
+    if let Some(m) = item.max_cycles {
+        b = b.max_cycles(sweep::escalate_budget(m, attempt));
+    }
+    let mut sim = b.build()?;
+    let stats = sim.run(&wl)?;
+    let obs = sim.take_obs_report().map(|r| r.to_canonical_json());
+    Ok((stats.to_canonical_json(), obs))
+}
+
+/// Journal a completed job, then deliver it to subscribers.
+fn publish_completed(inner: &Inner, item: &RunItem, attempts: u32, out: (String, Option<String>)) {
+    let (stats_json, obs_json) = out;
+    let outcome = RecordOutcome::Completed {
+        stats_json: stats_json.clone(),
+    };
+    inner
+        .journal
+        .lock()
+        .expect("journal lock")
+        .append(JournalRecord {
+            cell: item.key.0.clone(),
+            config_hash: item.key.1,
+            config: Some(item.desc.clone()),
+            attempts,
+            outcome: outcome.clone(),
+        })
+        .expect("write run journal");
+    let mut st = inner.state.lock().expect("state lock");
+    deliver_locked(
+        inner,
+        &mut st,
+        &item.key,
+        attempts,
+        &outcome,
+        obs_json.as_deref(),
+    );
+}
+
+/// Journal a quarantined job, then deliver the typed failure.
+fn publish_quarantined(inner: &Inner, key: &JobKey, attempts: u32, err: &CellError) {
+    let outcome = RecordOutcome::Quarantined {
+        kind: err.kind().to_string(),
+        error: err.to_string(),
+    };
+    let desc = {
+        let st = inner.state.lock().expect("state lock");
+        st.jobs.get(key).map(|j| j.desc.clone())
+    };
+    inner
+        .journal
+        .lock()
+        .expect("journal lock")
+        .append(JournalRecord {
+            cell: key.0.clone(),
+            config_hash: key.1,
+            config: desc,
+            attempts,
+            outcome: outcome.clone(),
+        })
+        .expect("write run journal");
+    let mut st = inner.state.lock().expect("state lock");
+    deliver_locked(inner, &mut st, key, attempts, &outcome, None);
+}
+
+/// Expire per-request wall-clock budgets and propagate cancellation to
+/// jobs all of whose subscribers have been cancelled. A job shared with a
+/// still-live request keeps running — delivering a completed result to an
+/// expired request is strictly better than quarantining it.
+fn reaper_loop(inner: &Arc<Inner>) {
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        let mut st = inner.state.lock().expect("state lock");
+        if st.shutting_down {
+            return;
+        }
+        let now = Instant::now();
+        let expired: Vec<String> = st
+            .requests
+            .iter()
+            .filter(|(_, r)| {
+                !r.cancelled && !r.phase.terminal() && r.deadline.is_some_and(|d| d <= now)
+            })
+            .map(|(id, _)| id.clone())
+            .collect();
+        for id in expired {
+            if let Some(req) = st.requests.get_mut(&id) {
+                req.cancelled = true;
+                push_event(&id, req, "\"cancelled\": true, \"reason\": \"deadline\"");
+            }
+        }
+        propagate_cancellations(&mut st);
+        inner.progress.notify_all();
+    }
+}
+
+/// Raise the cancel flag of every job whose subscribers are all cancelled.
+fn propagate_cancellations(st: &mut State) {
+    for job in st.jobs.values() {
+        let all_cancelled = !job.subscribers.is_empty()
+            && job.subscribers.iter().all(|(id, _)| {
+                st.requests
+                    .get(id)
+                    .is_none_or(|r| r.cancelled || r.phase.terminal())
+            });
+        if all_cancelled {
+            job.cancel.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end
+// ---------------------------------------------------------------------------
+
+fn listener_loop(inner: &Arc<Inner>, listener: &TcpListener) {
+    for conn in listener.incoming() {
+        if inner.state.lock().expect("state lock").shutting_down {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let inner = Arc::clone(inner);
+        std::thread::spawn(move || {
+            let _ = handle_connection(&inner, stream);
+        });
+    }
+}
+
+fn error_body(code: ServeErrorCode, detail: &str) -> String {
+    let mut s = format!("{{\"error\": \"{code}\", \"detail\": \"");
+    escape_into(detail, &mut s);
+    s.push_str("\"}");
+    s
+}
+
+fn send_error(stream: &mut TcpStream, code: ServeErrorCode, detail: &str) -> std::io::Result<()> {
+    let extra: &[(&str, String)] = if code == ServeErrorCode::QueueFull {
+        &[("retry-after", RETRY_AFTER_SECS.to_string())]
+    } else {
+        &[]
+    };
+    proto::write_response(
+        stream,
+        code.http_status(),
+        extra,
+        "application/json",
+        error_body(code, detail).as_bytes(),
+    )
+}
+
+fn send_json(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    proto::write_response(stream, status, &[], "application/json", body.as_bytes())
+}
+
+fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let req = {
+        let mut reader = BufReader::new(stream.try_clone()?);
+        match proto::read_request(&mut reader) {
+            Ok(r) => r,
+            Err(ProtoError::TooLarge) => {
+                return send_error(
+                    &mut stream,
+                    ServeErrorCode::PayloadTooLarge,
+                    "request exceeds size cap",
+                )
+            }
+            Err(e) => return send_error(&mut stream, ServeErrorCode::BadRequest, &e.to_string()),
+        }
+    };
+
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => handle_healthz(inner, &mut stream),
+        ("POST", ["v1", "sweeps"]) => handle_submit(inner, &req, &mut stream),
+        ("GET", ["v1", "sweeps", id]) => handle_status(inner, id, &mut stream),
+        ("GET", ["v1", "sweeps", id, "events"]) => handle_events(inner, id, &req, stream),
+        ("GET", ["v1", "sweeps", id, "cells", idx, "stats"]) => {
+            handle_cell_stats(inner, id, idx, &mut stream)
+        }
+        ("POST", ["v1", "sweeps", id, "cancel"]) => handle_cancel(inner, id, &mut stream),
+        (_, ["v1", "healthz"] | ["v1", "sweeps", ..]) => send_error(
+            &mut stream,
+            ServeErrorCode::MethodNotAllowed,
+            &format!("{} not supported here", req.method),
+        ),
+        _ => send_error(
+            &mut stream,
+            ServeErrorCode::NotFound,
+            &format!("no route for {}", req.path),
+        ),
+    }
+}
+
+fn handle_healthz(inner: &Inner, stream: &mut TcpStream) -> std::io::Result<()> {
+    let st = inner.state.lock().expect("state lock");
+    let body = format!(
+        "{{\"status\": \"ok\", \"queued\": {}, \"running\": {}, \"requests\": {}}}",
+        st.queue.len(),
+        st.running,
+        st.requests.len()
+    );
+    drop(st);
+    send_json(stream, 200, &body)
+}
+
+fn handle_submit(inner: &Inner, req: &HttpRequest, stream: &mut TcpStream) -> std::io::Result<()> {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return send_error(stream, ServeErrorCode::BadRequest, "body is not UTF-8");
+    };
+    let v = match parse(body) {
+        Ok(v) => v,
+        Err(e) => return send_error(stream, ServeErrorCode::BadRequest, &e.to_string()),
+    };
+    let Some(id) = v.get("id").and_then(JsonValue::as_str).map(str::to_string) else {
+        return send_error(
+            stream,
+            ServeErrorCode::BadRequest,
+            "missing string field `id`",
+        );
+    };
+    if !valid_request_id(&id) {
+        return send_error(
+            stream,
+            ServeErrorCode::BadRequest,
+            "`id` must be 1..=128 chars of [A-Za-z0-9._-]",
+        );
+    }
+    let spec = match SweepSpec::from_json(&v) {
+        Ok(s) => s,
+        Err(why) => return send_error(stream, ServeErrorCode::BadRequest, &why),
+    };
+    let canon = spec.canonical_json();
+
+    let mut st = inner.state.lock().expect("state lock");
+    if st.shutting_down {
+        return send_error(
+            stream,
+            ServeErrorCode::ShuttingDown,
+            "daemon is shutting down",
+        );
+    }
+    if let Some(existing) = st.requests.get(&id) {
+        // Idempotent resubmission: same id + same spec returns the
+        // current status; a different spec under the same id is refused.
+        if existing.spec_canon == canon {
+            let body = status_json(&id, existing);
+            drop(st);
+            return send_json(stream, 200, &body);
+        }
+        return send_error(
+            stream,
+            ServeErrorCode::SpecConflict,
+            "a request with this id exists with a different spec",
+        );
+    }
+    if st.queue.len() >= inner.cfg.max_queue {
+        return send_error(
+            stream,
+            ServeErrorCode::QueueFull,
+            &format!(
+                "{} cell(s) queued (cap {})",
+                st.queue.len(),
+                inner.cfg.max_queue
+            ),
+        );
+    }
+
+    // Durability before acknowledgement: the manifest record is fsynced
+    // while the state lock is held, so a crash after the 202 always finds
+    // the request on restart.
+    manifest_append(inner, &manifest_accepted_line(&id, &canon));
+    admit_locked(inner, &mut st, id.clone(), spec, false);
+    let req_state = st.requests.get(&id).expect("just admitted");
+    let body = format!(
+        "{{\"id\": \"{id}\", \"phase\": \"{}\", \"cells\": {}}}",
+        req_state.phase,
+        req_state.cells.len()
+    );
+    drop(st);
+    send_json(stream, 202, &body)
+}
+
+/// The full status document for one request.
+fn status_json(id: &str, req: &RequestState) -> String {
+    let mut s = format!(
+        "{{\"id\": \"{id}\", \"phase\": \"{}\", \"cells\": [",
+        req.phase
+    );
+    for (i, c) in req.cells.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&format!(
+            "{{\"index\": {i}, \"cell\": \"{}\", \"phase\": \"{}\", \"attempts\": {}, \"cached\": {}",
+            c.name, c.phase, c.attempts, c.cached
+        ));
+        if let Some((kind, error)) = &c.error {
+            s.push_str(&format!(", \"kind\": \"{kind}\", \"error\": \""));
+            escape_into(error, &mut s);
+            s.push('"');
+        }
+        s.push('}');
+    }
+    s.push_str(&format!(
+        "], \"cancelled\": {}, \"events\": {}}}",
+        req.cancelled,
+        req.events.len()
+    ));
+    s
+}
+
+fn handle_status(inner: &Inner, id: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    let st = inner.state.lock().expect("state lock");
+    match st.requests.get(id) {
+        Some(req) => {
+            let body = status_json(id, req);
+            drop(st);
+            send_json(stream, 200, &body)
+        }
+        None => {
+            drop(st);
+            send_error(stream, ServeErrorCode::NotFound, "unknown request id")
+        }
+    }
+}
+
+fn handle_cell_stats(
+    inner: &Inner,
+    id: &str,
+    idx: &str,
+    stream: &mut TcpStream,
+) -> std::io::Result<()> {
+    let Ok(index) = idx.parse::<usize>() else {
+        return send_error(
+            stream,
+            ServeErrorCode::BadRequest,
+            "cell index must be a number",
+        );
+    };
+    let stats: Option<Arc<String>> = {
+        let st = inner.state.lock().expect("state lock");
+        match st.requests.get(id) {
+            None => None,
+            Some(req) => match req.cells.get(index) {
+                None => None,
+                Some(c) => c.stats.clone(),
+            },
+        }
+    };
+    match stats {
+        // Served verbatim: the body is byte-identical to the canonical
+        // stats JSON the journal stores, across restarts and cache hits.
+        Some(json) => send_json(stream, 200, &json),
+        None => send_error(
+            stream,
+            ServeErrorCode::NotFound,
+            "no completed stats for this cell",
+        ),
+    }
+}
+
+fn handle_cancel(inner: &Inner, id: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    let mut st = inner.state.lock().expect("state lock");
+    if !st.requests.contains_key(id) {
+        drop(st);
+        return send_error(stream, ServeErrorCode::NotFound, "unknown request id");
+    }
+    if let Some(req) = st.requests.get_mut(id) {
+        if !req.cancelled && !req.phase.terminal() {
+            req.cancelled = true;
+            push_event(id, req, "\"cancelled\": true, \"reason\": \"client\"");
+        }
+    }
+    propagate_cancellations(&mut st);
+    inner.progress.notify_all();
+    let body = format!("{{\"id\": \"{id}\", \"cancelled\": true}}");
+    drop(st);
+    send_json(stream, 200, &body)
+}
+
+/// Stream a request's event log as chunked JSONL, starting at `?from=N`,
+/// until the request reaches a terminal phase and the log is drained.
+fn handle_events(
+    inner: &Arc<Inner>,
+    id: &str,
+    req: &HttpRequest,
+    mut stream: TcpStream,
+) -> std::io::Result<()> {
+    let mut from: usize = req.query("from").and_then(|v| v.parse().ok()).unwrap_or(0);
+    {
+        let st = inner.state.lock().expect("state lock");
+        if !st.requests.contains_key(id) {
+            drop(st);
+            return send_error(&mut stream, ServeErrorCode::NotFound, "unknown request id");
+        }
+    }
+    let mut body = ChunkedBody::start(stream, 200, "application/jsonl")?;
+    loop {
+        let (lines, done) = {
+            let mut st = inner.state.lock().expect("state lock");
+            loop {
+                if st.shutting_down {
+                    return body.finish();
+                }
+                let Some(r) = st.requests.get(id) else {
+                    return body.finish();
+                };
+                if r.events.len() > from || r.phase.terminal() {
+                    break;
+                }
+                let (guard, _) = inner
+                    .progress
+                    .wait_timeout(st, Duration::from_millis(500))
+                    .expect("state lock");
+                st = guard;
+            }
+            let r = st.requests.get(id).expect("checked above");
+            (r.events[from..].to_vec(), r.phase.terminal())
+        };
+        for line in &lines {
+            body.chunk(format!("{line}\n").as_bytes())?;
+        }
+        from += lines.len();
+        if done {
+            return body.finish();
+        }
+    }
+}

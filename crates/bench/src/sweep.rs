@@ -108,16 +108,21 @@ pub enum CellError {
 impl CellError {
     /// Whether a retry with a relaxed budget can plausibly succeed.
     ///
-    /// Cycle-limit, watchdog-deadlock and wall-clock-timeout aborts are
-    /// budget trips — a slow-but-live run clears them with a bigger budget,
-    /// and a true deadlock fails them again deterministically. Panics,
-    /// configuration rejections and invariant violations are bugs; retrying
-    /// the same deterministic run cannot change the outcome.
+    /// Cycle-limit, watchdog-deadlock, wall-clock-timeout and cooperative-
+    /// cancellation aborts are budget trips — a slow-but-live run clears
+    /// them with a bigger budget (a still-cancelled run fails the retry
+    /// instantly and cheaply), and a true deadlock fails them again
+    /// deterministically. Panics, configuration rejections and invariant
+    /// violations are bugs; retrying the same deterministic run cannot
+    /// change the outcome.
     pub fn retryable(&self) -> bool {
         matches!(
             self,
             CellError::Sim(
-                SimError::CycleLimit { .. } | SimError::Deadlock { .. } | SimError::Timeout { .. }
+                SimError::CycleLimit { .. }
+                    | SimError::Deadlock { .. }
+                    | SimError::Timeout { .. }
+                    | SimError::Cancelled { .. }
             )
         )
     }
@@ -129,8 +134,27 @@ impl CellError {
             CellError::Sim(SimError::CycleLimit { .. }) => "cycle-limit",
             CellError::Sim(SimError::Deadlock { .. }) => "deadlock",
             CellError::Sim(SimError::Timeout { .. }) => "timeout",
+            CellError::Sim(SimError::Cancelled { .. }) => "cancelled",
             CellError::Sim(SimError::InvariantViolation { .. }) => "invariant-violation",
             CellError::Sim(SimError::Config(_)) => "config",
+        }
+    }
+
+    /// Re-classify a journaled [`CellError::kind`] string without the
+    /// original error value: `Some(true)` for budget-trip kinds that are
+    /// worth retrying, `Some(false)` for permanent failures, `None` for a
+    /// string outside the taxonomy (a corrupt or future-version record).
+    ///
+    /// This is the classification a restarted daemon applies to quarantined
+    /// journal records when it re-adopts interrupted requests; it must
+    /// agree with [`CellError::retryable`] for every variant so a restart
+    /// can never flip a retry decision (pinned by the round-trip proptest
+    /// in `tests/cell_error_roundtrip.rs`).
+    pub fn kind_retryable(kind: &str) -> Option<bool> {
+        match kind {
+            "cycle-limit" | "deadlock" | "timeout" | "cancelled" => Some(true),
+            "panic" | "invariant-violation" | "config" => Some(false),
+            _ => None,
         }
     }
 }
@@ -179,6 +203,18 @@ pub struct CellOutcome<R> {
 
 /// Retry budget per cell, counting the first attempt.
 pub const MAX_ATTEMPTS: u32 = 3;
+
+/// Deterministic budget escalation for retry attempt `attempt` (0-based):
+/// `base × 2^attempt`, saturating at `u64::MAX`.
+///
+/// Shared by every retrying harness so the arithmetic is overflow-safe in
+/// exactly one place. In particular `u64::MAX` — the documented "watchdog
+/// disabled" sentinel — stays `u64::MAX` on every attempt instead of
+/// overflowing inside the retry path, and an absurd attempt count cannot
+/// trigger a shift-overflow panic.
+pub fn escalate_budget(base: u64, attempt: u32) -> u64 {
+    base.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+}
 
 /// Run one cell in isolation with bounded retries.
 ///
@@ -299,6 +335,49 @@ mod tests {
                 message: "one-shot failure".to_string()
             }
         );
+    }
+
+    #[test]
+    fn escalation_saturates_at_disabled_watchdog_sentinel() {
+        // `u64::MAX` means "watchdog disabled"; escalation must keep it
+        // there on every attempt instead of overflowing (attempt 2 was the
+        // first multiply that could trip a naive `base * (1 << attempt)`).
+        for attempt in 0..MAX_ATTEMPTS {
+            assert_eq!(escalate_budget(u64::MAX, attempt), u64::MAX);
+        }
+        // Large-but-finite windows saturate instead of wrapping.
+        assert_eq!(escalate_budget(u64::MAX / 2 + 1, 1), u64::MAX);
+        // Absurd attempt counts must not panic on shift overflow.
+        assert_eq!(escalate_budget(1, 200), u64::MAX);
+        assert_eq!(escalate_budget(0, 200), 0);
+        // Normal doubling is untouched.
+        assert_eq!(escalate_budget(1000, 0), 1000);
+        assert_eq!(escalate_budget(1000, 2), 4000);
+    }
+
+    #[test]
+    fn kind_reclassification_agrees_with_retryable() {
+        let samples: Vec<CellError> = vec![
+            CellError::Panic {
+                message: "x".into(),
+            },
+            CellError::Sim(SimError::CycleLimit { limit: 1 }),
+            CellError::Sim(SimError::Timeout {
+                elapsed_ms: 2,
+                budget_ms: 1,
+            }),
+            CellError::Sim(SimError::Cancelled { cycle: 9 }),
+            CellError::Sim(SimError::Config(mcgpu_types::ConfigError::new("bad"))),
+        ];
+        for e in samples {
+            assert_eq!(
+                CellError::kind_retryable(e.kind()),
+                Some(e.retryable()),
+                "{}",
+                e.kind()
+            );
+        }
+        assert_eq!(CellError::kind_retryable("not-a-kind"), None);
     }
 
     #[test]

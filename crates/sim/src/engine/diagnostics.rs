@@ -41,6 +41,17 @@ pub enum SimError {
         /// The configured budget, milliseconds.
         budget_ms: u64,
     },
+    /// The caller raised the cooperative cancellation flag
+    /// ([`super::SimBuilder::cancel_flag`]) and the run stopped at the next
+    /// check. The simulation itself was healthy — the caller's budget
+    /// expired or the request was aborted (the sweep service's per-request
+    /// budgets). Like the deadline, the flag is abort-only and polled on a
+    /// coarse cycle grid, so runs that complete are byte-identical with and
+    /// without a flag installed.
+    Cancelled {
+        /// Cycle at which the flag was observed.
+        cycle: u64,
+    },
     /// The request-conservation audit failed: the engine's in-flight
     /// counter disagrees with the number of request-carrying entries found
     /// in the machine's queues — a request was lost or double-counted.
@@ -78,6 +89,12 @@ impl std::fmt::Display for SimError {
                 write!(
                     f,
                     "simulation exceeded its wall-clock deadline ({elapsed_ms} ms spent, budget {budget_ms} ms)"
+                )
+            }
+            SimError::Cancelled { cycle } => {
+                write!(
+                    f,
+                    "simulation cancelled by its caller at cycle {cycle} (budget expired or request aborted)"
                 )
             }
             SimError::InvariantViolation { cycle, report } => {
@@ -276,13 +293,19 @@ impl Simulator {
     }
 
     /// Runtime guards, called once per tick from every simulation loop
-    /// (including drains): the forward-progress watchdog
-    /// ([`SimError::Deadlock`]), the wall-clock deadline
-    /// ([`SimError::Timeout`], checked on a coarse cycle grid so
-    /// `Instant::now` stays off the hot path), and the request-conservation
-    /// audit ([`SimError::InvariantViolation`]).
+    /// (including drains): the cooperative cancellation flag
+    /// ([`SimError::Cancelled`]) and the wall-clock deadline
+    /// ([`SimError::Timeout`]) — both checked on a coarse cycle grid so
+    /// atomics and `Instant::now` stay off the hot path — the
+    /// forward-progress watchdog ([`SimError::Deadlock`]), and the
+    /// request-conservation audit ([`SimError::InvariantViolation`]).
     pub(super) fn check_progress(&mut self) -> Result<(), SimError> {
         if self.cycle % DEADLINE_CHECK_PERIOD == 1 {
+            if let Some(flag) = &self.cancel {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return Err(SimError::Cancelled { cycle: self.cycle });
+                }
+            }
             if let (Some(budget), Some(start)) = (self.deadline, self.deadline_start) {
                 let elapsed = start.elapsed();
                 if elapsed > budget {

@@ -58,6 +58,7 @@ pub struct SimBuilder {
     fault_plan: FaultPlan,
     watchdog_window: u64,
     deadline: Option<std::time::Duration>,
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     audit_period: u64,
     obs: ObsConfig,
 }
@@ -85,6 +86,7 @@ impl SimBuilder {
             fault_plan: FaultPlan::none(),
             watchdog_window,
             deadline: None,
+            cancel: None,
             audit_period: if cfg!(debug_assertions) {
                 AUDIT_PERIOD_DEFAULT
             } else {
@@ -138,6 +140,18 @@ impl SimBuilder {
     /// with and without a deadline.
     pub fn deadline(mut self, budget: std::time::Duration) -> Self {
         self.deadline = Some(budget);
+        self
+    }
+
+    /// Install a cooperative cancellation flag: the run aborts with
+    /// [`SimError::Cancelled`] at the next check after the flag is set by
+    /// another thread. This is how a long-running caller (the sweep service
+    /// daemon) stops budget-expired or aborted cells promptly instead of
+    /// letting them run to completion. The flag is abort-only and polled on
+    /// the same coarse cycle grid as the wall-clock deadline, so runs that
+    /// complete are byte-identical with and without a flag installed.
+    pub fn cancel_flag(mut self, flag: std::sync::Arc<std::sync::atomic::AtomicBool>) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -219,6 +233,9 @@ pub struct Simulator {
     dram_factor: Vec<f64>,
     /// Wall-clock budget for one run (`None` = unlimited).
     deadline: Option<std::time::Duration>,
+    /// Cooperative cancellation flag shared with the caller (`None` =
+    /// never cancelled). Polled on the deadline's coarse cycle grid.
+    cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     /// When the current run started (set by `run_observed`; only read when
     /// a deadline is configured).
     deadline_start: Option<std::time::Instant>,
@@ -259,6 +276,7 @@ impl Simulator {
             fault_plan,
             watchdog_window,
             deadline,
+            cancel,
             audit_period,
             obs,
         } = b;
@@ -289,6 +307,7 @@ impl Simulator {
             dram_factor: vec![1.0; cfg.chips],
             deadline,
             deadline_start: None,
+            cancel,
             audit_period,
             obs,
             writes_done: 0,
@@ -784,6 +803,42 @@ mod tests {
             .run(&wl)
             .unwrap_err();
         assert!(matches!(err, SimError::Timeout { .. }), "got {err}");
+    }
+
+    #[test]
+    fn pre_set_cancel_flag_aborts_with_cancelled() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let flag = Arc::new(AtomicBool::new(true));
+        let err = SimBuilder::new(c)
+            .cancel_flag(Arc::clone(&flag))
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Cancelled { .. }), "got {err}");
+    }
+
+    #[test]
+    fn unset_cancel_flag_leaves_results_byte_identical() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let c = cfg();
+        let wl = generate(&c, &profiles::by_name("SN").unwrap(), &TraceParams::quick());
+        let plain = SimBuilder::new(c.clone())
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap();
+        let flagged = SimBuilder::new(c)
+            .cancel_flag(Arc::new(AtomicBool::new(false)))
+            .build()
+            .expect("valid machine configuration")
+            .run(&wl)
+            .unwrap();
+        assert_eq!(plain.to_canonical_json(), flagged.to_canonical_json());
     }
 
     #[test]

@@ -115,9 +115,14 @@ fn run_under_plan(org: LlcOrgKind, events: Vec<FaultEvent>) {
         }
         Err(SimError::CycleLimit { .. }) => {}
         Err(SimError::Config(e)) => panic!("validated plan rejected at run time: {e}"),
-        // No deadline is set and the conservation audit must hold under
-        // fault injection — either is a real failure here.
-        Err(e @ (SimError::Timeout { .. } | SimError::InvariantViolation { .. })) => {
+        // No deadline or cancel flag is set and the conservation audit
+        // must hold under fault injection — any of these is a real
+        // failure here.
+        Err(
+            e @ (SimError::Timeout { .. }
+            | SimError::Cancelled { .. }
+            | SimError::InvariantViolation { .. }),
+        ) => {
             panic!("unexpected abort: {e}")
         }
     }

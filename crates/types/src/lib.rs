@@ -30,6 +30,7 @@ pub mod json;
 pub mod obs;
 pub mod packet;
 pub mod pipe;
+pub mod serve;
 
 pub use addr::{Address, LineAddr, PageAddr, SectorId};
 pub use budget::BandwidthBudget;
@@ -42,3 +43,4 @@ pub use ids::{ChannelId, ChipId, ClusterId, SliceId};
 pub use obs::{ObsConfig, ObsLevel};
 pub use packet::{AccessKind, MemAccess, Request, RequestId, Response, ResponseOrigin};
 pub use pipe::Pipe;
+pub use serve::{CellPhase, RequestPhase, ServeErrorCode};

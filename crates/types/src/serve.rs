@@ -1,0 +1,235 @@
+//! Wire vocabulary for the sweep service daemon (`sac_serve`).
+//!
+//! The daemon speaks HTTP/1.1 with JSON bodies; this module pins down the
+//! *meaning* of what crosses the wire — typed error codes with their HTTP
+//! status mapping, and the lifecycle phases of a request and of one sweep
+//! cell — so the server (`sac-bench`), the load generator, and any other
+//! client agree on one closed set of machine-readable strings. Every enum
+//! here round-trips through its `as_str`/`parse` pair, and the sets are
+//! closed: an unknown string is a protocol error, not a new state.
+//!
+//! The daemon itself (listener, queueing, scheduling, recovery) lives in
+//! `sac-bench`; this crate only defines vocabulary, keeping the dependency
+//! direction identical to the rest of the workspace.
+
+/// Machine-readable error code for a failed service call.
+///
+/// Sent as the `"error"` field of an error response body; the HTTP status
+/// line carries [`ServeErrorCode::http_status`]. The set is closed — every
+/// failure the daemon can report maps to exactly one code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeErrorCode {
+    /// The request body or path could not be parsed or failed validation
+    /// (unknown benchmark, unknown organization, rejected configuration).
+    BadRequest,
+    /// The referenced sweep request does not exist.
+    NotFound,
+    /// The HTTP method is not supported on this path.
+    MethodNotAllowed,
+    /// The request body exceeds the daemon's size cap.
+    PayloadTooLarge,
+    /// A sweep request with this id already exists with a *different*
+    /// spec. Resubmitting the same id with the same spec is idempotent and
+    /// succeeds; changing the spec under an id is rejected.
+    SpecConflict,
+    /// The admission queue or in-flight cell budget is full; the response
+    /// carries a `Retry-After` header. Back off and resubmit.
+    QueueFull,
+    /// The daemon is shutting down and no longer admits work.
+    ShuttingDown,
+    /// An internal invariant failed while serving the call.
+    Internal,
+}
+
+impl ServeErrorCode {
+    /// Every code, for exhaustive round-trip tests.
+    pub const ALL: [ServeErrorCode; 8] = [
+        ServeErrorCode::BadRequest,
+        ServeErrorCode::NotFound,
+        ServeErrorCode::MethodNotAllowed,
+        ServeErrorCode::PayloadTooLarge,
+        ServeErrorCode::SpecConflict,
+        ServeErrorCode::QueueFull,
+        ServeErrorCode::ShuttingDown,
+        ServeErrorCode::Internal,
+    ];
+
+    /// The wire string (the `"error"` field of an error body).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ServeErrorCode::BadRequest => "bad-request",
+            ServeErrorCode::NotFound => "not-found",
+            ServeErrorCode::MethodNotAllowed => "method-not-allowed",
+            ServeErrorCode::PayloadTooLarge => "payload-too-large",
+            ServeErrorCode::SpecConflict => "spec-conflict",
+            ServeErrorCode::QueueFull => "queue-full",
+            ServeErrorCode::ShuttingDown => "shutting-down",
+            ServeErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parse the wire string back to a code.
+    pub fn parse(s: &str) -> Option<ServeErrorCode> {
+        ServeErrorCode::ALL.into_iter().find(|c| c.as_str() == s)
+    }
+
+    /// The HTTP status this code is reported under.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ServeErrorCode::BadRequest => 400,
+            ServeErrorCode::NotFound => 404,
+            ServeErrorCode::MethodNotAllowed => 405,
+            ServeErrorCode::PayloadTooLarge => 413,
+            ServeErrorCode::SpecConflict => 409,
+            ServeErrorCode::QueueFull => 429,
+            ServeErrorCode::ShuttingDown => 503,
+            ServeErrorCode::Internal => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Lifecycle phase of one sweep cell inside a request.
+///
+/// Terminal phases are [`CellPhase::Completed`] and
+/// [`CellPhase::Quarantined`]; a cell never leaves a terminal phase, so a
+/// client may stop polling once every cell reports one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellPhase {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// Executing on the sweep pool.
+    Running,
+    /// Finished with canonical stats (freshly simulated or served from the
+    /// shared result cache).
+    Completed,
+    /// Exhausted its retries or failed non-retryably; carries a typed
+    /// error, never silently dropped.
+    Quarantined,
+}
+
+impl CellPhase {
+    /// Every phase, for exhaustive round-trip tests.
+    pub const ALL: [CellPhase; 4] = [
+        CellPhase::Queued,
+        CellPhase::Running,
+        CellPhase::Completed,
+        CellPhase::Quarantined,
+    ];
+
+    /// The wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CellPhase::Queued => "queued",
+            CellPhase::Running => "running",
+            CellPhase::Completed => "completed",
+            CellPhase::Quarantined => "quarantined",
+        }
+    }
+
+    /// Parse the wire string back to a phase.
+    pub fn parse(s: &str) -> Option<CellPhase> {
+        CellPhase::ALL.into_iter().find(|p| p.as_str() == s)
+    }
+
+    /// Whether the cell can still change state.
+    pub fn terminal(self) -> bool {
+        matches!(self, CellPhase::Completed | CellPhase::Quarantined)
+    }
+}
+
+impl std::fmt::Display for CellPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Lifecycle phase of a whole sweep request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestPhase {
+    /// Admitted; at least one cell is not yet terminal.
+    Active,
+    /// Every cell completed successfully.
+    Completed,
+    /// Every cell is terminal and at least one is quarantined. The request
+    /// *terminated* — a typed per-cell error is a terminal answer, not a
+    /// hang.
+    Failed,
+}
+
+impl RequestPhase {
+    /// Every phase, for exhaustive round-trip tests.
+    pub const ALL: [RequestPhase; 3] = [
+        RequestPhase::Active,
+        RequestPhase::Completed,
+        RequestPhase::Failed,
+    ];
+
+    /// The wire string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RequestPhase::Active => "active",
+            RequestPhase::Completed => "completed",
+            RequestPhase::Failed => "failed",
+        }
+    }
+
+    /// Parse the wire string back to a phase.
+    pub fn parse(s: &str) -> Option<RequestPhase> {
+        RequestPhase::ALL.into_iter().find(|p| p.as_str() == s)
+    }
+
+    /// Whether the request has terminated (successfully or not).
+    pub fn terminal(self) -> bool {
+        !matches!(self, RequestPhase::Active)
+    }
+}
+
+impl std::fmt::Display for RequestPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_round_trip_and_map_to_sane_statuses() {
+        for code in ServeErrorCode::ALL {
+            assert_eq!(ServeErrorCode::parse(code.as_str()), Some(code));
+            assert!((400..=599).contains(&code.http_status()), "{code}");
+        }
+        assert_eq!(ServeErrorCode::parse("bogus"), None);
+        assert_eq!(ServeErrorCode::QueueFull.http_status(), 429);
+    }
+
+    #[test]
+    fn phases_round_trip() {
+        for p in CellPhase::ALL {
+            assert_eq!(CellPhase::parse(p.as_str()), Some(p));
+        }
+        for p in RequestPhase::ALL {
+            assert_eq!(RequestPhase::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(CellPhase::parse(""), None);
+        assert_eq!(RequestPhase::parse("queued"), None);
+    }
+
+    #[test]
+    fn terminality_matches_lifecycle() {
+        assert!(!CellPhase::Queued.terminal());
+        assert!(!CellPhase::Running.terminal());
+        assert!(CellPhase::Completed.terminal());
+        assert!(CellPhase::Quarantined.terminal());
+        assert!(!RequestPhase::Active.terminal());
+        assert!(RequestPhase::Completed.terminal());
+        assert!(RequestPhase::Failed.terminal());
+    }
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Chaos drill for the sac_serve sweep daemon. Three phases:
+#
+#   A  baseline: a clean daemon serves a fixed loadgen campaign; every
+#      request terminates and its cell stats land on disk.
+#   B  crash/restart: the same campaign against a slowed daemon that is
+#      SIGKILLed mid-flight and restarted on a fresh OS-assigned port.
+#      The campaign must still finish (clients re-find the server via the
+#      serve.addr file), the results must be byte-identical to phase A,
+#      and the journal must not contain a duplicate completion for any
+#      (cell, config_hash) pair — i.e. no work was lost *or* redone.
+#   C  backpressure: a daemon with a one-slot queue under an overload
+#      flood must refuse with 429 at least once.
+#
+# Usage: scripts/ci_serve_chaos.sh  (from the repository root)
+set -u -o pipefail
+
+ROOT=results/ci_serve_chaos
+rm -rf "$ROOT"
+mkdir -p "$ROOT"
+
+cargo build --release -p sac-bench --bin sac_serve --bin loadgen || exit 1
+
+SERVE=target/release/sac_serve
+LOADGEN=target/release/loadgen
+# Small deterministic campaign: heavy spec overlap exercises dedupe.
+CAMPAIGN=(--requests 12 --concurrency 4 --benchmarks SN,CFD --orgs sac,mem \
+          --total-accesses 4000 --deadline-s 240)
+SERVER_PID=
+
+cleanup() {
+    [[ -n "$SERVER_PID" ]] && kill -9 "$SERVER_PID" 2>/dev/null
+    wait 2>/dev/null
+}
+trap cleanup EXIT
+
+start_server() { # state_dir extra-args...
+    local state=$1
+    shift
+    "$SERVE" --state "$state" --addr 127.0.0.1:0 "$@" &
+    SERVER_PID=$!
+    # The daemon writes its bound address to STATE/serve.addr once live.
+    for _ in $(seq 1 100); do
+        [[ -s "$state/serve.addr" ]] && return 0
+        kill -0 "$SERVER_PID" 2>/dev/null || { echo "FAIL: daemon died on startup" >&2; return 1; }
+        sleep 0.1
+    done
+    echo "FAIL: daemon never published its address" >&2
+    return 1
+}
+
+stop_server() {
+    kill -9 "$SERVER_PID" 2>/dev/null
+    wait "$SERVER_PID" 2>/dev/null
+    SERVER_PID=
+}
+
+# ---- Phase A: baseline ----------------------------------------------------
+echo "== phase A: baseline campaign =="
+start_server "$ROOT/stateA" || exit 1
+"$LOADGEN" --addr-file "$ROOT/stateA/serve.addr" --out "$ROOT/outA" \
+    "${CAMPAIGN[@]}" || { echo "FAIL: baseline campaign" >&2; exit 1; }
+stop_server
+
+# ---- Phase B: SIGKILL mid-campaign, restart on a new port -----------------
+echo "== phase B: kill/restart chaos =="
+rm -f "$ROOT/stateB/serve.addr"
+# Two workers with a 2s stall per fresh cell: the campaign's 4 unique
+# cells need >= 4s of wall clock, so a kill at ~2.5s reliably lands with
+# some cells journaled and some still outstanding.
+start_server "$ROOT/stateB" --stall-ms 2000 --jobs 2 || exit 1
+"$LOADGEN" --addr-file "$ROOT/stateB/serve.addr" --out "$ROOT/outB" \
+    "${CAMPAIGN[@]}" &
+LOAD_PID=$!
+sleep 2.5
+if ! kill -0 "$LOAD_PID" 2>/dev/null; then
+    echo "WARN: campaign finished before the kill; restart path still exercised" >&2
+fi
+echo "killing daemon under load (pid $SERVER_PID)"
+stop_server
+# Remove the stale address so clients cannot race onto the dead port.
+rm -f "$ROOT/stateB/serve.addr"
+sleep 1
+# Restart WITHOUT the stall: the recovered work should finish briskly.
+start_server "$ROOT/stateB" || exit 1
+wait "$LOAD_PID" || { echo "FAIL: chaos campaign did not recover" >&2; exit 1; }
+stop_server
+
+if ! diff -r "$ROOT/outA" "$ROOT/outB"; then
+    echo "FAIL: results after kill/restart differ from the baseline" >&2
+    exit 1
+fi
+echo "PASS: chaos campaign byte-identical to baseline"
+
+JOURNAL="$ROOT/stateB/journal.jsonl"
+if [[ ! -f "$JOURNAL" ]]; then
+    echo "FAIL: no journal in the chaos state directory" >&2
+    exit 1
+fi
+DUPES=$(grep '"outcome": "completed"' "$JOURNAL" \
+    | sed 's/.*"cell": "\([^"]*\)", "config_hash": "\([^"]*\)".*/\1 \2/' \
+    | sort | uniq -d)
+if [[ -n "$DUPES" ]]; then
+    echo "FAIL: duplicate completions in the journal (work was redone):" >&2
+    echo "$DUPES" >&2
+    exit 1
+fi
+echo "PASS: $(wc -l < "$JOURNAL") journal record(s), no duplicate completions"
+
+# ---- Phase C: backpressure under overload ---------------------------------
+echo "== phase C: backpressure =="
+start_server "$ROOT/stateC" --max-queue 1 --stall-ms 500 || exit 1
+SUMMARY=$("$LOADGEN" --addr-file "$ROOT/stateC/serve.addr" --mode overload \
+    --requests 16 --concurrency 8 --deadline-s 60)
+echo "$SUMMARY"
+stop_server
+if ! grep -Eq 'backpressure responses: [1-9]' <<<"$SUMMARY"; then
+    echo "FAIL: overload flood was never refused with 429" >&2
+    exit 1
+fi
+echo "PASS: overload flood saw 429 backpressure"
+
+echo "PASS: sweep service chaos drill complete"

@@ -128,6 +128,7 @@ fn resume_reruns_only_the_failed_cell() {
                 .append(JournalRecord {
                     cell: cell.to_string(),
                     config_hash: hash,
+                    config: Some(cell.to_string()),
                     attempts: out.attempts,
                     outcome,
                 })

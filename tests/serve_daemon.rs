@@ -1,0 +1,371 @@
+//! In-process integration tests for the `sac_serve` sweep daemon:
+//! submit → schedule → stream → fetch lifecycle, idempotent resubmission
+//! and spec conflicts, queue backpressure, cross-request dedupe, budget
+//! cancellation, and manifest + journal restart recovery. The scripted
+//! chaos harness (`scripts/ci_serve_chaos.sh`) covers the `SIGKILL`
+//! variants of the same guarantees against the real binaries.
+
+use mcgpu_types::json::{escape_into, parse, JsonValue};
+use mcgpu_types::LlcOrgKind;
+use sac_bench::proto::{read_response, HttpResponse};
+use sac_bench::serve::{Server, ServerConfig, SweepSpec};
+use sac_bench::{Journal, JournalRecord, RecordOutcome};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sac-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn http(addr: SocketAddr, method: &str, path: &str, body: &str) -> HttpResponse {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nhost: t\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    read_response(&mut std::io::BufReader::new(stream)).expect("parse response")
+}
+
+/// Poll a request's status until it reaches a terminal phase.
+fn wait_terminal(addr: SocketAddr, id: &str) -> JsonValue {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = http(addr, "GET", &format!("/v1/sweeps/{id}"), "");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let v = parse(&resp.text()).expect("status is JSON");
+        let phase = v.get("phase").and_then(JsonValue::as_str).unwrap_or("");
+        if phase == "completed" || phase == "failed" {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "request {id} never terminated");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+fn cell_stats(addr: SocketAddr, id: &str, index: usize) -> String {
+    let resp = http(
+        addr,
+        "GET",
+        &format!("/v1/sweeps/{id}/cells/{index}/stats"),
+        "",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    resp.text()
+}
+
+fn small_spec() -> SweepSpec {
+    SweepSpec {
+        benchmarks: vec!["SN".to_string()],
+        orgs: vec![LlcOrgKind::Sac, LlcOrgKind::MemorySide],
+        total_accesses: 2_000,
+        max_cycles: None,
+        watchdog_cycles: None,
+        deadline_ms: None,
+    }
+}
+
+fn submit_body(id: &str, spec: &SweepSpec) -> String {
+    // Splice the client id into the canonical spec body.
+    let canon = spec.canonical_json();
+    format!("{{\"id\": \"{id}\", {}", &canon[1..])
+}
+
+#[test]
+fn lifecycle_submit_poll_fetch_is_byte_identical_to_a_local_run() {
+    let server = Server::start(ServerConfig {
+        state_dir: tmp_dir("lifecycle"),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let spec = small_spec();
+
+    let resp = http(addr, "POST", "/v1/sweeps", &submit_body("life-1", &spec));
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let status = wait_terminal(addr, "life-1");
+    assert_eq!(
+        status.get("phase").and_then(JsonValue::as_str),
+        Some("completed")
+    );
+
+    // The daemon's results are byte-identical to running the same cells
+    // locally through the ordinary harness path.
+    let cfg = spec.machine();
+    let params = spec.params();
+    let profile = mcgpu_trace::profiles::by_name("SN").expect("known benchmark");
+    let wl = mcgpu_trace::generate(&cfg, &profile, &params);
+    for (i, &org) in spec.orgs.iter().enumerate() {
+        let expected = sac_bench::try_run_one(&cfg, &wl, org)
+            .expect("local run completes")
+            .to_canonical_json();
+        assert_eq!(cell_stats(addr, "life-1", i), expected, "cell {i}");
+    }
+
+    // Idempotent resubmission: same id + same spec is a 200, not a rerun.
+    let resp = http(addr, "POST", "/v1/sweeps", &submit_body("life-1", &spec));
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    // Same id + different spec is a typed conflict.
+    let other = SweepSpec {
+        total_accesses: 2_001,
+        ..small_spec()
+    };
+    let resp = http(addr, "POST", "/v1/sweeps", &submit_body("life-1", &other));
+    assert_eq!(resp.status, 409);
+    assert!(resp.text().contains("spec-conflict"), "{}", resp.text());
+    // Unknown ids and invalid specs are typed errors, not hangs.
+    assert_eq!(http(addr, "GET", "/v1/sweeps/nope", "").status, 404);
+    let resp = http(
+        addr,
+        "POST",
+        "/v1/sweeps",
+        "{\"id\": \"bad\", \"benchmarks\": [\"SN\"], \"orgs\": [\"warp-drive\"]}",
+    );
+    assert_eq!(resp.status, 400);
+    assert!(resp.text().contains("bad-request"), "{}", resp.text());
+
+    server.stop();
+}
+
+#[test]
+fn duplicate_requests_simulate_each_cell_once() {
+    let dir = tmp_dir("dedupe");
+    let server = Server::start(ServerConfig {
+        state_dir: dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    let spec = small_spec();
+
+    // Two tenants ask for the same grid (and a third after completion).
+    assert_eq!(
+        http(addr, "POST", "/v1/sweeps", &submit_body("dup-a", &spec)).status,
+        202
+    );
+    assert_eq!(
+        http(addr, "POST", "/v1/sweeps", &submit_body("dup-b", &spec)).status,
+        202
+    );
+    wait_terminal(addr, "dup-a");
+    wait_terminal(addr, "dup-b");
+    assert_eq!(
+        http(addr, "POST", "/v1/sweeps", &submit_body("dup-c", &spec)).status,
+        202
+    );
+    let status_c = wait_terminal(addr, "dup-c");
+
+    // All three serve byte-identical cells...
+    for i in 0..spec.orgs.len() {
+        let a = cell_stats(addr, "dup-a", i);
+        assert_eq!(a, cell_stats(addr, "dup-b", i));
+        assert_eq!(a, cell_stats(addr, "dup-c", i));
+    }
+    // ...the late request was a pure cache hit...
+    let cells = status_c.get("cells").and_then(JsonValue::as_array).unwrap();
+    for c in cells {
+        assert_eq!(c.get("cached").and_then(JsonValue::as_bool), Some(true));
+    }
+    // ...and the journal holds exactly one record per unique cell.
+    let journal = Journal::open(dir.join("journal.jsonl")).expect("journal opens");
+    assert_eq!(journal.records().len(), spec.cells().len());
+
+    server.stop();
+}
+
+#[test]
+fn full_queue_refuses_with_429_and_retry_after() {
+    let server = Server::start(ServerConfig {
+        state_dir: tmp_dir("backpressure"),
+        max_queue: 1,
+        stall_ms: 1_000,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+    // Distinct volumes make distinct cells, so dedupe cannot absorb them.
+    let spec_n = |n: u64| SweepSpec {
+        benchmarks: vec!["SN".to_string()],
+        orgs: vec![LlcOrgKind::Sac],
+        total_accesses: 1_000 + n,
+        max_cycles: None,
+        watchdog_cycles: None,
+        deadline_ms: None,
+    };
+
+    // First request: wait until the scheduler has pulled it into a
+    // (stalled) batch, leaving the queue empty but the pool busy.
+    assert_eq!(
+        http(addr, "POST", "/v1/sweeps", &submit_body("bp-0", &spec_n(0))).status,
+        202
+    );
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let v = parse(&http(addr, "GET", "/v1/healthz", "").text()).unwrap();
+        if v.get("running").and_then(JsonValue::as_u64) == Some(1)
+            && v.get("queued").and_then(JsonValue::as_u64) == Some(0)
+        {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first request never started");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Second request queues behind the running batch (cap reached)...
+    assert_eq!(
+        http(addr, "POST", "/v1/sweeps", &submit_body("bp-1", &spec_n(1))).status,
+        202
+    );
+    // ...so the third is refused with explicit backpressure.
+    let resp = http(addr, "POST", "/v1/sweeps", &submit_body("bp-2", &spec_n(2)));
+    assert_eq!(resp.status, 429, "{}", resp.text());
+    assert!(resp.text().contains("queue-full"), "{}", resp.text());
+    assert_eq!(resp.header("retry-after"), Some("1"));
+
+    // Backpressure is transient: the admitted requests still terminate.
+    wait_terminal(addr, "bp-0");
+    wait_terminal(addr, "bp-1");
+    server.stop();
+}
+
+#[test]
+fn cancel_and_deadline_quarantine_through_the_taxonomy() {
+    let server = Server::start(ServerConfig {
+        state_dir: tmp_dir("cancel"),
+        stall_ms: 700,
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // Explicit cancel while the cell is stalled pre-execution.
+    let spec = SweepSpec {
+        benchmarks: vec!["SN".to_string()],
+        orgs: vec![LlcOrgKind::Sac],
+        total_accesses: 2_100,
+        max_cycles: None,
+        watchdog_cycles: None,
+        deadline_ms: None,
+    };
+    assert_eq!(
+        http(addr, "POST", "/v1/sweeps", &submit_body("can-1", &spec)).status,
+        202
+    );
+    let resp = http(addr, "POST", "/v1/sweeps/can-1/cancel", "");
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let status = wait_terminal(addr, "can-1");
+    assert_eq!(
+        status.get("phase").and_then(JsonValue::as_str),
+        Some("failed")
+    );
+    let cell = &status.get("cells").and_then(JsonValue::as_array).unwrap()[0];
+    assert_eq!(
+        cell.get("phase").and_then(JsonValue::as_str),
+        Some("quarantined")
+    );
+    assert_eq!(
+        cell.get("kind").and_then(JsonValue::as_str),
+        Some("cancelled")
+    );
+
+    // A wall-clock budget expires the same way, via the reaper.
+    let spec = SweepSpec {
+        deadline_ms: Some(1),
+        total_accesses: 2_200,
+        ..spec
+    };
+    assert_eq!(
+        http(addr, "POST", "/v1/sweeps", &submit_body("can-2", &spec)).status,
+        202
+    );
+    let status = wait_terminal(addr, "can-2");
+    assert_eq!(
+        status.get("phase").and_then(JsonValue::as_str),
+        Some("failed")
+    );
+    let cell = &status.get("cells").and_then(JsonValue::as_array).unwrap()[0];
+    assert_eq!(
+        cell.get("kind").and_then(JsonValue::as_str),
+        Some("cancelled")
+    );
+
+    // The event stream (chunked JSONL) records the whole lifecycle.
+    let resp = http(addr, "GET", "/v1/sweeps/can-2/events", "");
+    assert_eq!(resp.status, 200);
+    let events = resp.text();
+    assert!(events.contains("\"cancelled\": true"), "{events}");
+    assert!(events.contains("\"quarantined\""), "{events}");
+    assert!(events.contains("\"phase\": \"failed\""), "{events}");
+
+    server.stop();
+}
+
+#[test]
+fn restart_replays_completed_cells_and_reexecutes_the_rest() {
+    let dir = tmp_dir("recovery");
+    std::fs::create_dir_all(&dir).expect("state dir");
+    let spec = small_spec();
+    let cells = spec.cells();
+
+    // Simulate a daemon that was killed mid-request: the manifest holds
+    // the acknowledged request, the journal holds cell 0 only. The
+    // sentinel payload cannot come from a fresh simulation, so byte
+    // equality below proves replay rather than re-execution.
+    let sentinel = "{\"sentinel\": \"journal-replay\"}\n";
+    {
+        let mut manifest = std::fs::File::create(dir.join("manifest.jsonl")).unwrap();
+        let mut line = String::from("{\"op\": \"accepted\", \"id\": \"rec-1\", \"spec\": \"");
+        escape_into(&spec.canonical_json(), &mut line);
+        line.push_str("\"}");
+        writeln!(manifest, "{line}").unwrap();
+
+        let mut journal = Journal::create(dir.join("journal.jsonl")).unwrap();
+        journal
+            .append(JournalRecord {
+                cell: cells[0].0.clone(),
+                config_hash: cells[0].1,
+                config: Some(cells[0].2.clone()),
+                attempts: 1,
+                outcome: RecordOutcome::Completed {
+                    stats_json: sentinel.to_string(),
+                },
+            })
+            .unwrap();
+    }
+
+    let server = Server::start(ServerConfig {
+        state_dir: dir.clone(),
+        ..ServerConfig::default()
+    })
+    .expect("server starts");
+    let addr = server.addr();
+
+    // The request is known immediately (no resubmission needed) and runs
+    // to completion: cell 0 replayed byte-identically, cell 1 simulated.
+    let status = wait_terminal(addr, "rec-1");
+    assert_eq!(
+        status.get("phase").and_then(JsonValue::as_str),
+        Some("completed")
+    );
+    assert_eq!(cell_stats(addr, "rec-1", 0), sentinel);
+    let cells_json = status.get("cells").and_then(JsonValue::as_array).unwrap();
+    assert_eq!(
+        cells_json[0].get("cached").and_then(JsonValue::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        cells_json[1].get("cached").and_then(JsonValue::as_bool),
+        Some(false)
+    );
+
+    // Exactly one new journal record (cell 1); cell 0 was not re-run.
+    let journal = Journal::open(dir.join("journal.jsonl")).unwrap();
+    assert_eq!(journal.records().len(), 2);
+    assert_eq!(journal.records()[0].payload(), Some(sentinel));
+
+    server.stop();
+}
