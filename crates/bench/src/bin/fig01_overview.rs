@@ -1,27 +1,13 @@
 //! Regenerates Fig. 1: performance, LLC miss rate and effective LLC
 //! bandwidth per LLC organization, grouped into SM-side-preferred (SP) and
 //! memory-side-preferred (MP) benchmarks.
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
-use mcgpu_trace::profiles::Preference;
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{
-    exit_on_quarantine, experiment_config, group_speedup, harmonic_mean, run_suite, trace_params,
-    BenchRows, SweepOptions,
-};
-
-fn group_metric(
-    rows: &[BenchRows],
-    org: LlcOrgKind,
-    pref: Preference,
-    f: impl Fn(&mcgpu_sim::RunStats) -> f64,
-) -> f64 {
-    let v: Vec<f64> = rows
-        .iter()
-        .filter(|r| r.profile.preference == pref)
-        .map(|r| f(r.stats(org)))
-        .collect();
-    v.iter().sum::<f64>() / v.len() as f64
-}
+use sac_bench::figdata::{emit, Fig01Data};
+use sac_bench::{exit_on_quarantine, experiment_config, run_suite, trace_params, SweepOptions};
 
 fn main() {
     let cfg = experiment_config();
@@ -31,49 +17,5 @@ fn main() {
         &LlcOrgKind::ALL,
         &SweepOptions::from_args(),
     ));
-
-    println!("(a) performance normalized to memory-side (harmonic mean):");
-    println!("{:14} {:>6} {:>6} {:>6}", "organization", "SP", "MP", "all");
-    for org in LlcOrgKind::ALL {
-        println!(
-            "{:14} {:>6.2} {:>6.2} {:>6.2}",
-            org.label(),
-            group_speedup(&rows, org, Some(Preference::SmSide)),
-            group_speedup(&rows, org, Some(Preference::MemorySide)),
-            group_speedup(&rows, org, None)
-        );
-    }
-
-    println!("\n(b) LLC miss rate (arithmetic mean):");
-    println!("{:14} {:>6} {:>6}", "organization", "SP", "MP");
-    for org in LlcOrgKind::ALL {
-        println!(
-            "{:14} {:>6.2} {:>6.2}",
-            org.label(),
-            group_metric(&rows, org, Preference::SmSide, |s| s.llc_miss_rate()),
-            group_metric(&rows, org, Preference::MemorySide, |s| s.llc_miss_rate())
-        );
-    }
-
-    println!("\n(c) effective LLC bandwidth, responses/cycle normalized to memory-side:");
-    println!("{:14} {:>6} {:>6}", "organization", "SP", "MP");
-    for org in LlcOrgKind::ALL {
-        let norm = |pref| {
-            let v: Vec<f64> = rows
-                .iter()
-                .filter(|r| r.profile.preference == pref)
-                .map(|r| {
-                    r.stats(org).effective_llc_bandwidth()
-                        / r.stats(LlcOrgKind::MemorySide).effective_llc_bandwidth()
-                })
-                .collect();
-            harmonic_mean(&v)
-        };
-        println!(
-            "{:14} {:>6.2} {:>6.2}",
-            org.label(),
-            norm(Preference::SmSide),
-            norm(Preference::MemorySide)
-        );
-    }
+    emit(&Fig01Data::compute(&rows));
 }

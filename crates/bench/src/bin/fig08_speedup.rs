@@ -1,11 +1,12 @@
 //! Regenerates Fig. 8: per-benchmark speedup of each LLC organization
 //! relative to the memory-side baseline, with SP/MP/overall harmonic means.
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
-use mcgpu_trace::profiles::Preference;
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{
-    exit_on_quarantine, experiment_config, group_speedup, run_suite, trace_params, SweepOptions,
-};
+use sac_bench::figdata::{emit, Fig08Data};
+use sac_bench::{exit_on_quarantine, experiment_config, run_suite, trace_params, SweepOptions};
 
 fn main() {
     let cfg = experiment_config();
@@ -15,62 +16,5 @@ fn main() {
         &LlcOrgKind::ALL,
         &SweepOptions::from_args(),
     ));
-
-    println!(
-        "{:6} {:>4} | {:>8} {:>8} {:>8} {:>8} {:>8} | SAC modes",
-        "bench", "pref", "mem-side", "SM-side", "static", "dynamic", "SAC"
-    );
-    for r in &rows {
-        let modes: String = r
-            .stats(LlcOrgKind::Sac)
-            .sac_history
-            .iter()
-            .map(|k| {
-                if k.mode == sac::LlcMode::SmSide {
-                    'S'
-                } else {
-                    'M'
-                }
-            })
-            .collect();
-        println!(
-            "{:6} {:>4} | {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} | [{}]",
-            r.profile.name,
-            r.profile.preference.label(),
-            r.speedup(LlcOrgKind::MemorySide),
-            r.speedup(LlcOrgKind::SmSide),
-            r.speedup(LlcOrgKind::StaticHalf),
-            r.speedup(LlcOrgKind::Dynamic),
-            r.speedup(LlcOrgKind::Sac),
-            modes
-        );
-    }
-    for (label, pref) in [
-        ("SP", Some(Preference::SmSide)),
-        ("MP", Some(Preference::MemorySide)),
-        ("all", None),
-    ] {
-        print!("hmean {label:>4} |");
-        for org in LlcOrgKind::ALL {
-            print!(" {:>8.2}", group_speedup(&rows, org, pref));
-        }
-        println!();
-    }
-    let sac_all = group_speedup(&rows, LlcOrgKind::Sac, None);
-    println!(
-        "\nSAC vs memory-side: {:+.0}%   (paper: +76%)",
-        (sac_all - 1.0) * 100.0
-    );
-    for (org, paper) in [
-        (LlcOrgKind::SmSide, "+12%"),
-        (LlcOrgKind::StaticHalf, "+31%"),
-        (LlcOrgKind::Dynamic, "+18%"),
-    ] {
-        let other = group_speedup(&rows, org, None);
-        println!(
-            "SAC vs {:11}: {:+.0}%   (paper: {paper})",
-            org.label(),
-            (sac_all / other - 1.0) * 100.0
-        );
-    }
+    emit(&Fig08Data::compute(&rows));
 }

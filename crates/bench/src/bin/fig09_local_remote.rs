@@ -1,7 +1,11 @@
 //! Regenerates Fig. 9: the fraction of resident LLC lines holding local vs
 //! remote data under each organization.
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
 use mcgpu_types::LlcOrgKind;
+use sac_bench::figdata::{emit, Fig09Data};
 use sac_bench::{exit_on_quarantine, experiment_config, run_suite, trace_params, SweepOptions};
 
 fn main() {
@@ -12,19 +16,5 @@ fn main() {
         &LlcOrgKind::ALL,
         &SweepOptions::from_args(),
     ));
-    println!("fraction of LLC caching LOCAL data (remainder = remote data):");
-    print!("{:6} {:>4}", "bench", "pref");
-    for org in LlcOrgKind::ALL {
-        print!(" {:>11}", org.label());
-    }
-    println!();
-    for r in &rows {
-        print!("{:6} {:>4}", r.profile.name, r.profile.preference.label());
-        for org in LlcOrgKind::ALL {
-            print!(" {:>11.2}", r.stats(org).llc_local_fraction);
-        }
-        println!();
-    }
-    println!("\n(memory-side is 1.00 by construction; the static LLC pins a 50/50 way");
-    println!(" split; SAC caches only local data when it selects memory-side.)");
+    emit(&Fig09Data::compute(&rows));
 }

@@ -1,7 +1,11 @@
 //! Regenerates Fig. 10: effective LLC bandwidth (read responses per cycle),
 //! broken down by where the data came from, normalized to memory-side.
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
-use mcgpu_types::{LlcOrgKind, ResponseOrigin};
+use mcgpu_types::LlcOrgKind;
+use sac_bench::figdata::{emit, Fig10Data};
 use sac_bench::{exit_on_quarantine, experiment_config, run_suite, trace_params, SweepOptions};
 
 fn main() {
@@ -12,21 +16,5 @@ fn main() {
         &LlcOrgKind::ALL,
         &SweepOptions::from_args(),
     ));
-    println!("per-benchmark responses/cycle by origin (normalized to the memory-side total):");
-    for r in &rows {
-        println!("{} ({}):", r.profile.name, r.profile.preference.label());
-        let base = r.stats(LlcOrgKind::MemorySide).effective_llc_bandwidth();
-        println!(
-            "  {:12} {:>10} {:>10} {:>10} {:>10} {:>8}",
-            "org", "local LLC", "remote LLC", "local mem", "remote mem", "total"
-        );
-        for org in LlcOrgKind::ALL {
-            let s = r.stats(org);
-            print!("  {:12}", org.label());
-            for o in ResponseOrigin::ALL {
-                print!(" {:>10.2}", s.response_rate(o) / base);
-            }
-            println!(" {:>8.2}", s.effective_llc_bandwidth() / base);
-        }
-    }
+    emit(&Fig10Data::compute(&rows));
 }

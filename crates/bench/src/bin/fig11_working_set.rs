@@ -1,56 +1,24 @@
 //! Regenerates Fig. 11: per-time-window working-set size under the SM-side
 //! organization, broken into truly-shared / falsely-shared / non-shared
 //! data, for windows from 1K to 100K cycles.
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
-use mcgpu_trace::analysis;
 use mcgpu_types::LlcOrgKind;
-use sac_bench::{
-    exit_on_quarantine, experiment_config, run_suite, sweep, trace_params, SweepOptions,
-};
+use sac_bench::figdata::{emit, Fig11Data};
+use sac_bench::{exit_on_quarantine, experiment_config, run_suite, trace_params, SweepOptions};
 
 fn main() {
     let cfg = experiment_config();
-    let params = trace_params();
-    // The paper's x-axis is cycles; convert via the measured SM-side issue
-    // rate (accesses/cycle) of each benchmark.
-    let windows_cycles = [1_000usize, 10_000, 100_000];
-    println!("mean per-window working set in paper-equivalent MB (SM-side organization);");
-    println!("machine total LLC at paper scale = 16 MB\n");
-    println!(
-        "{:6} {:>4} | {:>9} | {:>8} {:>8} {:>8} | {:>8}",
-        "bench", "pref", "window", "true", "false", "non", "total"
-    );
     // The SM-side runs fan out over the sweep pool; the working-set
     // analysis then fans out per benchmark, reusing each run's workload
     // rather than regenerating the trace.
     let rows = exit_on_quarantine(run_suite(
         &cfg,
-        &params,
+        &trace_params(),
         &[LlcOrgKind::SmSide],
         &SweepOptions::from_args(),
     ));
-    let curves = sweep::map(rows.iter().collect(), |r| {
-        let rate = r.stats(LlcOrgKind::SmSide).perf();
-        let windows_accesses: Vec<usize> = windows_cycles
-            .iter()
-            .map(|&w| ((w as f64 * rate) as usize).max(100))
-            .collect();
-        analysis::working_set_curve(&cfg, &r.workload, &windows_accesses)
-    });
-    for (r, curve) in rows.iter().zip(curves) {
-        let p = &r.profile;
-        for (i, (_, ws)) in curve.iter().enumerate() {
-            let ws = ws.to_paper_scale(&cfg);
-            println!(
-                "{:6} {:>4} | {:>7}cy | {:>8.1} {:>8.1} {:>8.1} | {:>8.1}",
-                if i == 0 { p.name } else { "" },
-                if i == 0 { p.preference.label() } else { "" },
-                windows_cycles[i],
-                ws.true_mb,
-                ws.false_mb,
-                ws.non_mb,
-                ws.total_mb()
-            );
-        }
-    }
+    emit(&Fig11Data::compute(&cfg, &rows));
 }

@@ -7,8 +7,12 @@
 //! throughput, ring traffic, LLC hit rate, routing mode, pause state and
 //! CRD occupancy per 10k-cycle epoch — the raw material of the figure's
 //! time-varying plot. `--obs-window N` changes the epoch width.
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document (not in `--timeline` mode).
 
 use mcgpu_types::{LlcOrgKind, ObsConfig};
+use sac_bench::figdata::{emit, Fig12Data};
 use sac_bench::{
     exit_on_quarantine, experiment_config, run_benchmark, run_one_observed, trace_params,
     SweepOptions,
@@ -69,32 +73,5 @@ fn main() {
         &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac],
         &SweepOptions::from_args(),
     ));
-    let mem = rows.stats(LlcOrgKind::MemorySide);
-    let sm = rows.stats(LlcOrgKind::SmSide);
-    let sac = rows.stats(LlcOrgKind::Sac);
-    println!("BFS per-kernel performance relative to memory-side:");
-    println!(
-        "{:>7} {:>10} {:>10} {:>10} {:>10}",
-        "kernel", "phase", "SM-side", "SAC", "SAC mode"
-    );
-    for i in 0..mem.kernels.len() {
-        let phase = if i % 2 == 0 { "K1" } else { "K2" };
-        let base = mem.kernels[i].perf();
-        let mode = sac.kernels[i].sac_mode.map(|m| m.label()).unwrap_or("-");
-        println!(
-            "{:>7} {:>10} {:>10.2} {:>10.2} {:>10}",
-            i,
-            phase,
-            sm.kernels[i].perf() / base,
-            sac.kernels[i].perf() / base,
-            mode
-        );
-    }
-    println!(
-        "\nwhole-application speedup vs memory-side: SM-side {:.2}x, SAC {:.2}x",
-        rows.speedup(LlcOrgKind::SmSide),
-        rows.speedup(LlcOrgKind::Sac)
-    );
-    println!("(the paper's point: K1 prefers memory-side, K2 prefers SM-side, and SAC");
-    println!(" picks per kernel — beating the static choice of either organization.)");
+    emit(&Fig12Data::compute(&rows));
 }

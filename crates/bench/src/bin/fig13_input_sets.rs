@@ -2,100 +2,14 @@
 //! is scaled x8 ... /4; for MP benchmarks x4 ... /32. SAC should follow the
 //! crossover: large inputs make replication thrash (memory-side wins),
 //! small inputs make replication fit (SM-side wins).
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
-use mcgpu_trace::{generate, profiles, TraceParams, Workload};
-use mcgpu_types::LlcOrgKind;
-use sac_bench::{exit_on_cell_failures, sweep, try_run_one};
-use std::sync::Arc;
-
-const ORGS: [LlcOrgKind; 3] = [LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac];
+use sac_bench::figdata::{emit, Fig13Data};
 
 fn main() {
     let cfg = sac_bench::experiment_config();
     let base = sac_bench::trace_params();
-    // Representative subset (full 16 x 7 scales would run for hours).
-    let sp = ["RN", "CFD"];
-    let mp = ["SRAD", "GEMM"];
-    let sp_scales: &[f64] = &[8.0, 2.0, 1.0, 0.5, 0.25];
-    let mp_scales: &[f64] = &[4.0, 1.0, 0.25, 1.0 / 16.0, 1.0 / 32.0];
-
-    // Flatten the (group, benchmark, scale) grid, fan trace generation out
-    // over the sweep pool, then fan every (workload, organization) run out
-    // independently — results come back in input order.
-    let combos: Vec<(&str, f64)> = [(&sp[..], sp_scales), (&mp[..], mp_scales)]
-        .iter()
-        .flat_map(|(names, scales)| {
-            names
-                .iter()
-                .flat_map(move |&n| scales.iter().map(move |&s| (n, s)))
-        })
-        .collect();
-    let workloads: Vec<Arc<Workload>> = sweep::map(combos.clone(), |(name, scale)| {
-        let p = profiles::by_name(name).expect("profile");
-        let params = TraceParams {
-            input_scale: scale,
-            ..base
-        };
-        Arc::new(generate(&cfg, &p, &params))
-    });
-    let pairs: Vec<(usize, LlcOrgKind)> = (0..combos.len())
-        .flat_map(|i| ORGS.iter().map(move |&org| (i, org)))
-        .collect();
-    // Isolated cells: one pathological (input-scale, organization) pair is
-    // quarantined and reported instead of sinking the whole figure.
-    let outcomes = sweep::map_isolated(pairs.clone(), |&(i, org), attempt| {
-        let mut scaled = cfg.clone();
-        scaled.watchdog_cycles = sweep::escalate_budget(scaled.watchdog_cycles, attempt);
-        try_run_one(&scaled, &workloads[i], org)
-    });
-    let stats = exit_on_cell_failures(outcomes, |k| {
-        let (i, org) = pairs[k];
-        let (name, scale) = combos[i];
-        format!("{name}@x{scale}/{}", org.label())
-    });
-    let row = |i: usize| &stats[i * ORGS.len()..(i + 1) * ORGS.len()];
-
-    let mut idx = 0;
-    for (names, _, label) in [
-        (&sp[..], sp_scales, "SM-side preferred"),
-        (&mp[..], mp_scales, "memory-side preferred"),
-    ] {
-        println!("== {label} benchmarks ==");
-        println!(
-            "{:6} {:>8} | {:>8} {:>8} | SAC modes",
-            "bench", "input", "SM-side", "SAC"
-        );
-        for _ in names {
-            loop {
-                let (name, scale) = combos[idx];
-                let [mem, sm, sac] = row(idx) else {
-                    unreachable!("one stats row per combo")
-                };
-                let modes: String = sac
-                    .sac_history
-                    .iter()
-                    .map(|k| {
-                        if k.mode == sac::LlcMode::SmSide {
-                            'S'
-                        } else {
-                            'M'
-                        }
-                    })
-                    .collect();
-                println!(
-                    "{:6} {:>7}x | {:>8.2} {:>8.2} | [{}]",
-                    name,
-                    scale,
-                    sm.speedup_over(mem),
-                    sac.speedup_over(mem),
-                    modes
-                );
-                idx += 1;
-                if idx == combos.len() || combos[idx].0 != name {
-                    break;
-                }
-            }
-            println!();
-        }
-    }
+    emit(&Fig13Data::collect(&cfg, &base));
 }

@@ -3,120 +3,16 @@
 //! protocol, GPU count, sectored caches and page size. Reports the
 //! harmonic-mean speedup of SM-side and SAC over the memory-side baseline
 //! on a representative benchmark subset (3 SP + 3 MP).
+//!
+//! `--json PATH` additionally writes the figure's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
-use mcgpu_trace::{profiles, TraceParams};
-use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface};
-use sac_bench::{exit_on_quarantine, harmonic_mean, run_profiles, SweepOptions};
-
-const SUBSET: [&str; 6] = ["RN", "SN", "CFD", "SRAD", "LUD", "GEMM"];
-
-fn sweep(label: &str, cfg: &MachineConfig, params: &TraceParams, opts: &SweepOptions) {
-    // Every (benchmark x organization) run of this configuration fans out
-    // over the shared sweep pool.
-    let subset: Vec<_> = SUBSET
-        .iter()
-        .map(|n| profiles::by_name(n).expect("profile"))
-        .collect();
-    let rows = exit_on_quarantine(run_profiles(
-        cfg,
-        &subset,
-        params,
-        &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac],
-        opts,
-    ));
-    let sm: Vec<f64> = rows.iter().map(|r| r.speedup(LlcOrgKind::SmSide)).collect();
-    let sac: Vec<f64> = rows.iter().map(|r| r.speedup(LlcOrgKind::Sac)).collect();
-    println!(
-        "{:36} | SM-side {:>5.2} | SAC {:>5.2}",
-        label,
-        harmonic_mean(&sm),
-        harmonic_mean(&sac)
-    );
-}
+use sac_bench::figdata::{emit, Fig14Data};
+use sac_bench::SweepOptions;
 
 fn main() {
     let base = sac_bench::experiment_config();
     let params = sac_bench::trace_params();
     let opts = SweepOptions::from_args().sequential();
-    println!("harmonic-mean speedup vs memory-side on {:?}:\n", SUBSET);
-
-    println!("-- inter-chip bandwidth (default marked *) --");
-    for (label, factor) in [
-        ("PCIe-class (0.5x)", 0.5),
-        ("NVLink2-class (1x) *", 1.0),
-        ("NVLink3-class (2x)", 2.0),
-        ("MCM-class (4x)", 4.0),
-        ("MCM-class (8x)", 8.0),
-    ] {
-        let mut c = base.clone();
-        c.interchip_pair_gbs *= factor;
-        sweep(label, &c, &params, &opts);
-    }
-
-    println!("\n-- LLC capacity --");
-    for (label, factor) in [("0.5x LLC", 0.5), ("1x LLC *", 1.0), ("2x LLC", 2.0)] {
-        let mut c = base.clone();
-        c.llc_bytes_per_chip = (c.llc_bytes_per_chip as f64 * factor) as u64;
-        sweep(label, &c, &params, &opts);
-    }
-
-    println!("\n-- memory interface --");
-    for iface in [
-        MemoryInterface::Gddr5,
-        MemoryInterface::Gddr6,
-        MemoryInterface::Hbm2,
-    ] {
-        let mut c = base.clone().with_memory_interface(iface);
-        // Rescale channel bandwidth to the scaled machine.
-        c.dram_channel_gbs /= base.scale.topology as f64;
-        let star = if iface == MemoryInterface::Gddr6 {
-            " *"
-        } else {
-            ""
-        };
-        sweep(&format!("{}{}", iface.label(), star), &c, &params, &opts);
-    }
-
-    println!("\n-- coherence protocol --");
-    for coh in [CoherenceKind::Software, CoherenceKind::Hardware] {
-        let mut c = base.clone();
-        c.coherence = coh;
-        let star = if coh == CoherenceKind::Software {
-            " *"
-        } else {
-            ""
-        };
-        sweep(&format!("{:?}{}", coh, star), &c, &params, &opts);
-    }
-
-    println!("\n-- GPU count (total inter-chip bandwidth held constant) --");
-    for chips in [2usize, 4] {
-        let mut c = base.clone();
-        let total_pair_bw = c.interchip_pair_gbs * c.chips as f64;
-        c.chips = chips;
-        c.interchip_pair_gbs = total_pair_bw / chips as f64;
-        let star = if chips == 4 { " *" } else { "" };
-        sweep(&format!("{} GPUs{}", chips, star), &c, &params, &opts);
-    }
-
-    println!("\n-- sectored cache --");
-    for sectored in [false, true] {
-        let mut c = base.clone();
-        c.sectored = sectored;
-        let star = if !sectored { " *" } else { "" };
-        sweep(
-            &format!("sectored={}{}", sectored, star),
-            &c,
-            &params,
-            &opts,
-        );
-    }
-
-    println!("\n-- page size --");
-    for ps in [2048u64, 4096, 8192] {
-        let mut c = base.clone();
-        c.page_size = ps;
-        let star = if ps == 4096 { " *" } else { "" };
-        sweep(&format!("{} B pages{}", ps, star), &c, &params, &opts);
-    }
+    emit(&Fig14Data::collect(&base, &params, &opts));
 }

@@ -1,17 +1,17 @@
 //! Regenerates Table 4: CTAs, footprint, truly- and falsely-shared MB per
 //! benchmark — the paper's published values next to what our generated
 //! traces actually measure (paper-equivalent scale).
+//!
+//! `--json PATH` additionally writes the table's structured data as a
+//! canonical `mcgpu-figdata-v1` document.
 
 use mcgpu_trace::{analysis, generate, profiles};
+use sac_bench::figdata::{emit, Table4Data};
 use sac_bench::sweep;
 
 fn main() {
     let cfg = sac_bench::experiment_config();
     let params = sac_bench::trace_params();
-    println!(
-        "{:6} {:>8} | {:>9} {:>9} | {:>8} {:>8} | {:>8} {:>8}",
-        "bench", "CTAs", "fp(paper)", "fp(meas)", "TS(paper)", "TS(meas)", "FS(paper)", "FS(meas)"
-    );
     // Generation + characterization of the 16 workloads fans out over the
     // sweep pool as isolated cells; rows come back in suite order and one
     // bad workload cannot sink the table.
@@ -22,19 +22,5 @@ fn main() {
     let rows = sac_bench::exit_on_cell_failures(outcomes, |i| {
         profiles::all_profiles()[i].name.to_string()
     });
-    for (p, m) in rows {
-        println!(
-            "{:6} {:>8} | {:>9.0} {:>9.0} | {:>8.0} {:>8.1} | {:>8.0} {:>8.1}",
-            p.name,
-            p.ctas,
-            p.footprint_mb,
-            m.footprint_mb,
-            p.true_shared_mb,
-            m.true_shared_mb,
-            p.false_shared_mb,
-            m.false_shared_mb
-        );
-    }
-    println!("\n(measured = from the generated trace, rescaled to paper-equivalent MB;");
-    println!(" measured footprint covers only pages the trace volume actually touches)");
+    emit(&Table4Data::compute(&rows));
 }

@@ -29,6 +29,8 @@ use mcgpu_types::{LlcOrgKind, MachineConfig, ObsConfig};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
+pub mod figcheck;
+pub mod figdata;
 pub mod golden;
 pub mod journal;
 pub mod proto;

@@ -130,6 +130,168 @@ pub fn escape_into(s: &str, out: &mut String) {
     }
 }
 
+/// Incremental writer for the workspace's canonical JSON form: fixed key
+/// order (caller-controlled), 2-space indentation, floats in Rust's
+/// shortest-roundtrip `{:?}` form, strings escaped through
+/// [`escape_into`]. Byte equality of two documents written this way is
+/// exactly bit equality of what was written — the property the golden
+/// snapshots, the sweep journal, and the figure-regression reports all
+/// rest on.
+///
+/// # Example
+/// ```
+/// use mcgpu_types::json::CanonicalWriter;
+///
+/// let mut w = CanonicalWriter::new();
+/// w.open();
+/// w.str_field("name", "SAC");
+/// w.f64_field("speedup", 1.25);
+/// w.close();
+/// assert_eq!(w.finish(), "{\n  \"name\": \"SAC\",\n  \"speedup\": 1.25\n}\n");
+/// ```
+#[derive(Debug, Default)]
+pub struct CanonicalWriter {
+    out: String,
+    indent: usize,
+    has_member: Vec<bool>,
+}
+
+impl CanonicalWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        CanonicalWriter::default()
+    }
+
+    fn member_separator(&mut self) {
+        if let Some(has) = self.has_member.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        if !self.out.is_empty() {
+            self.out.push('\n');
+        }
+    }
+
+    fn newline_key(&mut self, key: &str) {
+        self.member_separator();
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push('"');
+        self.out.push_str(key);
+        self.out.push_str("\": ");
+    }
+
+    /// Open an object (`{`). Pair with [`CanonicalWriter::close`].
+    pub fn open(&mut self) {
+        self.out.push('{');
+        self.indent += 1;
+        self.has_member.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn close(&mut self) {
+        self.indent -= 1;
+        self.has_member.pop();
+        self.out.push('\n');
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push('}');
+    }
+
+    /// `"key": "value"` with escaping.
+    pub fn str_field(&mut self, key: &str, v: &str) {
+        self.newline_key(key);
+        self.out.push('"');
+        escape_into(v, &mut self.out);
+        self.out.push('"');
+    }
+
+    /// `"key": 42`.
+    pub fn u64_field(&mut self, key: &str, v: u64) {
+        self.newline_key(key);
+        self.out.push_str(&v.to_string());
+    }
+
+    /// `"key": 1.25` in shortest-roundtrip form (`{:?}`), so the value
+    /// parses back bit-identically.
+    pub fn f64_field(&mut self, key: &str, v: f64) {
+        self.newline_key(key);
+        self.out.push_str(&format!("{v:?}"));
+    }
+
+    /// `"key": true`.
+    pub fn bool_field(&mut self, key: &str, v: bool) {
+        self.newline_key(key);
+        self.out.push_str(if v { "true" } else { "false" });
+    }
+
+    /// `"key": { ... }` with the members written by `body`.
+    pub fn object_field(&mut self, key: &str, body: impl FnOnce(&mut Self)) {
+        self.newline_key(key);
+        self.open();
+        body(self);
+        self.close();
+    }
+
+    /// `"key": [ ... ]` with `len` elements, each written by
+    /// `item(writer, index)` — typically an [`CanonicalWriter::open`] /
+    /// [`CanonicalWriter::close`] pair for an object element.
+    pub fn array_field(&mut self, key: &str, len: usize, mut item: impl FnMut(&mut Self, usize)) {
+        self.newline_key(key);
+        if len == 0 {
+            self.out.push_str("[]");
+            return;
+        }
+        self.out.push('[');
+        self.indent += 1;
+        self.has_member.push(false);
+        for i in 0..len {
+            self.member_separator();
+            self.out.push_str(&"  ".repeat(self.indent));
+            item(self, i);
+        }
+        self.indent -= 1;
+        self.has_member.pop();
+        self.out.push('\n');
+        self.out.push_str(&"  ".repeat(self.indent));
+        self.out.push(']');
+    }
+
+    /// `"key": [1.5, 2.5, ...]` on one line (for short numeric vectors).
+    pub fn f64_array_field(&mut self, key: &str, vs: &[f64]) {
+        self.newline_key(key);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&format!("{v:?}"));
+        }
+        self.out.push(']');
+    }
+
+    /// `"key": ["a", "b", ...]` on one line (for short string vectors).
+    pub fn str_array_field(&mut self, key: &str, vs: &[&str]) {
+        self.newline_key(key);
+        self.out.push('[');
+        for (i, v) in vs.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push('"');
+            escape_into(v, &mut self.out);
+            self.out.push('"');
+        }
+        self.out.push(']');
+    }
+
+    /// Terminate the document with a trailing newline and return it.
+    pub fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,

@@ -24,6 +24,7 @@ pub mod addr;
 pub mod budget;
 pub mod config;
 pub mod error;
+pub mod expect;
 pub mod fault;
 pub mod ids;
 pub mod json;
@@ -38,6 +39,10 @@ pub use config::{
     CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, PolicyCtx, ScaleFactor, GB_S,
 };
 pub use error::{ConfigError, JournalError, ParseError, TraceError};
+pub use expect::{
+    Check, Expectation, ExpectationSet, Finding, Metric, Report, Severity, Verdict, EXPECT_SCHEMA,
+    REPORT_SCHEMA,
+};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{ChannelId, ChipId, ClusterId, SliceId};
 pub use obs::{ObsConfig, ObsLevel};

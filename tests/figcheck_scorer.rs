@@ -1,0 +1,177 @@
+//! Property tests pinning the figcheck scorer's contract: ordering
+//! verdicts are invariant under uniform cycle scaling, band and crossover
+//! edges are inclusive (and values one ULP outside are not), NaN never
+//! passes, and evaluation is a pure deterministic function of its inputs.
+//!
+//! Thread-count independence of the full pipeline is covered by CI's
+//! serial/parallel matrix: both legs byte-compare the golden figcheck
+//! report (`tests/figcheck_report.rs`) against the same committed
+//! snapshot, so a 1-thread and an N-thread sweep must serialize
+//! identically.
+
+use mcgpu_types::{Check, ExpectationSet, LlcOrgKind, Metric};
+use proptest::prelude::*;
+
+fn speedup(bench: &str, org: LlcOrgKind) -> Metric {
+    Metric::Speedup {
+        bench: bench.to_string(),
+        org,
+    }
+}
+
+/// The smallest positive step below `v` (assumes `v > 0`, finite).
+fn next_down(v: f64) -> f64 {
+    f64::from_bits(v.to_bits() - 1)
+}
+
+/// The smallest positive step above `v` (assumes `v > 0`, finite).
+fn next_up(v: f64) -> f64 {
+    f64::from_bits(v.to_bits() + 1)
+}
+
+proptest! {
+    /// Speedups are cycle-count ratios. Scaling every cycle count by the
+    /// same positive integer leaves each ratio — and therefore every
+    /// ordering verdict — exactly unchanged: with all products below
+    /// 2^53 the ratios are the same real number, and IEEE round-to-
+    /// nearest maps equal reals to equal doubles.
+    #[test]
+    fn ordering_verdict_invariant_under_uniform_cycle_scaling(
+        mem_cycles in 1u64..(1 << 26),
+        sm_cycles in 1u64..(1 << 26),
+        k in 1u64..(1 << 20),
+        min_ratio_cents in 50u32..200,
+    ) {
+        let check = Check::Ordering {
+            left: speedup("RN", LlcOrgKind::SmSide),
+            right: speedup("RN", LlcOrgKind::MemorySide),
+            min_ratio: f64::from(min_ratio_cents) / 100.0,
+        };
+        let plain = [
+            mem_cycles as f64 / sm_cycles as f64,
+            mem_cycles as f64 / mem_cycles as f64,
+        ];
+        let scaled = [
+            (mem_cycles * k) as f64 / (sm_cycles * k) as f64,
+            (mem_cycles * k) as f64 / (mem_cycles * k) as f64,
+        ];
+        prop_assert_eq!(check.apply(&plain), check.apply(&scaled));
+    }
+
+    /// Band edges are inclusive: the edge values themselves pass, and the
+    /// adjacent representable doubles just outside fail.
+    #[test]
+    fn band_edges_are_inclusive_and_sharp(
+        lo_millis in 1u64..1_000_000,
+        width_millis in 0u64..1_000_000,
+    ) {
+        let lo = lo_millis as f64 / 1000.0;
+        let hi = (lo_millis + width_millis) as f64 / 1000.0;
+        let check = Check::Band {
+            metric: speedup("RN", LlcOrgKind::SmSide),
+            lo,
+            hi,
+        };
+        prop_assert!(check.apply(&[lo]), "lo edge is inclusive");
+        prop_assert!(check.apply(&[hi]), "hi edge is inclusive");
+        prop_assert!(!check.apply(&[next_down(lo)]), "below lo fails");
+        prop_assert!(!check.apply(&[next_up(hi)]), "above hi fails");
+    }
+
+    /// Crossover edges are inclusive on both samples, and a curve
+    /// strictly on one side of the threshold never counts as crossing.
+    #[test]
+    fn crossover_edges_are_inclusive_and_sharp(thr_millis in 1u64..1_000_000) {
+        let threshold = thr_millis as f64 / 1000.0;
+        let check = Check::Crossover {
+            below: Metric::WorkingSetMb {
+                bench: "RN".to_string(),
+                window: 1000,
+            },
+            above: Metric::WorkingSetMb {
+                bench: "RN".to_string(),
+                window: 100_000,
+            },
+            threshold,
+        };
+        prop_assert!(check.apply(&[threshold, threshold]), "both edges inclusive");
+        prop_assert!(!check.apply(&[next_up(threshold), next_up(threshold)]));
+        prop_assert!(!check.apply(&[next_down(threshold), next_down(threshold)]));
+        prop_assert!(check.apply(&[next_down(threshold), next_up(threshold)]));
+    }
+
+    /// NaN fails every check kind, wherever it appears.
+    #[test]
+    fn nan_never_passes(v_millis in 1u64..1_000_000) {
+        let v = v_millis as f64 / 1000.0;
+        let band = Check::Band {
+            metric: speedup("RN", LlcOrgKind::SmSide),
+            lo: 0.0,
+            hi: f64::INFINITY,
+        };
+        prop_assert!(!band.apply(&[f64::NAN]));
+        let ordering = Check::Ordering {
+            left: speedup("RN", LlcOrgKind::SmSide),
+            right: speedup("RN", LlcOrgKind::MemorySide),
+            min_ratio: 1.0,
+        };
+        prop_assert!(!ordering.apply(&[f64::NAN, v]));
+        prop_assert!(!ordering.apply(&[v, f64::NAN]));
+        let rel = Check::RelErr {
+            metric: speedup("RN", LlcOrgKind::SmSide),
+            reference: v,
+            max_rel: 0.5,
+        };
+        prop_assert!(!rel.apply(&[f64::NAN]));
+        let cross = Check::Crossover {
+            below: speedup("RN", LlcOrgKind::SmSide),
+            above: speedup("RN", LlcOrgKind::MemorySide),
+            threshold: v,
+        };
+        prop_assert!(!cross.apply(&[f64::NAN, v]));
+        prop_assert!(!cross.apply(&[v, f64::NAN]));
+    }
+
+    /// Evaluation is pure: the same expectation set scored against the
+    /// same metric table any number of times yields byte-identical
+    /// canonical reports and scorecards.
+    #[test]
+    fn evaluation_is_deterministic(
+        sm in 1u64..1_000_000,
+        lo_cents in 0u32..300,
+        width_cents in 0u32..300,
+    ) {
+        let lo = f64::from(lo_cents) / 100.0;
+        let hi = lo + f64::from(width_cents) / 100.0;
+        let json = format!(
+            r#"{{
+              "schema": "mcgpu-expect-v1",
+              "source": "proptest",
+              "expectations": [
+                {{
+                  "id": "prop/RN/band",
+                  "figure": "fig08",
+                  "severity": "shape",
+                  "check": {{
+                    "kind": "band",
+                    "value": {{"metric": "speedup", "bench": "RN", "org": "SM-side"}},
+                    "lo": {lo:?},
+                    "hi": {hi:?}
+                  }},
+                  "note": ""
+                }}
+              ]
+            }}"#
+        );
+        let set = ExpectationSet::parse(&json).expect("generated set parses");
+        let mut metrics = sac_bench::figcheck::Metrics::new();
+        metrics.insert_speedup("RN", LlcOrgKind::SmSide, sm as f64 / 1000.0);
+        let a = sac_bench::figcheck::evaluate(&set, &metrics, "quick");
+        let b = sac_bench::figcheck::evaluate(&set, &metrics, "quick");
+        prop_assert_eq!(a.to_canonical_json(), b.to_canonical_json());
+        prop_assert_eq!(
+            sac_bench::figcheck::scorecard(&a),
+            sac_bench::figcheck::scorecard(&b)
+        );
+    }
+}
