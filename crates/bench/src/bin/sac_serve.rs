@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! sac_serve --state DIR [--addr HOST:PORT] [--max-queue N]
-//!           [--stall-ms N] [--jobs N]
+//!           [--stall-ms N] [--jobs N] [--checkpoint-interval N]
 //! ```
 //!
 //! `--state DIR` (default `results/serve`) holds the run journal, the
@@ -15,6 +15,12 @@
 //! `Retry-After`); `--jobs N` bounds the simulation pool as in every other
 //! harness binary; `--stall-ms N` is the chaos-test hook that delays each
 //! fresh cell execution.
+//!
+//! `--checkpoint-interval N` (cycles; 0 = off, the default) enables
+//! mid-cell engine checkpointing under `DIR/ckpt/`: a killed daemon's
+//! in-flight cells resume mid-cycle from their latest snapshot on
+//! restart, byte-identically to an uninterrupted run, and a background
+//! reaper garbage-collects superseded or torn snapshots.
 //!
 //! API summary (one request per connection, JSON bodies):
 //!
@@ -53,6 +59,9 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .unwrap_or(256),
         stall_ms: arg_value("--stall-ms")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+        ckpt_interval: arg_value("--checkpoint-interval")
             .and_then(|v| v.parse().ok())
             .unwrap_or(0),
     };

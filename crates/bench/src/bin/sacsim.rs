@@ -5,6 +5,8 @@
 //!        [--hw-coherence] [--sectored] [--json] [--jobs N] [--list-orgs]
 //!        [--watchdog-cycles N] [--journal PATH] [--resume PATH]
 //!        [--obs] [--obs-window N] [--obs-out PATH] [--trace-out PATH]
+//!        [--checkpoint PATH] [--restore PATH] [--checkpoint-interval N]
+//!        [--state-dir DIR] [--gc-state [--dry-run]]
 //! ```
 //!
 //! ORG is any token or label from the LLC-organization registry
@@ -27,10 +29,25 @@
 //! observability JSON, and `--trace-out PATH` writes a Chrome `trace_event`
 //! JSON (load in `chrome://tracing` or Perfetto). `--obs-out`/`--trace-out`
 //! imply `--obs`; `--trace-out` raises the level to `trace`.
+//!
+//! Checkpoint/restore (single organization only): `--checkpoint PATH`
+//! snapshots the full engine state to PATH every `--checkpoint-interval`
+//! cycles (default 65536) and once more if the run aborts (watchdog,
+//! cycle limit), so the budget can be extended across invocations;
+//! `--restore PATH` resumes a run mid-cycle from a snapshot —
+//! byte-identical output to the uninterrupted run. For sweeps,
+//! `--state-dir DIR` checkpoints every cell under DIR and resumes
+//! interrupted cells automatically; `--gc-state` (with `--state-dir`,
+//! optionally `--resume JOURNAL` and `--dry-run`) reclaims superseded
+//! snapshots, torn files and orphaned tmps instead of running anything.
 
+use mcgpu_sim::SimBuilder;
 use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_types::{CoherenceKind, LlcOrgKind, ObsConfig, ResponseOrigin};
-use sac_bench::{exit_on_quarantine, run_benchmark, run_one_observed, SweepOptions};
+use sac_bench::{
+    exit_on_quarantine, run_benchmark, state, Journal, SweepOptions, DEFAULT_CKPT_INTERVAL,
+};
+use std::path::Path;
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -44,6 +61,29 @@ fn main() {
         println!("{:8} {:12} summary", "token", "label");
         for d in &mcgpu_sim::org::REGISTRY {
             println!("{:8} {:12} {}", d.token, d.kind.label(), d.summary);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--gc-state") {
+        let Some(dir) = arg_value("--state-dir") else {
+            eprintln!("--gc-state needs --state-dir DIR");
+            std::process::exit(2);
+        };
+        let journal = arg_value("--resume")
+            .or_else(|| arg_value("--journal"))
+            .map(|p| {
+                Journal::open(&p).unwrap_or_else(|e| {
+                    eprintln!("cannot open journal {p}: {e}");
+                    std::process::exit(2);
+                })
+            });
+        let dry_run = std::env::args().any(|a| a == "--dry-run");
+        match state::gc_state(Path::new(&dir), journal.as_ref(), dry_run) {
+            Ok(report) => print!("{}", report.render()),
+            Err(e) => {
+                eprintln!("gc-state failed: {e}");
+                std::process::exit(1);
+            }
         }
         return;
     }
@@ -102,10 +142,16 @@ fn main() {
     let obs_out = arg_value("--obs-out");
     let obs_requested =
         std::env::args().any(|a| a == "--obs") || obs_out.is_some() || trace_out.is_some();
+    let ckpt_path = arg_value("--checkpoint");
+    let restore_path = arg_value("--restore");
 
     let Some(org) = org else {
         if obs_requested {
             eprintln!("--obs/--obs-out/--trace-out need a single --org, not `all`");
+            std::process::exit(2);
+        }
+        if ckpt_path.is_some() || restore_path.is_some() {
+            eprintln!("--checkpoint/--restore need a single --org, not `all` (use --state-dir for sweeps)");
             std::process::exit(2);
         }
         // --org all: fan every organization out over the sweep pool and
@@ -141,24 +187,72 @@ fn main() {
         }
         return;
     };
-    let (stats, report, total_accesses) = if obs_requested {
-        let mut obs = if trace_out.is_some() {
-            ObsConfig::trace()
+    let (stats, report, total_accesses) =
+        if obs_requested || ckpt_path.is_some() || restore_path.is_some() {
+            // Direct single-simulator path: observability and/or explicit
+            // checkpoint/restore of this one run.
+            let mut obs = if trace_out.is_some() {
+                ObsConfig::trace()
+            } else if obs_requested {
+                ObsConfig::metrics()
+            } else {
+                ObsConfig::off()
+            };
+            if let Some(w) = arg_value("--obs-window").and_then(|v| v.parse().ok()) {
+                obs = obs.with_epoch_window(w);
+            }
+            let interval = arg_value("--checkpoint-interval")
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(DEFAULT_CKPT_INTERVAL);
+            let wl = generate(&cfg, &profile, &params);
+            let total = wl.total_accesses();
+            let mut b = SimBuilder::new(cfg.clone())
+                .organization(org)
+                .observability(obs);
+            if let Some(p) = &ckpt_path {
+                b = b.checkpoint_to(p, interval);
+            }
+            let mut sim = b.build().unwrap_or_else(|e| {
+                eprintln!("{bench}/{org}: {e}");
+                std::process::exit(1);
+            });
+            if let Some(p) = &restore_path {
+                // An explicit --restore failing is a user error, not a
+                // fall-back situation: fail loudly instead of silently
+                // re-running from cycle 0.
+                sim.restore_from_file(Path::new(p), &wl)
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot restore {p}: {e}");
+                        std::process::exit(1);
+                    });
+                eprintln!("restored {p}; resuming at cycle {}", sim.cycle());
+            }
+            let stats = match sim.run(&wl) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{bench}/{org}: {e}");
+                    // Leave a resume point behind an aborted budget (cycle
+                    // limit, watchdog): `--restore` continues this exact run.
+                    if let Some(p) = &ckpt_path {
+                        match sim.write_checkpoint(Path::new(p), &wl) {
+                            Ok(()) => eprintln!(
+                                "wrote checkpoint {p} at cycle {}; resume with --restore {p}",
+                                sim.cycle()
+                            ),
+                            Err(we) => eprintln!("cannot write checkpoint {p}: {we}"),
+                        }
+                    }
+                    std::process::exit(1);
+                }
+            };
+            let report = sim.take_obs_report();
+            (stats, report, total)
         } else {
-            ObsConfig::metrics()
+            let rows = exit_on_quarantine(run_benchmark(&cfg, &profile, &params, &[org], &opts));
+            let total = rows.workload.total_accesses();
+            (rows.stats(org).clone(), None, total)
         };
-        if let Some(w) = arg_value("--obs-window").and_then(|v| v.parse().ok()) {
-            obs = obs.with_epoch_window(w);
-        }
-        let wl = generate(&cfg, &profile, &params);
-        let total = wl.total_accesses();
-        let (stats, report) = run_one_observed(&cfg, &wl, org, obs);
-        (stats, report, total)
-    } else {
-        let rows = exit_on_quarantine(run_benchmark(&cfg, &profile, &params, &[org], &opts));
-        let total = rows.workload.total_accesses();
-        (rows.stats(org).clone(), None, total)
-    };
     let stats = &stats;
     if let Some(r) = &report {
         if let Some(path) = &obs_out {

@@ -9,19 +9,21 @@
 //! stored verbatim, a resumed sweep's output is byte-identical to an
 //! uninterrupted run's.
 //!
-//! Durability: the journal is rewritten to `<path>.tmp` and atomically
-//! renamed over `<path>` after every append, so a `SIGKILL` at any instant
-//! leaves either the previous consistent file or the new one — never a
-//! torn line at the point of the rename. A torn *tail* can still exist if
-//! the kill lands inside the tmp write of a never-renamed file from an
-//! older crash; [`Journal::open`] therefore stops at the first malformed
-//! line and keeps every record before it.
+//! Durability: after every append the journal is rewritten through
+//! [`mcgpu_types::fsio::atomic_write`] — tmp write, `fsync`, atomic
+//! rename, parent-directory `fsync` — so a `SIGKILL` (or power loss) at
+//! any instant leaves either the previous consistent file or the new one,
+//! never a torn line at the point of the rename. A torn *tail* can still
+//! exist if the kill lands inside the tmp write of a never-renamed file
+//! from an older crash; [`Journal::open`] therefore stops at the first
+//! malformed line and keeps every record before it. The fsio fail-point
+//! tests below prove both halves of that contract.
 
 use mcgpu_sim::RunStats;
 use mcgpu_trace::TraceParams;
+use mcgpu_types::fsio;
 use mcgpu_types::json::{escape_into, parse, JsonValue};
 use mcgpu_types::{JournalError, LlcOrgKind, MachineConfig};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// How a journaled cell ended.
@@ -258,23 +260,21 @@ impl Journal {
         self.persist()
     }
 
-    /// Write all lines to `<path>.tmp`, then atomically rename over
-    /// `<path>`: a crash mid-write leaves the previous file intact.
+    /// Write all lines through [`mcgpu_types::fsio::atomic_write`] (tmp
+    /// write, `fsync`, atomic rename, directory `fsync`): a crash at any
+    /// instant leaves either the previous consistent file or the new one.
     fn persist(&self) -> std::io::Result<()> {
         if let Some(dir) = self.path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let tmp = self.path.with_extension("jsonl.tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            for r in &self.records {
-                writeln!(f, "{}", r.to_line())?;
-            }
-            f.sync_all()?;
+        let mut text = String::new();
+        for r in &self.records {
+            text.push_str(&r.to_line());
+            text.push('\n');
         }
-        std::fs::rename(&tmp, &self.path)
+        fsio::atomic_write(&self.path, text.as_bytes())
     }
 }
 
@@ -318,6 +318,7 @@ pub fn cell_config_hash(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcgpu_types::fsio::FailPoint;
 
     fn completed(cell: &str, hash: u64, json: &str) -> JournalRecord {
         JournalRecord {
@@ -460,6 +461,36 @@ mod tests {
     fn missing_file_opens_empty() {
         let j = Journal::open(tmp_path("nonexistent")).unwrap();
         assert!(j.records().is_empty());
+    }
+
+    #[test]
+    fn injected_write_failures_leave_the_previous_journal_readable() {
+        // The atomicity contract under the fsio fault shim: whichever step
+        // of the durable write dies, the on-disk journal still parses and
+        // still holds every previously appended record.
+        let path = tmp_path("failpoints");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(completed("a", 1, "{}")).unwrap();
+        for point in [FailPoint::ShortWrite, FailPoint::Fsync, FailPoint::Rename] {
+            fsio::inject_failure(Some(point));
+            let err = j
+                .append(completed("b", 2, "{}"))
+                .expect_err("armed fail point must surface as an I/O error");
+            assert!(err.to_string().contains("injected"), "{point:?}: {err}");
+            let back = Journal::open(&path).unwrap();
+            assert_eq!(back.records().len(), 1, "{point:?}");
+            assert_eq!(back.records()[0].cell, "a", "{point:?}");
+            // The in-memory record from the failed append is still queued;
+            // drop it so each fail point starts from the same state.
+            j.records.pop();
+        }
+        // With the hook disarmed the next append goes through and the tmp
+        // debris from the short write is renamed away.
+        j.append(completed("b", 2, "{}")).unwrap();
+        let back = Journal::open(&path).unwrap();
+        assert_eq!(back.records().len(), 2);
+        assert!(!fsio::tmp_path(&path).exists());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use mcgpu_sim::{ObsReport, RunStats, SimBuilder};
 use mcgpu_trace::{generate, profiles, BenchmarkProfile, TraceParams, Workload};
 use mcgpu_types::{LlcOrgKind, MachineConfig, ObsConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 pub mod figcheck;
@@ -36,6 +36,7 @@ pub mod journal;
 pub mod proto;
 pub mod resilience;
 pub mod serve;
+pub mod state;
 pub mod sweep;
 
 pub use journal::{cell_config_desc, cell_config_hash, Journal, JournalRecord, RecordOutcome};
@@ -76,6 +77,11 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Default mid-cell checkpoint cadence in simulated cycles; the engine
+/// quantizes writes to its coarse deadline-check grid, so this is also the
+/// finest cadence that costs nothing on the hot path.
+pub const DEFAULT_CKPT_INTERVAL: u64 = 65_536;
+
 /// Journal/resume options for a sweep, normally parsed from the command
 /// line with [`SweepOptions::from_args`].
 #[derive(Debug, Default)]
@@ -85,6 +91,17 @@ pub struct SweepOptions {
     /// Load this journal, replay its completed cells, re-run the rest, and
     /// keep recording to the same path. Takes precedence over `journal`.
     pub resume: Option<PathBuf>,
+    /// Directory for mid-cell engine checkpoints. When set, every cell
+    /// periodically snapshots its full simulator state here and a resumed
+    /// (or crashed-and-restarted) sweep continues interrupted cells from
+    /// their latest valid snapshot instead of from cycle 0; a missing,
+    /// stale or corrupt snapshot silently falls back to a full re-run.
+    /// `None` (the default) disables checkpointing entirely — no file is
+    /// ever written and every output stays byte-identical.
+    pub state_dir: Option<PathBuf>,
+    /// Checkpoint cadence in cycles; `0` means [`DEFAULT_CKPT_INTERVAL`].
+    /// Ignored unless `state_dir` is set.
+    pub ckpt_interval: u64,
 }
 
 impl SweepOptions {
@@ -93,25 +110,45 @@ impl SweepOptions {
         SweepOptions::default()
     }
 
-    /// Parse `--journal PATH` / `--resume PATH` (or `--flag=PATH`) from the
-    /// process arguments.
+    /// Parse `--journal PATH` / `--resume PATH` / `--state-dir PATH` /
+    /// `--checkpoint-interval N` (or `--flag=VALUE`) from the process
+    /// arguments.
     pub fn from_args() -> SweepOptions {
-        fn value(name: &str) -> Option<PathBuf> {
+        fn value(name: &str) -> Option<String> {
             let args: Vec<String> = std::env::args().collect();
             for (i, a) in args.iter().enumerate() {
                 if a == name {
-                    return args.get(i + 1).map(PathBuf::from);
+                    return args.get(i + 1).cloned();
                 }
                 if let Some(v) = a.strip_prefix(&format!("{name}=")) {
-                    return Some(PathBuf::from(v));
+                    return Some(v.to_string());
                 }
             }
             None
         }
         SweepOptions {
-            journal: value("--journal"),
-            resume: value("--resume"),
+            journal: value("--journal").map(PathBuf::from),
+            resume: value("--resume").map(PathBuf::from),
+            state_dir: value("--state-dir").map(PathBuf::from),
+            ckpt_interval: value("--checkpoint-interval")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
         }
+    }
+
+    /// The effective (state directory, checkpoint interval) pair, or
+    /// `None` when mid-cell checkpointing is off.
+    pub fn ckpt(&self) -> Option<(&Path, u64)> {
+        self.state_dir.as_deref().map(|d| {
+            (
+                d,
+                if self.ckpt_interval == 0 {
+                    DEFAULT_CKPT_INTERVAL
+                } else {
+                    self.ckpt_interval
+                },
+            )
+        })
     }
 
     /// Adapt for binaries that run *several* sweeps in sequence: a fresh
@@ -125,6 +162,7 @@ impl SweepOptions {
             SweepOptions {
                 journal: None,
                 resume: Some(path.clone()),
+                ..self
             }
         } else {
             self
@@ -346,15 +384,54 @@ pub fn run_one_observed(
 /// run clears a spurious deadlock trip while a true deadlock still fails
 /// every attempt identically. No wall-clock scheduling is involved, so
 /// results remain a pure function of the inputs.
+///
+/// With `ckpt` set, the attempt periodically snapshots its full engine
+/// state to the given path and — if a snapshot from an identically
+/// configured interrupted attempt is already there — resumes from it
+/// mid-kernel at the snapshot's exact cycle. Any restore failure
+/// (missing, torn, corrupt or differently configured snapshot, including
+/// one written under a different attempt's escalated watchdog) falls
+/// back to a full run from cycle 0; restore-then-run is byte-identical
+/// to the uninterrupted run, so the fallback is a cost, never a
+/// correctness, decision.
 fn run_cell_attempt(
     cfg: &MachineConfig,
     workload: &Workload,
     org: LlcOrgKind,
     attempt: u32,
+    ckpt: Option<(&Path, u64)>,
 ) -> Result<RunStats, CellError> {
     let mut c = cfg.clone();
     c.watchdog_cycles = sweep::escalate_budget(c.watchdog_cycles, attempt);
-    try_run_one(&c, workload, org)
+    let Some((path, interval)) = ckpt else {
+        return try_run_one(&c, workload, org);
+    };
+    let build = || {
+        SimBuilder::new(c.clone())
+            .organization(org)
+            .checkpoint_to(path, interval)
+            .build()
+    };
+    let mut sim = build()?;
+    if path.exists() {
+        match sim.restore_from_file(path, workload) {
+            Ok(()) => eprintln!(
+                "  resumed {}/{org} from checkpoint at cycle {}",
+                workload.name,
+                sim.cycle()
+            ),
+            Err(e) => {
+                eprintln!(
+                    "  discarding unusable checkpoint for {}/{org} ({e}); running from cycle 0",
+                    workload.name
+                );
+                // A failed restore may have partially overwritten the
+                // simulator; rebuild rather than trust it.
+                sim = build()?;
+            }
+        }
+    }
+    Ok(sim.run(workload)?)
 }
 
 /// Run one benchmark under the given organizations on `cfg`, fanning the
@@ -414,6 +491,11 @@ pub fn run_profiles(
         sweep::jobs()
     );
     let journal = opts.open_journal();
+    let ckpt = opts.ckpt();
+    if let Some((dir, _)) = ckpt {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| panic!("cannot create state dir {}: {e}", dir.display()));
+    }
     let workloads: Vec<Arc<Workload>> =
         sweep::map(profs.to_vec(), |p| Arc::new(generate(cfg, &p, params)));
     let pairs: Vec<(usize, LlcOrgKind)> = (0..profs.len())
@@ -423,24 +505,52 @@ pub fn run_profiles(
         let name = format!("{}/{}", profs[pi].name, org.label());
         let desc = cell_config_desc(cfg, params, profs[pi].name, org);
         let hash = journal::fnv1a_64(desc.as_bytes());
+        // A prior journal record either replays (completed) or seeds the
+        // attempt counter (quarantined), so a resume continues the budget
+        // escalation where the interrupted run stopped instead of
+        // restarting it from zero.
+        let mut prior_attempts = 0;
         if let Some(j) = &journal {
-            let replay = j
-                .lock()
-                .expect("journal lock")
-                .lookup_verified(&name, hash, &desc)
-                .and_then(|r| r.stats().ok().flatten());
-            if let Some(stats) = replay {
-                eprintln!("  replayed {name} from journal");
-                return (
-                    name,
-                    CellOutcome {
-                        attempts: 0,
-                        result: Ok(stats),
-                    },
-                );
+            let guard = j.lock().expect("journal lock");
+            if let Some(r) = guard.lookup_verified(&name, hash, &desc) {
+                match &r.outcome {
+                    RecordOutcome::Completed { .. } => {
+                        if let Ok(Some(stats)) = r.stats() {
+                            eprintln!("  replayed {name} from journal");
+                            return (
+                                name,
+                                CellOutcome {
+                                    attempts: 0,
+                                    result: Ok(stats),
+                                },
+                            );
+                        }
+                    }
+                    RecordOutcome::Quarantined { .. } => {
+                        prior_attempts = r.attempts;
+                        eprintln!("  retrying quarantined {name} from attempt {prior_attempts}");
+                    }
+                }
             }
         }
-        let out = sweep::run_cell(|attempt| run_cell_attempt(cfg, &workloads[pi], org, attempt));
+        let snapshot =
+            ckpt.map(|(dir, interval)| (state::cell_snapshot_path(dir, &name, hash), interval));
+        let out = sweep::run_cell_from(prior_attempts, |attempt| {
+            run_cell_attempt(
+                cfg,
+                &workloads[pi],
+                org,
+                attempt,
+                snapshot.as_ref().map(|(p, i)| (p.as_path(), *i)),
+            )
+        });
+        // A terminal outcome supersedes the cell's snapshot: a completed
+        // cell replays from the journal and a quarantined one re-runs
+        // under a different escalated budget, so the snapshot can never
+        // be consumed again (`state::gc_state` reaps any we miss here).
+        if let Some((p, _)) = &snapshot {
+            let _ = std::fs::remove_file(p);
+        }
         if let Some(j) = &journal {
             let outcome = match &out.result {
                 Ok(stats) => RecordOutcome::Completed {
@@ -667,7 +777,7 @@ mod tests {
             &orgs,
             &SweepOptions {
                 journal: Some(path.clone()),
-                resume: None,
+                ..SweepOptions::none()
             },
         )
         .unwrap();
@@ -681,8 +791,8 @@ mod tests {
             &params,
             &orgs,
             &SweepOptions {
-                journal: None,
                 resume: Some(path.clone()),
+                ..SweepOptions::none()
             },
         )
         .unwrap();
@@ -722,7 +832,7 @@ mod tests {
             &sections,
             &SweepOptions {
                 journal: Some(path.clone()),
-                resume: None,
+                ..SweepOptions::none()
             },
         )
         .unwrap();
@@ -736,8 +846,8 @@ mod tests {
             "demo",
             &sections,
             &SweepOptions {
-                journal: None,
                 resume: Some(path.clone()),
+                ..SweepOptions::none()
             },
         )
         .unwrap();
@@ -754,8 +864,8 @@ mod tests {
             "demo",
             &changed,
             &SweepOptions {
-                journal: None,
                 resume: Some(path.clone()),
+                ..SweepOptions::none()
             },
         )
         .unwrap();

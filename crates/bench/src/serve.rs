@@ -37,13 +37,16 @@
 
 use crate::journal::{cell_config_desc, fnv1a_64, Journal, JournalRecord, RecordOutcome};
 use crate::proto::{self, ChunkedBody, HttpRequest, ProtoError};
+use crate::state;
 use crate::sweep::{self, CellError};
 use mcgpu_sim::{org, SimBuilder, SimError};
 use mcgpu_trace::{generate, profiles, TraceParams};
 use mcgpu_types::json::{escape_into, parse, JsonValue};
-use mcgpu_types::{CellPhase, LlcOrgKind, MachineConfig, ObsConfig, RequestPhase, ServeErrorCode};
+use mcgpu_types::{
+    fsio, CellPhase, LlcOrgKind, MachineConfig, ObsConfig, RequestPhase, ServeErrorCode,
+};
 use std::collections::{HashMap, VecDeque};
-use std::io::{BufReader, Write};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -262,6 +265,13 @@ pub struct ServerConfig {
     /// execution so a chaos harness can reliably `SIGKILL` mid-campaign.
     /// Delays execution only; cannot change any result.
     pub stall_ms: u64,
+    /// Mid-cell checkpoint cadence in simulated cycles; `0` (the default)
+    /// disables engine checkpointing. When enabled, every running cell
+    /// periodically snapshots its full simulator state under
+    /// `state_dir/ckpt/`, and after a crash a re-adopted cell resumes
+    /// mid-cycle from its latest valid snapshot — byte-identically to an
+    /// uninterrupted run — instead of restarting from cycle 0.
+    pub ckpt_interval: u64,
 }
 
 impl Default for ServerConfig {
@@ -271,6 +281,7 @@ impl Default for ServerConfig {
             state_dir: PathBuf::from("results/serve"),
             max_queue: 256,
             stall_ms: 0,
+            ckpt_interval: 0,
         }
     }
 }
@@ -335,7 +346,23 @@ struct Inner {
     /// Wakes status pollers / event streams when any request progresses.
     progress: Condvar,
     journal: Mutex<Journal>,
-    manifest: Mutex<std::fs::File>,
+    /// Path of the request manifest; appends go through
+    /// [`fsio::append_durable`] under this lock so concurrent handlers
+    /// never interleave lines.
+    manifest: Mutex<PathBuf>,
+}
+
+impl Inner {
+    /// The engine-checkpoint directory, when checkpointing is enabled.
+    fn ckpt_dir(&self) -> Option<PathBuf> {
+        (self.cfg.ckpt_interval > 0).then(|| self.cfg.state_dir.join("ckpt"))
+    }
+
+    /// The snapshot path for one job, when checkpointing is enabled.
+    fn snapshot_path(&self, key: &JobKey) -> Option<PathBuf> {
+        self.ckpt_dir()
+            .map(|d| state::cell_snapshot_path(&d, &key.0, key.1))
+    }
 }
 
 /// A running daemon instance. Dropping the handle does not stop the
@@ -358,10 +385,6 @@ impl Server {
         let journal = Journal::open(cfg.state_dir.join("journal.jsonl"))?;
         let manifest_path = cfg.state_dir.join("manifest.jsonl");
         let recovered = load_manifest(&manifest_path);
-        let manifest = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&manifest_path)?;
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
 
@@ -371,8 +394,27 @@ impl Server {
             work: Condvar::new(),
             progress: Condvar::new(),
             journal: Mutex::new(journal),
-            manifest: Mutex::new(manifest),
+            manifest: Mutex::new(manifest_path),
         });
+
+        // With checkpointing on, reap stale state left by the previous
+        // incarnation before any re-adopted cell goes looking for its
+        // snapshot: superseded snapshots, torn files, orphaned tmps.
+        if let Some(dir) = inner.ckpt_dir() {
+            std::fs::create_dir_all(&dir)?;
+            let journal = inner.journal.lock().expect("journal lock");
+            match state::gc_state(&dir, Some(&journal), false) {
+                Ok(r) if !r.reclaimable.is_empty() => {
+                    eprintln!(
+                        "sac_serve: reaped {} stale state file(s) from {}",
+                        r.reclaimable.len(),
+                        dir.display()
+                    );
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("sac_serve: state GC failed: {e}"),
+            }
+        }
 
         // Re-adopt every acknowledged request before accepting traffic:
         // completed cells replay from the journal byte-identically,
@@ -420,11 +462,12 @@ impl Server {
         };
 
         // Publish the bound address for scripts (the port may be
-        // OS-assigned); rewritten atomically so a concurrently restarting
-        // client never reads a torn line.
-        let addr_tmp = inner.cfg.state_dir.join("serve.addr.tmp");
-        std::fs::write(&addr_tmp, format!("{addr}\n"))?;
-        std::fs::rename(&addr_tmp, inner.cfg.state_dir.join("serve.addr"))?;
+        // OS-assigned); written durably and atomically so a concurrently
+        // restarting client never reads a torn or vanishing line.
+        fsio::atomic_write(
+            &inner.cfg.state_dir.join("serve.addr"),
+            format!("{addr}\n").as_bytes(),
+        )?;
 
         Ok(Server {
             inner,
@@ -509,13 +552,13 @@ fn load_manifest(path: &std::path::Path) -> Vec<(String, (String, Option<Request
         .collect()
 }
 
-/// Append one manifest op and fsync it. Manifest I/O failures abort the
-/// process — they are environment errors, and acknowledging work that is
-/// not durable would defeat the manifest's purpose.
+/// Append one manifest op durably ([`fsio::append_durable`]: write +
+/// `fsync`). Manifest I/O failures abort the process — they are
+/// environment errors, and acknowledging work that is not durable would
+/// defeat the manifest's purpose.
 fn manifest_append(inner: &Inner, line: &str) {
-    let mut f = inner.manifest.lock().expect("manifest lock");
-    writeln!(f, "{line}").expect("write request manifest");
-    f.sync_all().expect("sync request manifest");
+    let path = inner.manifest.lock().expect("manifest lock");
+    fsio::append_durable(&path, format!("{line}\n").as_bytes()).expect("write request manifest");
 }
 
 fn manifest_accepted_line(id: &str, spec_canon: &str) -> String {
@@ -846,6 +889,12 @@ fn scheduler_loop(inner: &Arc<Inner>) {
 /// One attempt of one job: generate the trace, build the simulator with
 /// the cooperative cancellation flag and escalated budgets, run, and
 /// return the canonical stats plus the obs-v1 report.
+///
+/// With checkpointing enabled the simulator periodically snapshots its
+/// full state under `state_dir/ckpt/`; if a snapshot from an interrupted
+/// identically-configured attempt exists (a `SIGKILL` mid-campaign), the
+/// re-adopted job resumes mid-cycle from it — byte-identically to an
+/// uninterrupted run. Any restore failure falls back to a full run.
 fn run_job_attempt(
     inner: &Inner,
     item: &RunItem,
@@ -863,14 +912,41 @@ fn run_job_attempt(
     let mut cfg = item.machine.clone();
     cfg.watchdog_cycles = sweep::escalate_budget(cfg.watchdog_cycles, attempt);
     let wl = generate(&item.machine, &profile, &item.params);
-    let mut b = SimBuilder::new(cfg)
-        .organization(item.orgk)
-        .observability(ObsConfig::metrics())
-        .cancel_flag(Arc::clone(&item.cancel));
-    if let Some(m) = item.max_cycles {
-        b = b.max_cycles(sweep::escalate_budget(m, attempt));
+    let snapshot = inner.snapshot_path(&item.key);
+    let build = |cfg: MachineConfig| {
+        let mut b = SimBuilder::new(cfg)
+            .organization(item.orgk)
+            .observability(ObsConfig::metrics())
+            .cancel_flag(Arc::clone(&item.cancel));
+        if let Some(p) = &snapshot {
+            b = b.checkpoint_to(p, inner.cfg.ckpt_interval);
+        }
+        if let Some(m) = item.max_cycles {
+            b = b.max_cycles(sweep::escalate_budget(m, attempt));
+        }
+        b.build()
+    };
+    let mut sim = build(cfg.clone())?;
+    if let Some(p) = &snapshot {
+        if p.exists() {
+            match sim.restore_from_file(p, &wl) {
+                Ok(()) => eprintln!(
+                    "sac_serve: resumed {} from checkpoint at cycle {}",
+                    item.key.0,
+                    sim.cycle()
+                ),
+                Err(e) => {
+                    eprintln!(
+                        "sac_serve: discarding unusable checkpoint for {} ({e})",
+                        item.key.0
+                    );
+                    // A failed restore may have partially overwritten the
+                    // simulator; rebuild rather than trust it.
+                    sim = build(cfg)?;
+                }
+            }
+        }
     }
-    let mut sim = b.build()?;
     let stats = sim.run(&wl)?;
     let obs = sim.take_obs_report().map(|r| r.to_canonical_json());
     Ok((stats.to_canonical_json(), obs))
@@ -894,6 +970,12 @@ fn publish_completed(inner: &Inner, item: &RunItem, attempts: u32, out: (String,
             outcome: outcome.clone(),
         })
         .expect("write run journal");
+    // The journaled result supersedes the job's mid-run snapshot (future
+    // duplicates replay from the journal); the startup/reaper GC catches
+    // any unlink we lose to a crash right here.
+    if let Some(p) = inner.snapshot_path(&item.key) {
+        let _ = std::fs::remove_file(p);
+    }
     let mut st = inner.state.lock().expect("state lock");
     deliver_locked(
         inner,
@@ -927,17 +1009,40 @@ fn publish_quarantined(inner: &Inner, key: &JobKey, attempts: u32, err: &CellErr
             outcome: outcome.clone(),
         })
         .expect("write run journal");
+    // A quarantined cell's snapshot is dead weight: a future retry runs
+    // under an escalated budget the snapshot's fingerprint would reject.
+    if let Some(p) = inner.snapshot_path(key) {
+        let _ = std::fs::remove_file(p);
+    }
     let mut st = inner.state.lock().expect("state lock");
     deliver_locked(inner, &mut st, key, attempts, &outcome, None);
 }
+
+/// How many 50 ms reaper ticks between stale-state GC passes (~10 s).
+const GC_EVERY_TICKS: u32 = 200;
 
 /// Expire per-request wall-clock budgets and propagate cancellation to
 /// jobs all of whose subscribers have been cancelled. A job shared with a
 /// still-live request keeps running — delivering a completed result to an
 /// expired request is strictly better than quarantining it.
+///
+/// The reaper also owns periodic stale-state GC: every ~10 s it sweeps
+/// the checkpoint directory for superseded snapshots, corrupt files and
+/// orphaned tmps ([`state::gc_state`]), so missed unlinks (crash between
+/// journal append and snapshot removal) cannot accumulate.
 fn reaper_loop(inner: &Arc<Inner>) {
+    let mut ticks: u32 = 0;
     loop {
         std::thread::sleep(Duration::from_millis(50));
+        ticks = ticks.wrapping_add(1);
+        if ticks.is_multiple_of(GC_EVERY_TICKS) {
+            if let Some(dir) = inner.ckpt_dir() {
+                let journal = inner.journal.lock().expect("journal lock");
+                if let Err(e) = state::gc_state(&dir, Some(&journal), false) {
+                    eprintln!("sac_serve: state GC failed: {e}");
+                }
+            }
+        }
         let mut st = inner.state.lock().expect("state lock");
         if st.shutting_down {
             return;

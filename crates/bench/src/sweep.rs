@@ -137,6 +137,7 @@ impl CellError {
             CellError::Sim(SimError::Cancelled { .. }) => "cancelled",
             CellError::Sim(SimError::InvariantViolation { .. }) => "invariant-violation",
             CellError::Sim(SimError::Config(_)) => "config",
+            CellError::Sim(SimError::Checkpoint { .. }) => "checkpoint",
         }
     }
 
@@ -153,7 +154,7 @@ impl CellError {
     pub fn kind_retryable(kind: &str) -> Option<bool> {
         match kind {
             "cycle-limit" | "deadlock" | "timeout" | "cancelled" => Some(true),
-            "panic" | "invariant-violation" | "config" => Some(false),
+            "panic" | "invariant-violation" | "config" | "checkpoint" => Some(false),
             _ => None,
         }
     }
@@ -228,7 +229,23 @@ pub fn escalate_budget(base: u64, attempt: u32) -> u64 {
 /// they never propagate to the caller or to sibling cells. Non-retryable
 /// errors (see [`CellError::retryable`]) quarantine the cell immediately.
 pub fn run_cell<R>(f: impl Fn(u32) -> Result<R, CellError>) -> CellOutcome<R> {
-    let mut attempt = 0;
+    run_cell_from(0, f)
+}
+
+/// [`run_cell`] continuing an earlier run's attempt sequence: the first
+/// call is `f(prior_attempts)` and up to [`MAX_ATTEMPTS`] *fresh* attempts
+/// execute. A resumed quarantined cell therefore keeps escalating its
+/// budgets from where the interrupted run stopped instead of re-running
+/// the attempts (and budgets) that already failed. The returned
+/// `attempts` is cumulative (`prior_attempts` + fresh attempts), which is
+/// what the run journal persists so a later resume continues the same
+/// sequence.
+pub fn run_cell_from<R>(
+    prior_attempts: u32,
+    f: impl Fn(u32) -> Result<R, CellError>,
+) -> CellOutcome<R> {
+    let limit = prior_attempts.saturating_add(MAX_ATTEMPTS);
+    let mut attempt = prior_attempts;
     loop {
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(attempt)));
         let err = match caught {
@@ -244,7 +261,7 @@ pub fn run_cell<R>(f: impl Fn(u32) -> Result<R, CellError>) -> CellOutcome<R> {
             },
         };
         attempt += 1;
-        if attempt >= MAX_ATTEMPTS || !err.retryable() {
+        if attempt >= limit || !err.retryable() {
             return CellOutcome {
                 attempts: attempt,
                 result: Err(err),
@@ -321,6 +338,26 @@ mod tests {
             out.result,
             Err(CellError::Sim(SimError::CycleLimit { limit: 7 }))
         );
+    }
+
+    #[test]
+    fn run_cell_from_continues_the_attempt_sequence() {
+        // A cell quarantined at attempts=3 resumes with f(3), f(4), f(5):
+        // escalation picks up where the interrupted run stopped.
+        let seen = std::sync::Mutex::new(Vec::new());
+        let out: CellOutcome<()> = run_cell_from(3, |attempt| {
+            seen.lock().unwrap().push(attempt);
+            Err(CellError::Sim(SimError::CycleLimit {
+                limit: 1000 << attempt,
+            }))
+        });
+        assert_eq!(*seen.lock().unwrap(), vec![3, 4, 5]);
+        assert_eq!(out.attempts, 6, "attempts are cumulative across resumes");
+
+        // Success on the first resumed attempt reports prior + 1.
+        let out = run_cell_from(2, Ok::<u32, CellError>);
+        assert_eq!(out.attempts, 3);
+        assert_eq!(out.result, Ok(2), "first fresh attempt is f(prior)");
     }
 
     #[test]

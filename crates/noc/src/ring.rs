@@ -320,6 +320,93 @@ impl<T> RingNetwork<T> {
     pub fn bytes_sent_from(&self, chip: ChipId) -> u64 {
         self.sent_from[chip.index()]
     }
+
+    /// Serialize the full ring state (link pipes with queued and in-flight
+    /// packets, link liveness, transit and arrival buffers, counters) into
+    /// a checkpoint payload, encoding each payload with `f`. The topology
+    /// config is not serialized — the restoring side rebuilds from the same
+    /// [`MachineConfig`].
+    pub fn save_with(
+        &self,
+        e: &mut mcgpu_types::Enc,
+        mut f: impl FnMut(&mut mcgpu_types::Enc, &T),
+    ) {
+        let mut put_pkt = |e: &mut mcgpu_types::Enc, pkt: &RingPacket<T>| {
+            e.put_u8(pkt.dest.0);
+            e.put_u64(pkt.bytes);
+            f(e, &pkt.payload);
+        };
+        e.put_seq_len(self.chips);
+        for chip in 0..self.chips {
+            for dir in 0..2 {
+                self.links[chip][dir].save_with(e, &mut put_pkt);
+                e.put_bool(self.alive[chip][dir]);
+            }
+            e.put_seq_len(self.transit[chip].len());
+            for pkt in &self.transit[chip] {
+                put_pkt(e, pkt);
+            }
+            e.put_seq_len(self.arrived[chip].len());
+            for pkt in &self.arrived[chip] {
+                put_pkt(e, pkt);
+            }
+            e.put_u64(self.sent_from[chip]);
+        }
+        e.put_u64(self.delivered);
+        e.put_u64(self.bytes_sent);
+    }
+
+    /// Overwrite this ring's dynamic state from a payload saved by
+    /// [`RingNetwork::save_with`], decoding each payload with `f`. The
+    /// ring must have been constructed for the same machine.
+    ///
+    /// # Errors
+    /// Returns a decode error on truncated input or a chip-count mismatch.
+    pub fn load_into(
+        &mut self,
+        d: &mut mcgpu_types::Dec<'_>,
+        mut f: impl FnMut(&mut mcgpu_types::Dec<'_>) -> mcgpu_types::CkptResult<T>,
+    ) -> mcgpu_types::CkptResult<()> {
+        let chips = d.get_seq_len()?;
+        if chips != self.chips {
+            return Err(mcgpu_types::CkptError::Decode(format!(
+                "ring chip count mismatch: snapshot {chips}, live {}",
+                self.chips
+            )));
+        }
+        let mut get_pkt = |d: &mut mcgpu_types::Dec<'_>| -> mcgpu_types::CkptResult<RingPacket<T>> {
+            let dest = ChipId(d.get_u8()?);
+            let bytes = d.get_u64()?;
+            let payload = f(d)?;
+            Ok(RingPacket {
+                dest,
+                bytes,
+                payload,
+            })
+        };
+        for chip in 0..chips {
+            for dir in 0..2 {
+                self.links[chip][dir] = Pipe::load_with(d, &mut get_pkt)?;
+                self.alive[chip][dir] = d.get_bool()?;
+            }
+            let n = d.get_seq_len()?;
+            self.transit[chip].clear();
+            for _ in 0..n {
+                let pkt = get_pkt(d)?;
+                self.transit[chip].push(pkt);
+            }
+            let n = d.get_seq_len()?;
+            self.arrived[chip].clear();
+            for _ in 0..n {
+                let pkt = get_pkt(d)?;
+                self.arrived[chip].push(pkt);
+            }
+            self.sent_from[chip] = d.get_u64()?;
+        }
+        self.delivered = d.get_u64()?;
+        self.bytes_sent = d.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

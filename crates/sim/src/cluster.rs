@@ -249,6 +249,64 @@ impl Cluster {
     pub fn l1_stats(&self) -> &mcgpu_cache::CacheStats {
         self.l1.stats()
     }
+
+    /// Serialize the cluster's live state (L1 contents, trace cursor,
+    /// MSHRs, pacing) into a checkpoint payload. The trace itself is not
+    /// serialized — restore re-attaches it from the workload.
+    pub fn save(&self, e: &mut mcgpu_types::Enc) {
+        self.l1.save(e);
+        e.put_usize(self.cursor);
+        e.put_u32(self.gap_remaining);
+        e.put_u32(self.compute_gap);
+        e.put_seq_len(self.mshrs.entries.len());
+        for &(line, merged) in &self.mshrs.entries {
+            e.put_u64(line);
+            e.put_u32(merged);
+        }
+        e.put_bool(self.deferred.is_some());
+        if let Some(acc) = &self.deferred {
+            e.put_access(acc);
+        }
+        e.put_u64(self.reads_done);
+        e.put_u64(self.writes_issued);
+    }
+
+    /// Restore state saved by [`Cluster::save`] into this cluster. The
+    /// caller must have re-attached the in-progress kernel's trace (via
+    /// [`Cluster::load_kernel`]) first — the saved cursor is validated
+    /// against the attached stream.
+    ///
+    /// # Errors
+    /// Returns a decode error on truncated or malformed input, or when the
+    /// saved cursor runs past the attached trace.
+    pub fn load_into(&mut self, d: &mut mcgpu_types::Dec<'_>) -> mcgpu_types::CkptResult<()> {
+        self.l1.load_into(d)?;
+        let cursor = d.get_usize()?;
+        if cursor > self.trace.len() {
+            return Err(mcgpu_types::CkptError::Decode(format!(
+                "cluster cursor {cursor} exceeds attached trace length {}",
+                self.trace.len()
+            )));
+        }
+        self.cursor = cursor;
+        self.gap_remaining = d.get_u32()?;
+        self.compute_gap = d.get_u32()?;
+        let n = d.get_seq_len()?;
+        self.mshrs.entries.clear();
+        for _ in 0..n {
+            let line = d.get_u64()?;
+            let merged = d.get_u32()?;
+            self.mshrs.entries.push((line, merged));
+        }
+        self.deferred = if d.get_bool()? {
+            Some(d.get_access()?)
+        } else {
+            None
+        };
+        self.reads_done = d.get_u64()?;
+        self.writes_issued = d.get_u64()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -54,6 +54,18 @@ impl SharerDirectory {
     pub(super) fn clear(&mut self) {
         self.masks.fill(0);
     }
+
+    /// Serialize the sharer table into a checkpoint payload.
+    pub(super) fn save(&self, e: &mut mcgpu_types::Enc) {
+        e.put_bytes(&self.masks);
+    }
+
+    /// Deserialize a table saved by [`SharerDirectory::save`].
+    pub(super) fn load(d: &mut mcgpu_types::Dec<'_>) -> mcgpu_types::CkptResult<Self> {
+        Ok(SharerDirectory {
+            masks: d.get_bytes()?.to_vec(),
+        })
+    }
 }
 
 impl Simulator {

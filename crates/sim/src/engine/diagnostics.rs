@@ -9,7 +9,7 @@ use mcgpu_types::ConfigError;
 /// How often the wall-clock deadline is checked (cycles). Coarse enough to
 /// keep `Instant::now` off the hot path, fine enough that a runaway cell is
 /// caught within a fraction of a second.
-const DEADLINE_CHECK_PERIOD: u64 = 65_536;
+pub(super) const DEADLINE_CHECK_PERIOD: u64 = 65_536;
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +62,13 @@ pub enum SimError {
         /// What the audit counted.
         report: Box<ConservationReport>,
     },
+    /// A checkpoint snapshot could not be written or restored. Carries the
+    /// underlying error rendered to text (I/O failure, torn or corrupt
+    /// snapshot, fingerprint mismatch).
+    Checkpoint {
+        /// What went wrong.
+        detail: String,
+    },
     /// The simulator could not be built or run from the given inputs.
     Config(ConfigError),
 }
@@ -102,6 +109,9 @@ impl std::fmt::Display for SimError {
                     f,
                     "request-conservation violation at cycle {cycle}: {report}"
                 )
+            }
+            SimError::Checkpoint { detail } => {
+                write!(f, "checkpoint failure: {detail}")
             }
             SimError::Config(e) => write!(f, "{e}"),
         }

@@ -22,11 +22,13 @@
 #![deny(missing_docs)]
 
 mod boundary;
+mod ckpt;
 mod coherence;
 mod diagnostics;
 mod faults;
 mod tick;
 
+pub use ckpt::workload_fingerprint;
 pub use diagnostics::{
     ChipConservation, ChipSnapshot, ConservationReport, DeadlockSnapshot, SimError,
 };
@@ -61,6 +63,8 @@ pub struct SimBuilder {
     cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
     audit_period: u64,
     obs: ObsConfig,
+    ckpt_path: Option<std::path::PathBuf>,
+    ckpt_interval: u64,
 }
 
 /// Request-conservation audit cadence in debug builds. Release builds
@@ -93,6 +97,8 @@ impl SimBuilder {
                 0
             },
             obs: ObsConfig::off(),
+            ckpt_path: None,
+            ckpt_interval: 0,
         }
     }
 
@@ -161,6 +167,21 @@ impl SimBuilder {
     /// changes simulation results — only whether corruption is detected.
     pub fn conservation_audit(mut self, period: u64) -> Self {
         self.audit_period = period;
+        self
+    }
+
+    /// Write a `mcgpu-ckpt-v1` engine snapshot to `path` roughly every
+    /// `interval` cycles (`0` disables checkpointing, the default). Writes
+    /// land on the engine's coarse 65,536-cycle deadline-check grid, so the
+    /// effective period is `interval` rounded up to that grid. Snapshot
+    /// writing is strictly read-only with respect to simulation state:
+    /// runs with checkpointing enabled are byte-identical to runs without.
+    /// Each write replaces the previous snapshot atomically
+    /// (write-tmp → fsync → rename), so a crash mid-write leaves the prior
+    /// snapshot readable.
+    pub fn checkpoint_to(mut self, path: impl Into<std::path::PathBuf>, interval: u64) -> Self {
+        self.ckpt_path = Some(path.into());
+        self.ckpt_interval = interval;
         self
     }
 
@@ -242,6 +263,27 @@ pub struct Simulator {
     /// Request-conservation audit cadence in cycles (`0` = disabled).
     audit_period: u64,
 
+    // --- checkpointing ---
+    /// Where periodic snapshots are written (`None` = checkpointing off).
+    ckpt_path: Option<std::path::PathBuf>,
+    /// Requested snapshot period in cycles (`0` = off); writes land on the
+    /// coarse deadline-check grid.
+    ckpt_interval: u64,
+    /// Cycle of the last snapshot written (or the restore point).
+    last_ckpt_cycle: u64,
+    /// Cached workload fingerprint for periodic snapshot stamping
+    /// (computed once per run when checkpointing is enabled).
+    wl_fingerprint: Option<u64>,
+    /// Index of the kernel currently executing (a resume cursor).
+    kernel_index: usize,
+    /// Cycle the current kernel started at.
+    kernel_start_cycle: u64,
+    /// Completed work count when the current kernel started.
+    work_before: u64,
+    /// Set by [`Simulator::restore`]: the next `run` continues kernel
+    /// `resume_kernel` mid-stream instead of starting from kernel 0.
+    resume_kernel: Option<usize>,
+
     // --- observability ---
     /// Read-only run observer (`None` when observability is off, which is
     /// the default; every hook below is then a single branch). Boxed so the
@@ -279,6 +321,8 @@ impl Simulator {
             cancel,
             audit_period,
             obs,
+            ckpt_path,
+            ckpt_interval,
         } = b;
         let obs = obs
             .level
@@ -309,6 +353,14 @@ impl Simulator {
             deadline_start: None,
             cancel,
             audit_period,
+            ckpt_path,
+            ckpt_interval,
+            last_ckpt_cycle: 0,
+            wl_fingerprint: None,
+            kernel_index: 0,
+            kernel_start_cycle: 0,
+            work_before: 0,
+            resume_kernel: None,
             obs,
             writes_done: 0,
             responses_by_origin: [0; 4],
@@ -381,36 +433,54 @@ impl Simulator {
         if self.deadline.is_some() {
             self.deadline_start = Some(std::time::Instant::now());
         }
-        // Pre-seed page placement from the workload layout (host-to-device
-        // transfers touch the data before kernel 0). This keeps placement
-        // identical across LLC organizations; pages outside the layout (none
-        // in generated workloads) still fall back to first-touch.
-        for p in 0..wl.layout.total_pages() {
-            let page = mcgpu_types::PageAddr(p);
-            if let Some(home) = wl.layout.natural_home(page) {
-                self.page_table.home_of(page, home);
+        if self.ckpt_interval != 0 && self.wl_fingerprint.is_none() {
+            self.wl_fingerprint = Some(workload_fingerprint(wl));
+        }
+        // A restore armed the resume cursor: skip everything the snapshot
+        // already contains (page seeding, completed kernels, the
+        // in-progress kernel's stream loading and `begin_kernel`).
+        let resume_at = self.resume_kernel.take();
+        if resume_at.is_none() {
+            // Pre-seed page placement from the workload layout (host-to-device
+            // transfers touch the data before kernel 0). This keeps placement
+            // identical across LLC organizations; pages outside the layout (none
+            // in generated workloads) still fall back to first-touch.
+            for p in 0..wl.layout.total_pages() {
+                let page = mcgpu_types::PageAddr(p);
+                if let Some(home) = wl.layout.natural_home(page) {
+                    self.page_table.home_of(page, home);
+                }
             }
         }
         for (ki, kernel) in wl.kernels.iter().enumerate() {
-            // Load the kernel's streams.
-            let gap = kernel.behavior.compute_gap;
-            for (flat, chip) in self.chips.iter_mut().enumerate() {
-                for (ci, cluster) in chip.clusters.iter_mut().enumerate() {
-                    let idx = flat * self.cfg.clusters_per_chip + ci;
-                    cluster.load_kernel(kernel.per_cluster[idx].clone(), gap);
-                }
+            if resume_at.is_some_and(|r| ki < r) {
+                continue;
             }
-            let kernel_start_cycle = self.cycle;
-            let work_before = self.cluster_reads_total() + self.writes_done;
+            if resume_at != Some(ki) {
+                // Load the kernel's streams.
+                let gap = kernel.behavior.compute_gap;
+                for (flat, chip) in self.chips.iter_mut().enumerate() {
+                    for (ci, cluster) in chip.clusters.iter_mut().enumerate() {
+                        let idx = flat * self.cfg.clusters_per_chip + ci;
+                        cluster.load_kernel(kernel.per_cluster[idx].clone(), gap);
+                    }
+                }
+                self.kernel_index = ki;
+                self.kernel_start_cycle = self.cycle;
+                self.work_before = self.cluster_reads_total() + self.writes_done;
 
-            let (now, ring_bytes, mem_bytes) =
-                (self.cycle, self.ring.bytes_sent(), self.mem_bytes_total());
-            self.policy.begin_kernel(now, ring_bytes, mem_bytes);
+                let (now, ring_bytes, mem_bytes) =
+                    (self.cycle, self.ring.bytes_sent(), self.mem_bytes_total());
+                self.policy.begin_kernel(now, ring_bytes, mem_bytes);
+            }
+            let kernel_start_cycle = self.kernel_start_cycle;
+            let work_before = self.work_before;
 
             // Execute until the kernel completes.
             while !self.kernel_done() {
                 self.tick(true);
                 self.check_progress()?;
+                self.maybe_checkpoint()?;
                 if every != u64::MAX && self.cycle.is_multiple_of(every) {
                     observer(
                         self.cycle,

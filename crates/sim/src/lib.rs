@@ -45,8 +45,8 @@ pub mod packet;
 pub mod stats;
 
 pub use engine::{
-    ChipConservation, ChipSnapshot, ConservationReport, DeadlockSnapshot, SimBuilder, SimError,
-    Simulator,
+    workload_fingerprint, ChipConservation, ChipSnapshot, ConservationReport, DeadlockSnapshot,
+    SimBuilder, SimError, Simulator,
 };
 pub use obs::{EpochSample, LatencyHistogram, MachineSnapshot, ObsReport, Observer, HIST_BUCKETS};
 pub use org::{BoundaryAction, LlcOrgPolicy, OrgDescriptor, RouteMode, REGISTRY};

@@ -71,4 +71,13 @@ impl LlcOrgPolicy for DynamicPolicy {
             ..EpochActions::default()
         }
     }
+
+    fn save_state(&self, e: &mut mcgpu_types::Enc) {
+        self.ctl.save(e);
+    }
+
+    fn load_state(&mut self, d: &mut mcgpu_types::Dec<'_>) -> mcgpu_types::CkptResult<()> {
+        self.ctl = DynamicCtl::load(d)?;
+        Ok(())
+    }
 }

@@ -121,7 +121,8 @@ fn run_under_plan(org: LlcOrgKind, events: Vec<FaultEvent>) {
         Err(
             e @ (SimError::Timeout { .. }
             | SimError::Cancelled { .. }
-            | SimError::InvariantViolation { .. }),
+            | SimError::InvariantViolation { .. }
+            | SimError::Checkpoint { .. }),
         ) => {
             panic!("unexpected abort: {e}")
         }

@@ -115,6 +115,26 @@ impl BandwidthBudget {
     pub fn available(&self) -> bool {
         self.credit > 0.0
     }
+
+    /// Serialize into a checkpoint payload (exact bit patterns — a
+    /// negative or infinite credit round-trips unchanged).
+    pub fn save(&self, e: &mut crate::ckpt::Enc) {
+        e.put_f64(self.rate);
+        e.put_f64(self.credit);
+        e.put_f64(self.cap);
+    }
+
+    /// Deserialize from a checkpoint payload.
+    ///
+    /// # Errors
+    /// Returns a decode error on truncated input.
+    pub fn load(d: &mut crate::ckpt::Dec<'_>) -> crate::ckpt::CkptResult<Self> {
+        Ok(BandwidthBudget {
+            rate: d.get_f64()?,
+            credit: d.get_f64()?,
+            cap: d.get_f64()?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,616 @@
+//! `mcgpu-ckpt-v1` — the versioned engine checkpoint codec.
+//!
+//! A checkpoint is a deterministic binary snapshot of the full live state
+//! of a simulation, written mid-run so a killed process can resume from
+//! the last snapshot instead of cycle 0. The format is deliberately dumb:
+//! a fixed little-endian byte stream with no self-description, because the
+//! correctness bar is *byte-identical resume* — the same state must encode
+//! to the same bytes on every platform, and a restored run must finish
+//! bit-for-bit equal to an uninterrupted one.
+//!
+//! # File layout
+//!
+//! ```text
+//! magic    13 B   "mcgpu-ckpt-v1"
+//! version   4 B   u32 LE (currently 1)
+//! length    8 B   u64 LE, byte length of payload
+//! payload   N B   engine state, encoded with [`Enc`]
+//! checksum  8 B   u64 LE, FNV-1a-64 over everything above
+//! ```
+//!
+//! The trailing length + checksum make torn writes detectable: a snapshot
+//! that was cut short by a crash fails the length or checksum test and is
+//! skipped by the loader ([`read_snapshot`] returns a typed error, never a
+//! partial payload). Files are produced through
+//! [`fsio::atomic_write`](crate::fsio::atomic_write), so a reader can also
+//! never observe a half-renamed file.
+//!
+//! # Versioning / compatibility policy
+//!
+//! The payload layout is tied to the engine's in-memory state, so any
+//! change to simulator state bumps `CKPT_VERSION` and readers reject other
+//! versions outright ([`CkptError::BadVersion`]) — a stale snapshot then
+//! falls back to a full re-run, which is always correct. There is no
+//! cross-version migration: checkpoints are resumable work products, not
+//! archival artifacts.
+
+use crate::ids::{ChipId, ClusterId};
+use crate::packet::{AccessKind, MemAccess, Request, RequestId, Response, ResponseOrigin};
+use std::fmt;
+use std::path::Path;
+
+/// Leading magic bytes of a checkpoint file.
+pub const CKPT_MAGIC: &[u8; 13] = b"mcgpu-ckpt-v1";
+/// Current payload-layout version.
+pub const CKPT_VERSION: u32 = 1;
+/// Bytes of framing around the payload (magic + version + length + checksum).
+const FRAME_BYTES: usize = 13 + 4 + 8 + 8;
+
+/// FNV-1a 64-bit hash (the workspace's standard content fingerprint).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Why a snapshot could not be loaded. Every variant is a "skip this file
+/// and fall back to a full run" signal — the loader never panics on bad
+/// bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CkptError {
+    /// The file could not be read at all.
+    Io(String),
+    /// The file is shorter than the fixed framing.
+    TooShort {
+        /// Actual file length in bytes.
+        len: usize,
+    },
+    /// The magic bytes are not `mcgpu-ckpt-v1`.
+    BadMagic,
+    /// The version field is not [`CKPT_VERSION`].
+    BadVersion(u32),
+    /// The recorded payload length disagrees with the file size (torn
+    /// write).
+    LengthMismatch {
+        /// Payload length recorded in the header.
+        recorded: u64,
+        /// Payload length actually present.
+        actual: u64,
+    },
+    /// The FNV-1a checksum over the file body does not match the trailer
+    /// (torn or corrupted write).
+    ChecksumMismatch,
+    /// The payload frame was intact but its contents did not decode — a
+    /// truncated field, an unknown enum tag, or state inconsistent with
+    /// the running configuration.
+    Decode(String),
+    /// The snapshot decodes but belongs to a different config/workload
+    /// fingerprint than the run trying to adopt it.
+    FingerprintMismatch {
+        /// Fingerprint recorded in the snapshot.
+        snapshot: u64,
+        /// Fingerprint of the run attempting the restore.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::TooShort { len } => {
+                write!(f, "checkpoint file too short ({len} B) to be valid")
+            }
+            CkptError::BadMagic => write!(f, "not a mcgpu-ckpt file (bad magic)"),
+            CkptError::BadVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (want {CKPT_VERSION})"
+                )
+            }
+            CkptError::LengthMismatch { recorded, actual } => write!(
+                f,
+                "torn checkpoint: header says {recorded} payload bytes, file has {actual}"
+            ),
+            CkptError::ChecksumMismatch => write!(f, "torn checkpoint: checksum mismatch"),
+            CkptError::Decode(e) => write!(f, "checkpoint payload did not decode: {e}"),
+            CkptError::FingerprintMismatch { snapshot, expected } => write!(
+                f,
+                "checkpoint fingerprint {snapshot:#018x} does not match run {expected:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+/// Decode result shorthand.
+pub type CkptResult<T> = Result<T, CkptError>;
+
+/// Little-endian byte-stream encoder for checkpoint payloads.
+///
+/// # Example
+/// ```
+/// use mcgpu_types::ckpt::{Dec, Enc};
+/// let mut e = Enc::new();
+/// e.put_u64(42);
+/// e.put_str("ring");
+/// let bytes = e.into_bytes();
+/// let mut d = Dec::new(&bytes);
+/// assert_eq!(d.get_u64().unwrap(), 42);
+/// assert_eq!(d.get_str().unwrap(), "ring");
+/// d.finish().unwrap();
+/// ```
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Consume the encoder, yielding the payload bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes encoded so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been encoded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a bool as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Append a `u16` little-endian.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32` little-endian.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` little-endian.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u128` little-endian.
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as `u64` (checkpoints are 64-bit regardless of
+    /// host).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Append an `f64` by its exact bit pattern (negative credit,
+    /// infinities and NaN payloads all round-trip bit-identically).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Append a sequence length prefix (then encode each element).
+    pub fn put_seq_len(&mut self, n: usize) {
+        self.put_usize(n);
+    }
+
+    /// Append a [`MemAccess`].
+    pub fn put_access(&mut self, a: &MemAccess) {
+        self.put_u64(a.addr.raw());
+        self.put_u8(match a.kind {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+        });
+    }
+
+    /// Append a [`ClusterId`].
+    pub fn put_cluster_id(&mut self, c: ClusterId) {
+        self.put_u8(c.chip.0);
+        self.put_u16(c.index);
+    }
+
+    /// Append a [`Request`].
+    pub fn put_request(&mut self, r: &Request) {
+        self.put_u64(r.id.0);
+        self.put_cluster_id(r.origin);
+        self.put_access(&r.access);
+        self.put_u8(r.home.0);
+    }
+
+    /// Append a [`Response`].
+    pub fn put_response(&mut self, r: &Response) {
+        self.put_u64(r.id.0);
+        self.put_cluster_id(r.dest);
+        self.put_access(&r.access);
+        self.put_u8(match r.origin {
+            ResponseOrigin::LocalLlc => 0,
+            ResponseOrigin::RemoteLlc => 1,
+            ResponseOrigin::LocalMem => 2,
+            ResponseOrigin::RemoteMem => 3,
+        });
+    }
+}
+
+/// Little-endian byte-stream decoder matching [`Enc`]. Every getter is
+/// bounds-checked and returns [`CkptError::Decode`] instead of panicking,
+/// so arbitrary corrupt bytes are safe to feed in.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decode from `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> CkptResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CkptError::Decode(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Require that every byte was consumed (trailing garbage is a decode
+    /// error — it means encoder and decoder disagree on the layout).
+    pub fn finish(&self) -> CkptResult<()> {
+        if self.remaining() != 0 {
+            return Err(CkptError::Decode(format!(
+                "{} trailing bytes after payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read one byte.
+    pub fn get_u8(&mut self) -> CkptResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool (rejecting anything but 0/1).
+    pub fn get_bool(&mut self) -> CkptResult<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(CkptError::Decode(format!("invalid bool byte {b}"))),
+        }
+    }
+
+    /// Read a `u16` little-endian.
+    pub fn get_u16(&mut self) -> CkptResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32` little-endian.
+    pub fn get_u32(&mut self) -> CkptResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64` little-endian.
+    pub fn get_u64(&mut self) -> CkptResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a `u128` little-endian.
+    pub fn get_u128(&mut self) -> CkptResult<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    /// Read a `usize` (stored as `u64`), rejecting values that do not fit.
+    pub fn get_usize(&mut self) -> CkptResult<usize> {
+        let v = self.get_u64()?;
+        usize::try_from(v).map_err(|_| CkptError::Decode(format!("usize overflow: {v}")))
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn get_f64(&mut self) -> CkptResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> CkptResult<&'a [u8]> {
+        let n = self.get_usize()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> CkptResult<&'a str> {
+        std::str::from_utf8(self.get_bytes()?)
+            .map_err(|e| CkptError::Decode(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Read a sequence length prefix, rejecting lengths that could not
+    /// possibly fit in the remaining bytes (defends `Vec::with_capacity`
+    /// against corrupt length fields).
+    pub fn get_seq_len(&mut self) -> CkptResult<usize> {
+        let n = self.get_usize()?;
+        if n > self.remaining() {
+            return Err(CkptError::Decode(format!(
+                "sequence length {n} exceeds remaining {} bytes",
+                self.remaining()
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Read a [`MemAccess`].
+    pub fn get_access(&mut self) -> CkptResult<MemAccess> {
+        let addr = crate::addr::Address::new(self.get_u64()?);
+        let kind = match self.get_u8()? {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            t => return Err(CkptError::Decode(format!("invalid AccessKind tag {t}"))),
+        };
+        Ok(MemAccess { addr, kind })
+    }
+
+    /// Read a [`ClusterId`].
+    pub fn get_cluster_id(&mut self) -> CkptResult<ClusterId> {
+        let chip = ChipId(self.get_u8()?);
+        let index = self.get_u16()?;
+        Ok(ClusterId { chip, index })
+    }
+
+    /// Read a [`Request`].
+    pub fn get_request(&mut self) -> CkptResult<Request> {
+        Ok(Request {
+            id: RequestId(self.get_u64()?),
+            origin: self.get_cluster_id()?,
+            access: self.get_access()?,
+            home: ChipId(self.get_u8()?),
+        })
+    }
+
+    /// Read a [`Response`].
+    pub fn get_response(&mut self) -> CkptResult<Response> {
+        Ok(Response {
+            id: RequestId(self.get_u64()?),
+            dest: self.get_cluster_id()?,
+            access: self.get_access()?,
+            origin: match self.get_u8()? {
+                0 => ResponseOrigin::LocalLlc,
+                1 => ResponseOrigin::RemoteLlc,
+                2 => ResponseOrigin::LocalMem,
+                3 => ResponseOrigin::RemoteMem,
+                t => {
+                    return Err(CkptError::Decode(format!("invalid ResponseOrigin tag {t}")));
+                }
+            },
+        })
+    }
+}
+
+/// Frame `payload` into the `mcgpu-ckpt-v1` file layout (magic, version,
+/// length, payload, checksum).
+pub fn frame_snapshot(payload: &[u8]) -> Vec<u8> {
+    let mut file = Vec::with_capacity(payload.len() + FRAME_BYTES);
+    file.extend_from_slice(CKPT_MAGIC);
+    file.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+    file.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    file.extend_from_slice(payload);
+    let sum = fnv1a64(&file);
+    file.extend_from_slice(&sum.to_le_bytes());
+    file
+}
+
+/// Validate framing and return the payload slice of an in-memory snapshot
+/// file image.
+///
+/// # Errors
+/// Any framing violation (magic, version, length, checksum) yields the
+/// corresponding [`CkptError`]; no partial payload is ever returned.
+pub fn unframe_snapshot(file: &[u8]) -> CkptResult<&[u8]> {
+    if file.len() < FRAME_BYTES {
+        return Err(CkptError::TooShort { len: file.len() });
+    }
+    if &file[..13] != CKPT_MAGIC {
+        return Err(CkptError::BadMagic);
+    }
+    let version = u32::from_le_bytes(file[13..17].try_into().unwrap());
+    if version != CKPT_VERSION {
+        return Err(CkptError::BadVersion(version));
+    }
+    let recorded = u64::from_le_bytes(file[17..25].try_into().unwrap());
+    let actual = (file.len() - FRAME_BYTES) as u64;
+    if recorded != actual {
+        return Err(CkptError::LengthMismatch { recorded, actual });
+    }
+    let body = &file[..file.len() - 8];
+    let sum = u64::from_le_bytes(file[file.len() - 8..].try_into().unwrap());
+    if fnv1a64(body) != sum {
+        return Err(CkptError::ChecksumMismatch);
+    }
+    Ok(&file[25..file.len() - 8])
+}
+
+/// Durably write `payload` as a framed snapshot at `path` (tmp + fsync +
+/// atomic rename via [`fsio`](crate::fsio)).
+///
+/// # Errors
+/// Propagates the underlying I/O error; the previous snapshot at `path`,
+/// if any, survives any failure intact.
+pub fn write_snapshot(path: &Path, payload: &[u8]) -> std::io::Result<()> {
+    crate::fsio::atomic_write(path, &frame_snapshot(payload))
+}
+
+/// Read and validate the snapshot at `path`, returning its payload.
+///
+/// # Errors
+/// [`CkptError::Io`] if the file cannot be read; a framing error if it is
+/// torn, corrupt, or from another format version. Callers treat every
+/// error as "skip this snapshot and start from cycle 0".
+pub fn read_snapshot(path: &Path) -> CkptResult<Vec<u8>> {
+    let file =
+        std::fs::read(path).map_err(|e| CkptError::Io(format!("{}: {e}", path.display())))?;
+    unframe_snapshot(&file).map(<[u8]>::to_vec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut e = Enc::new();
+        e.put_u8(0xab);
+        e.put_bool(true);
+        e.put_u16(0xbeef);
+        e.put_u32(0xdead_beef);
+        e.put_u64(u64::MAX - 1);
+        e.put_u128(u128::MAX / 3);
+        e.put_usize(12345);
+        e.put_f64(-0.0);
+        e.put_f64(f64::INFINITY);
+        e.put_f64(-123.456);
+        e.put_str("héllo");
+        e.put_bytes(&[1, 2, 3]);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 0xab);
+        assert!(d.get_bool().unwrap());
+        assert_eq!(d.get_u16().unwrap(), 0xbeef);
+        assert_eq!(d.get_u32().unwrap(), 0xdead_beef);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.get_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(d.get_usize().unwrap(), 12345);
+        assert_eq!(d.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(d.get_f64().unwrap(), f64::INFINITY);
+        assert_eq!(d.get_f64().unwrap(), -123.456);
+        assert_eq!(d.get_str().unwrap(), "héllo");
+        assert_eq!(d.get_bytes().unwrap(), &[1, 2, 3]);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn packets_round_trip() {
+        let req = Request {
+            id: RequestId(7),
+            origin: ClusterId::new(ChipId(2), 13),
+            access: MemAccess::write(0xdead_0040u64),
+            home: ChipId(3),
+        };
+        let rsp = Response {
+            id: RequestId(7),
+            dest: ClusterId::new(ChipId(2), 13),
+            access: MemAccess::read(0x40u64),
+            origin: ResponseOrigin::RemoteMem,
+        };
+        let mut e = Enc::new();
+        e.put_request(&req);
+        e.put_response(&rsp);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        assert_eq!(d.get_request().unwrap(), req);
+        assert_eq!(d.get_response().unwrap(), rsp);
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn decode_errors_not_panics() {
+        let mut d = Dec::new(&[1, 2]);
+        assert!(d.get_u64().is_err());
+        let mut d = Dec::new(&[2]);
+        assert!(d.get_bool().is_err());
+        // A corrupt length field cannot trigger a huge allocation.
+        let mut e = Enc::new();
+        e.put_u64(u64::MAX);
+        let bytes = e.into_bytes();
+        assert!(Dec::new(&bytes).get_seq_len().is_err());
+        assert!(Dec::new(&bytes).get_bytes().is_err());
+    }
+
+    #[test]
+    fn framing_round_trips_and_detects_corruption() {
+        let payload = b"state bytes".to_vec();
+        let file = frame_snapshot(&payload);
+        assert_eq!(unframe_snapshot(&file).unwrap(), &payload[..]);
+
+        // Every truncation point is detected.
+        for cut in 0..file.len() {
+            assert!(unframe_snapshot(&file[..cut]).is_err(), "cut at {cut}");
+        }
+        // Every single-byte flip is detected.
+        for i in 0..file.len() {
+            let mut bad = file.clone();
+            bad[i] ^= 0x01;
+            assert!(unframe_snapshot(&bad).is_err(), "flip at {i}");
+        }
+        // Trailing junk is detected.
+        let mut long = file.clone();
+        long.push(0);
+        assert!(matches!(
+            unframe_snapshot(&long),
+            Err(CkptError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut file = frame_snapshot(b"x");
+        file[13] = 99; // version byte
+                       // Re-stamp the checksum so only the version differs.
+        let body_len = file.len() - 8;
+        let sum = fnv1a64(&file[..body_len]);
+        file[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(unframe_snapshot(&file), Err(CkptError::BadVersion(99)));
+    }
+
+    #[test]
+    fn write_read_snapshot_round_trip() {
+        let dir = std::env::temp_dir().join(format!("mcgpu_ckpt_rt_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("cell.ckpt");
+        write_snapshot(&p, b"payload").unwrap();
+        assert_eq!(read_snapshot(&p).unwrap(), b"payload");
+        assert!(read_snapshot(&dir.join("missing.ckpt")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

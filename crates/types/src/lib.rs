@@ -22,10 +22,12 @@
 
 pub mod addr;
 pub mod budget;
+pub mod ckpt;
 pub mod config;
 pub mod error;
 pub mod expect;
 pub mod fault;
+pub mod fsio;
 pub mod ids;
 pub mod json;
 pub mod obs;
@@ -35,6 +37,7 @@ pub mod serve;
 
 pub use addr::{Address, LineAddr, PageAddr, SectorId};
 pub use budget::BandwidthBudget;
+pub use ckpt::{CkptError, CkptResult, Dec, Enc};
 pub use config::{
     CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, PolicyCtx, ScaleFactor, GB_S,
 };

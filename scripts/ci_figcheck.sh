@@ -4,8 +4,11 @@
 #   1. run the quick-volume suite journaled — the expectation set must pass;
 #   2. replay the journal — the mcgpu-figcheck-v1 report must be
 #      byte-identical;
-#   3. SIGKILL a fresh journaled run mid-sweep, resume it, and require the
-#      same bytes again;
+#   3. SIGKILL a fresh journaled run mid-sweep — with mid-cell engine
+#      checkpointing on a fine cycle grid, so the kill lands between two
+#      checkpoints of a running cell — resume it (interrupted cells
+#      continue mid-cycle from their snapshots), and require the same
+#      report bytes again;
 #   4. score a deliberately-impossible `shape` expectation (exit must be 2)
 #      and an impossible `magnitude` expectation (exit must be 0): the gate
 #      fires on shape only.
@@ -41,8 +44,12 @@ if ! cmp -s "$RES/a.json" "$RES/b.json"; then
 fi
 echo "PASS: journal replay reproduced the report byte-identically"
 
-# 3. Kill a fresh journaled run mid-sweep, then resume it.
+# 3. Kill a fresh checkpointing run mid-sweep — in-flight cells snapshot
+# every 4096 cycles, so the kill lands between two mid-cell checkpoints —
+# then resume: interrupted cells continue mid-cycle from their snapshots
+# and the report must not change by a byte.
 target/release/figcheck --quick --journal "$RES/kill.jsonl" \
+    --state-dir "$RES/state" --checkpoint-interval 4096 \
     --report "$RES/c.json" > /dev/null &
 PID=$!
 sleep 20
@@ -53,20 +60,32 @@ if [[ ! -f "$RES/kill.jsonl" ]]; then
     exit 1
 fi
 RECORDED=$(wc -l < "$RES/kill.jsonl")
-echo "journal holds $RECORDED record(s) at kill time"
+SNAPS=$(ls "$RES/state"/*.ckpt 2>/dev/null | wc -l)
+echo "journal holds $RECORDED record(s), state dir $SNAPS mid-cell snapshot(s) at kill time"
 if [[ -f "$RES/c.json" ]]; then
     echo "WARN: sweep finished before the kill; resume path still exercised" >&2
 fi
 target/release/figcheck --quick --resume "$RES/kill.jsonl" \
-    --report "$RES/c.json" > /dev/null || {
+    --state-dir "$RES/state" --checkpoint-interval 4096 \
+    --report "$RES/c.json" 2> "$RES/resume.log" > /dev/null || {
+    cat "$RES/resume.log" >&2
     echo "FAIL: resumed sweep did not complete" >&2
     exit 1
 }
 if ! cmp -s "$RES/a.json" "$RES/c.json"; then
-    echo "FAIL: report differs after SIGKILL + resume" >&2
+    echo "FAIL: report differs after SIGKILL + mid-cell resume" >&2
     exit 1
 fi
-echo "PASS: SIGKILL + resume reproduced the report byte-identically"
+if (( SNAPS > 0 )) && ! grep -q "resumed .* from checkpoint at cycle" "$RES/resume.log"; then
+    echo "FAIL: a snapshot was on disk but no cell resumed from it" >&2
+    exit 1
+fi
+LEFT=$(ls "$RES/state"/*.ckpt 2>/dev/null | wc -l)
+if (( LEFT != 0 )); then
+    echo "FAIL: $LEFT stale snapshot(s) left after the resumed sweep completed" >&2
+    exit 1
+fi
+echo "PASS: SIGKILL + mid-cell resume reproduced the report byte-identically"
 
 # 4a. A shape expectation that cannot hold must gate (exit 2). Scored off
 # the existing journal so no cell is re-simulated.

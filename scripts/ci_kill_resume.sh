@@ -1,7 +1,14 @@
 #!/usr/bin/env bash
-# CI kill/resume drill: start a journaled sweep over the golden suite,
-# SIGKILL it mid-run, resume from the journal, and require the final stats
-# to be byte-identical to the committed golden snapshots.
+# CI kill/resume drill, two phases:
+#
+#   1  journal granularity: start a journaled sweep over the golden suite,
+#      SIGKILL it mid-run, resume from the journal, and require the final
+#      stats to be byte-identical to the committed golden snapshots.
+#   2  checkpoint granularity: the deterministic crash drill interrupts
+#      every cell mid-cycle and snapshots it — exactly the on-disk state
+#      a SIGKILL between two periodic checkpoints leaves — and the resume
+#      must continue each cell from its snapshot instead of from cycle 0,
+#      still reproducing every golden snapshot byte for byte.
 #
 # Usage: scripts/ci_kill_resume.sh  (from the repository root)
 set -u -o pipefail
@@ -39,15 +46,84 @@ target/release/golden_sweep --resume "$JOURNAL" --out "$OUT" --jobs 2 || {
 }
 
 # The resumed output must match the committed snapshots byte for byte.
+# (Compare the sweep's own output set: tests/golden/ also holds fixtures
+# for other suites, e.g. figcheck_golden.json.)
 FAIL=0
-for f in tests/golden/*.json; do
+CELLS=0
+for f in "$OUT"/*.json; do
     name=$(basename "$f")
-    if ! cmp -s "$f" "$OUT/$name"; then
+    CELLS=$((CELLS + 1))
+    if ! cmp -s "tests/golden/$name" "$f"; then
         echo "FAIL: $name differs from the golden snapshot after resume" >&2
         FAIL=1
     fi
 done
+if (( CELLS != 8 )); then
+    echo "FAIL: resumed sweep wrote $CELLS of 8 cells" >&2
+    FAIL=1
+fi
 if (( FAIL )); then
     exit 1
 fi
-echo "PASS: resumed sweep reproduced all $(ls tests/golden/*.json | wc -l) golden snapshots byte-identically"
+echo "PASS: resumed sweep reproduced all $CELLS golden snapshots byte-identically"
+
+# ---- Phase 2: crash between mid-cell checkpoints --------------------------
+echo "== phase 2: mid-cell checkpoint resume =="
+JOURNAL2=results/ci_kill_resume_ckpt.jsonl
+OUT2=results/ci_kill_resume_ckpt
+STATE2=results/ci_kill_resume_state
+rm -rf "$JOURNAL2" "$OUT2" "$STATE2"
+
+# The deterministic crash drill: interrupt every cell at cycle 2000
+# (below the shortest golden case's total) and snapshot it, leaving
+# exactly what a SIGKILL between two periodic checkpoints leaves behind.
+target/release/golden_sweep --journal "$JOURNAL2" --out "$OUT2" \
+    --state-dir "$STATE2" --ckpt-cut 2000
+RC=$?
+if (( RC != 3 )); then
+    echo "FAIL: crash drill exited $RC, want 3" >&2
+    exit 1
+fi
+SNAPS=$(ls "$STATE2"/*.ckpt 2>/dev/null | wc -l)
+echo "state dir holds $SNAPS mid-cell snapshot(s) after the simulated crash"
+if (( SNAPS != 8 )); then
+    echo "FAIL: expected 8 mid-cell snapshots, found $SNAPS" >&2
+    exit 1
+fi
+
+RESUME_LOG=results/ci_kill_resume_ckpt.log
+target/release/golden_sweep --resume "$JOURNAL2" --out "$OUT2" \
+    --state-dir "$STATE2" --jobs 2 \
+    2> >(tee "$RESUME_LOG" >&2) || {
+    echo "FAIL: checkpointed resume did not complete" >&2
+    exit 1
+}
+RESUMED=$(grep -c "resumed .* from checkpoint at cycle" "$RESUME_LOG")
+if (( RESUMED != 8 )); then
+    echo "FAIL: $RESUMED of 8 cells resumed from their snapshots" >&2
+    exit 1
+fi
+
+FAIL=0
+CELLS=0
+for f in "$OUT2"/*.json; do
+    name=$(basename "$f")
+    CELLS=$((CELLS + 1))
+    if ! cmp -s "tests/golden/$name" "$f"; then
+        echo "FAIL: $name differs from the golden snapshot after mid-cell resume" >&2
+        FAIL=1
+    fi
+done
+if (( CELLS != 8 )); then
+    echo "FAIL: resumed sweep wrote $CELLS of 8 cells" >&2
+    FAIL=1
+fi
+if (( FAIL )); then
+    exit 1
+fi
+LEFT=$(ls "$STATE2"/*.ckpt 2>/dev/null | wc -l)
+if (( LEFT != 0 )); then
+    echo "FAIL: $LEFT stale snapshot(s) left after a fully completed sweep" >&2
+    exit 1
+fi
+echo "PASS: mid-cell checkpoint resume reproduced all golden snapshots byte-identically"

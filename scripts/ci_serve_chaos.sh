@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Chaos drill for the sac_serve sweep daemon. Three phases:
+# Chaos drill for the sac_serve sweep daemon. Four phases:
 #
 #   A  baseline: a clean daemon serves a fixed loadgen campaign; every
 #      request terminates and its cell stats land on disk.
@@ -11,6 +11,11 @@
 #      (cell, config_hash) pair — i.e. no work was lost *or* redone.
 #   C  backpressure: a daemon with a one-slot queue under an overload
 #      flood must refuse with 429 at least once.
+#   D  mid-cell re-adoption: phase B with `--checkpoint-interval` on and
+#      heavier cells, aiming the SIGKILL *between two checkpoints of an
+#      in-flight cell*. The restarted daemon re-adopts that cell mid-cycle
+#      from its snapshot and the delivered stats must still be
+#      byte-identical to a clean run of the same campaign.
 #
 # Usage: scripts/ci_serve_chaos.sh  (from the repository root)
 set -u -o pipefail
@@ -37,7 +42,10 @@ trap cleanup EXIT
 start_server() { # state_dir extra-args...
     local state=$1
     shift
-    "$SERVE" --state "$state" --addr 127.0.0.1:0 "$@" &
+    mkdir -p "$state"
+    # The daemon's log survives restarts (appended) so later phases can
+    # check for checkpoint re-adoption evidence.
+    "$SERVE" --state "$state" --addr 127.0.0.1:0 "$@" >>"$state/server.log" 2>&1 &
     SERVER_PID=$!
     # The daemon writes its bound address to STATE/serve.addr once live.
     for _ in $(seq 1 100); do
@@ -119,5 +127,66 @@ if ! grep -Eq 'backpressure responses: [1-9]' <<<"$SUMMARY"; then
     exit 1
 fi
 echo "PASS: overload flood saw 429 backpressure"
+
+# ---- Phase D: SIGKILL between mid-cell checkpoints ------------------------
+echo "== phase D: mid-cell checkpoint re-adoption =="
+# Heavier cells (long enough to cross the engine's 65536-cycle
+# checkpoint grid several times): the kill usually lands inside an
+# in-flight cell, between two of its snapshots. Whether it does is a
+# race, so retry a few times; if every try lands in a gap, restart
+# recovery is still exercised (warn, don't fail).
+HEAVY=(--requests 8 --concurrency 4 --benchmarks SN,CFD --orgs sac,mem \
+       --total-accesses 400000 --deadline-s 240)
+
+echo "building the clean reference for the heavy campaign"
+start_server "$ROOT/stateD0" --checkpoint-interval 4096 || exit 1
+"$LOADGEN" --addr-file "$ROOT/stateD0/serve.addr" --out "$ROOT/outD0" \
+    "${HEAVY[@]}" || { echo "FAIL: heavy reference campaign" >&2; exit 1; }
+stop_server
+
+SNAPS=0
+LOAD_PID=
+for try in 1 2 3; do
+    if [[ -n "$LOAD_PID" ]]; then
+        # Tear down the previous try's campaign before restarting it.
+        kill "$LOAD_PID" 2>/dev/null
+        wait "$LOAD_PID" 2>/dev/null
+    fi
+    rm -rf "$ROOT/stateD" "$ROOT/outD"
+    start_server "$ROOT/stateD" --checkpoint-interval 4096 --jobs 2 || exit 1
+    "$LOADGEN" --addr-file "$ROOT/stateD/serve.addr" --out "$ROOT/outD" \
+        "${HEAVY[@]}" &
+    LOAD_PID=$!
+    sleep 3
+    echo "killing checkpointing daemon under load (pid $SERVER_PID)"
+    stop_server
+    rm -f "$ROOT/stateD/serve.addr"
+    SNAPS=$(ls "$ROOT/stateD/ckpt"/*.ckpt 2>/dev/null | wc -l)
+    (( SNAPS > 0 )) && break
+    echo "try $try: kill landed between cells (no snapshot); retrying" >&2
+done
+echo "state dir holds $SNAPS mid-cell snapshot(s) at kill time"
+if (( SNAPS == 0 )); then
+    echo "WARN: no mid-cell snapshot survived the kill; restart recovery still exercised" >&2
+fi
+sleep 1
+start_server "$ROOT/stateD" --checkpoint-interval 4096 || exit 1
+wait "$LOAD_PID" || { echo "FAIL: checkpointed campaign did not recover" >&2; exit 1; }
+stop_server
+
+if ! diff -r "$ROOT/outD0" "$ROOT/outD"; then
+    echo "FAIL: results after mid-cell re-adoption differ from the clean run" >&2
+    exit 1
+fi
+if (( SNAPS > 0 )) && ! grep -q "resumed .* at cycle" "$ROOT/stateD/server.log"; then
+    echo "FAIL: a snapshot was on disk but the restarted daemon never resumed from it" >&2
+    exit 1
+fi
+LEFT=$(ls "$ROOT/stateD/ckpt"/*.ckpt 2>/dev/null | wc -l)
+if (( LEFT != 0 )); then
+    echo "FAIL: $LEFT stale snapshot(s) left after the campaign completed" >&2
+    exit 1
+fi
+echo "PASS: mid-cell re-adoption byte-identical to the clean heavy campaign"
 
 echo "PASS: sweep service chaos drill complete"

@@ -195,7 +195,7 @@ fn resume_from_truncated_journal_is_byte_identical() {
         &orgs,
         &SweepOptions {
             journal: Some(path.clone()),
-            resume: None,
+            ..SweepOptions::none()
         },
     )
     .unwrap();
@@ -221,8 +221,8 @@ fn resume_from_truncated_journal_is_byte_identical() {
         &params,
         &orgs,
         &SweepOptions {
-            journal: None,
             resume: Some(path.clone()),
+            ..SweepOptions::none()
         },
     )
     .unwrap();

@@ -142,12 +142,12 @@ fn suite_report_is_byte_deterministic_across_runs_and_resume() {
     let _ = std::fs::remove_file(&journal);
     let journaled = suite_report(&SweepOptions {
         journal: Some(journal.clone()),
-        resume: None,
+        ..SweepOptions::none()
     });
     assert_eq!(first, journaled, "journaled sweep drifted");
     let resumed = suite_report(&SweepOptions {
-        journal: None,
         resume: Some(journal.clone()),
+        ..SweepOptions::none()
     });
     assert_eq!(first, resumed, "resumed sweep drifted");
     let _ = std::fs::remove_file(&journal);
