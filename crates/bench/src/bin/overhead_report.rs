@@ -1,6 +1,7 @@
 //! Regenerates the §3.6 overhead analysis: SAC's per-chip storage (620 B
-//! conventional / 812 B sectored) and the NoC area/power comparison
-//! (SM-side two-NoC vs memory-side vs SAC bypassing).
+//! conventional / 812 B sectored), how the CRD's presence vector scales
+//! with the chip count (the scale-out axis), and the NoC area/power
+//! comparison (SM-side two-NoC vs memory-side vs SAC bypassing).
 //!
 //! Runs through the sweep machinery, so `--journal PATH` / `--resume PATH`
 //! / `--jobs N` work exactly as they do for the figure harnesses.
@@ -8,6 +9,7 @@
 use mcgpu_noc::NocPhysical;
 use mcgpu_types::MachineConfig;
 use sac::overhead::HardwareOverhead;
+use sac::Crd;
 use sac_bench::{exit_on_quarantine, run_report_sections, ReportSection, SweepOptions};
 use std::fmt::Write as _;
 
@@ -35,6 +37,29 @@ fn render_storage() -> String {
             }
         );
     }
+    out
+}
+
+fn render_crd_scaling() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n== CRD storage vs chip count (presence bits = chips x sectors) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} | {:>14} {:>10}",
+        "chips", "conventional", "sectored"
+    );
+    for chips in [4usize, 8, 16] {
+        let conv = Crd::for_chips(chips, 128, false).storage_bytes();
+        let sect = Crd::for_chips(chips, 128, true).storage_bytes();
+        let _ = writeln!(out, "{chips:>6} | {conv:>12} B {sect:>8} B");
+    }
+    let _ = writeln!(
+        out,
+        "(per chip; the sharer vector widens with the machine, 4x under sectoring)"
+    );
     out
 }
 
@@ -77,6 +102,11 @@ fn main() {
             name: "sac-storage",
             inputs: "HardwareOverhead::paper_conventional|paper_sectored".to_string(),
             render: render_storage,
+        },
+        ReportSection {
+            name: "crd-scaling",
+            inputs: "Crd::for_chips(4|8|16, 128, conventional|sectored)".to_string(),
+            render: render_crd_scaling,
         },
         ReportSection {
             name: "noc-physical",

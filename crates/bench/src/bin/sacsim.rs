@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X]
+//!        [--chips N] [--topology ring|full|mesh2d]
 //!        [--hw-coherence] [--sectored] [--json] [--jobs N] [--list-orgs]
 //!        [--watchdog-cycles N] [--journal PATH] [--resume PATH]
 //!        [--obs] [--obs-window N] [--obs-out PATH] [--trace-out PATH]
@@ -14,6 +15,12 @@
 //! `--org all` fans every organization out over the sweep pool and prints
 //! a comparison table; `--json` prints the canonical golden-stat JSON
 //! instead (single organization only).
+//!
+//! Machine shape: `--chips N` sets the chip count (default 4) and
+//! `--topology` the inter-chip fabric (default `ring`; `full` and `mesh`
+//! are accepted aliases of `fully-connected` and `mesh2d`). The combined
+//! configuration is validated up front, so an over-wide machine or an
+//! unknown label fails fast instead of quarantining sweep cells.
 //!
 //! Robustness knobs: `--watchdog-cycles N` sets the forward-progress
 //! watchdog window (`MCGPU_WATCHDOG_CYCLES` works too; `18446744073709551615`
@@ -43,7 +50,7 @@
 
 use mcgpu_sim::SimBuilder;
 use mcgpu_trace::{generate, profiles, TraceParams};
-use mcgpu_types::{CoherenceKind, LlcOrgKind, ObsConfig, ResponseOrigin};
+use mcgpu_types::{CoherenceKind, LlcOrgKind, ObsConfig, ResponseOrigin, TopologyKind};
 use sac_bench::{
     exit_on_quarantine, run_benchmark, state, Journal, SweepOptions, DEFAULT_CKPT_INTERVAL,
 };
@@ -118,6 +125,29 @@ fn main() {
         // built; 0 is rejected there with a typed ConfigError.
         cfg.watchdog_cycles = n;
     }
+    if let Some(v) = arg_value("--chips") {
+        match v.parse::<usize>() {
+            Ok(n) => cfg.chips = n,
+            Err(_) => {
+                eprintln!("--chips needs an unsigned integer, got `{v}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(v) = arg_value("--topology") {
+        match TopologyKind::from_label(&v) {
+            Some(k) => cfg.topology = k,
+            None => {
+                let known: Vec<&str> = TopologyKind::ALL.iter().map(|t| t.label()).collect();
+                eprintln!("unknown topology `{v}`; known: {}", known.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Err(e) = cfg.validate() {
+        eprintln!("invalid machine configuration: {e}");
+        std::process::exit(2);
+    }
     let mut params = TraceParams::standard();
     if let Some(n) = arg_value("--accesses").and_then(|v| v.parse().ok()) {
         params.total_accesses = n;
@@ -165,10 +195,12 @@ fn main() {
         ));
         let mem_cycles = rows.runs[0].1.cycles;
         println!(
-            "benchmark: {} ({} accesses, input x{})\n",
+            "benchmark: {} ({} accesses, input x{}) on {} chips, {} fabric\n",
             bench,
             rows.workload.total_accesses(),
-            params.input_scale
+            params.input_scale,
+            cfg.chips,
+            cfg.topology.label()
         );
         println!(
             "{:12} {:>10} {:>10} {:>9} {:>9} {:>9}",
@@ -272,6 +304,11 @@ fn main() {
     println!(
         "benchmark          : {} ({} accesses, input x{})",
         bench, total_accesses, params.input_scale
+    );
+    println!(
+        "machine            : {} chips, {} fabric",
+        cfg.chips,
+        cfg.topology.label()
     );
     println!("organization       : {}", org.label());
     println!("cycles             : {}", stats.cycles);

@@ -12,7 +12,7 @@
 //! 8-case golden suite, whose report is snapshotted byte-for-byte under
 //! `tests/golden/`.
 
-use crate::figdata::{Fig08Data, Fig09Data, Fig10Data, Fig11Data, Table4Data};
+use crate::figdata::{Fig08Data, Fig09Data, Fig10Data, Fig11Data, Fig15Data, Table4Data};
 use crate::{golden, sweep, BenchRows};
 use mcgpu_sim::RunStats;
 use mcgpu_trace::{analysis, generate, profiles};
@@ -37,6 +37,8 @@ pub struct Metrics {
     bw_share: BTreeMap<(String, String, String), f64>,
     working_set: BTreeMap<(String, u64), f64>,
     measured: BTreeMap<(String, String), f64>,
+    scale_speedup: BTreeMap<(String, u64, String), f64>,
+    fabric_bytes: BTreeMap<(String, u64), f64>,
 }
 
 impl Metrics {
@@ -158,6 +160,21 @@ impl Metrics {
         }
     }
 
+    /// Fold a Fig. 15 table in: per-(topology, chip count) harmonic-mean
+    /// speedups and memory-side fabric traffic.
+    pub fn add_fig15(&mut self, d: &Fig15Data) {
+        for c in &d.curves {
+            for p in &c.points {
+                for (org, v) in [(LlcOrgKind::SmSide, p.sm_side), (LlcOrgKind::Sac, p.sac)] {
+                    self.scale_speedup
+                        .insert((c.topology.clone(), p.chips, org.label().to_string()), v);
+                }
+                self.fabric_bytes
+                    .insert((c.topology.clone(), p.chips), p.fabric_bytes_per_cycle);
+            }
+        }
+    }
+
     /// The measured value of `metric`, if this table carries it.
     pub fn value(&self, metric: &Metric) -> Option<f64> {
         match metric {
@@ -192,6 +209,22 @@ impl Metrics {
                 .measured
                 .get(&(bench.clone(), field.label().to_string()))
                 .copied(),
+            Metric::ScaleSpeedup {
+                topology,
+                chips,
+                org,
+            } => self
+                .scale_speedup
+                .get(&(
+                    topology.label().to_string(),
+                    *chips,
+                    org.label().to_string(),
+                ))
+                .copied(),
+            Metric::FabricBytes { topology, chips } => self
+                .fabric_bytes
+                .get(&(topology.label().to_string(), *chips))
+                .copied(),
         }
     }
 
@@ -204,6 +237,8 @@ impl Metrics {
             + self.bw_share.len()
             + self.working_set.len()
             + self.measured.len()
+            + self.scale_speedup.len()
+            + self.fabric_bytes.len()
     }
 
     /// Whether the table is empty.
@@ -467,6 +502,60 @@ mod tests {
         let card = scorecard(&report);
         assert!(card.contains("metric unavailable"), "scorecard: {card}");
         assert!(card.contains("SHAPE REGRESSION"), "scorecard: {card}");
+    }
+
+    #[test]
+    fn fig15_table_scores_scaleout_metrics() {
+        use crate::figdata::{Fig15Curve, Fig15Point};
+        use mcgpu_types::TopologyKind;
+
+        let data = Fig15Data {
+            curves: vec![Fig15Curve {
+                topology: "ring".to_string(),
+                points: vec![
+                    Fig15Point {
+                        chips: 4,
+                        sm_side: 1.2,
+                        sac: 1.4,
+                        fabric_bytes_per_cycle: 100.0,
+                        bisection_gbs: 384.0,
+                    },
+                    Fig15Point {
+                        chips: 8,
+                        sm_side: 1.1,
+                        sac: 1.3,
+                        fabric_bytes_per_cycle: 150.0,
+                        bisection_gbs: 384.0,
+                    },
+                ],
+            }],
+        };
+        let mut m = Metrics::new();
+        m.add_fig15(&data);
+        assert_eq!(
+            m.value(&Metric::FabricBytes {
+                topology: TopologyKind::Ring,
+                chips: 8
+            }),
+            Some(150.0)
+        );
+        assert_eq!(
+            m.value(&Metric::ScaleSpeedup {
+                topology: TopologyKind::Ring,
+                chips: 4,
+                org: LlcOrgKind::Sac
+            }),
+            Some(1.4)
+        );
+        // A (topology, chips) point the sweep never ran is absent, which
+        // scores as Verdict::Error rather than passing silently.
+        assert_eq!(
+            m.value(&Metric::FabricBytes {
+                topology: TopologyKind::Mesh2D,
+                chips: 4
+            }),
+            None
+        );
     }
 
     #[test]

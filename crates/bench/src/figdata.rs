@@ -23,7 +23,9 @@ use crate::{
 use mcgpu_trace::profiles::Preference;
 use mcgpu_trace::{analysis, profiles, TraceParams};
 use mcgpu_types::json::CanonicalWriter;
-use mcgpu_types::{CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, ResponseOrigin};
+use mcgpu_types::{
+    CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, ResponseOrigin, TopologyKind,
+};
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -1228,6 +1230,166 @@ impl FigData for Fig14Data {
                 w.str_field("label", &r.label);
                 w.f64_field("sm_side", r.sm_side);
                 w.f64_field("sac", r.sac);
+                w.close();
+            });
+            w.close();
+        });
+    }
+}
+
+// ---------------------------------------------------------------- fig15
+
+/// The benchmark subset the scale-out comparison sweeps (one SP + one MP).
+pub const FIG15_SUBSET: [&str; 2] = ["SN", "SRAD"];
+
+/// The chip counts the scale-out comparison sweeps per topology.
+pub const FIG15_CHIPS: [usize; 3] = [4, 8, 16];
+
+/// One chip-count sample of one topology's scale-out curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Point {
+    /// Chip count.
+    pub chips: u64,
+    /// Harmonic-mean SM-side speedup over the subset.
+    pub sm_side: f64,
+    /// Harmonic-mean SAC speedup over the subset.
+    pub sac: f64,
+    /// Mean inter-chip fabric traffic of the memory-side baseline, in
+    /// bytes per cycle, averaged over the subset.
+    pub fabric_bytes_per_cycle: f64,
+    /// The topology's bisection bandwidth at this chip count, in GB/s.
+    pub bisection_gbs: f64,
+}
+
+/// One topology's scale-out curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Curve {
+    /// Topology label (`"ring"` / `"full"` / `"mesh2d"`).
+    pub topology: String,
+    /// One point per [`FIG15_CHIPS`] entry.
+    pub points: Vec<Fig15Point>,
+}
+
+/// Fig. 15 (scale-out, beyond the paper): the SAC-vs-baselines comparison
+/// re-run at 4/8/16 chips on every inter-chip topology. Unlike the
+/// Fig. 14 GPU-count axis (which holds *total* inter-chip bandwidth
+/// constant), the scale-out sweep holds *per-link* bandwidth constant:
+/// growing the machine adds links, and each topology's bisection grows
+/// according to its structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig15Data {
+    /// One curve per [`TopologyKind::ALL`] entry, in that order.
+    pub curves: Vec<Fig15Curve>,
+}
+
+impl Fig15Data {
+    /// Run the 9 `(topology × chip count)` sweeps and collect the figure.
+    /// Each sweep fans its `(benchmark × organization)` cells out over
+    /// the pool; quarantined cells exit the process with the standard
+    /// report. With journaling, cells are keyed by the full machine
+    /// config, so every `(topology, chips)` variant resumes independently.
+    pub fn collect(base: &MachineConfig, params: &TraceParams, opts: &SweepOptions) -> Fig15Data {
+        let subset: Vec<_> = FIG15_SUBSET
+            .iter()
+            .map(|n| profiles::by_name(n).expect("profile"))
+            .collect();
+        let curves = TopologyKind::ALL
+            .iter()
+            .map(|&kind| {
+                let points = FIG15_CHIPS
+                    .iter()
+                    .map(|&chips| {
+                        let mut c = base.clone();
+                        c.topology = kind;
+                        c.chips = chips;
+                        let rows = exit_on_quarantine(run_profiles(
+                            &c,
+                            &subset,
+                            params,
+                            &[LlcOrgKind::MemorySide, LlcOrgKind::SmSide, LlcOrgKind::Sac],
+                            opts,
+                        ));
+                        let sm: Vec<f64> =
+                            rows.iter().map(|r| r.speedup(LlcOrgKind::SmSide)).collect();
+                        let sac: Vec<f64> =
+                            rows.iter().map(|r| r.speedup(LlcOrgKind::Sac)).collect();
+                        let fabric: Vec<f64> = rows
+                            .iter()
+                            .map(|r| {
+                                let s = r.stats(LlcOrgKind::MemorySide);
+                                s.ring_bytes as f64 / s.cycles as f64
+                            })
+                            .collect();
+                        Fig15Point {
+                            chips: chips as u64,
+                            sm_side: harmonic_mean(&sm),
+                            sac: harmonic_mean(&sac),
+                            fabric_bytes_per_cycle: fabric.iter().sum::<f64>()
+                                / fabric.len() as f64,
+                            bisection_gbs: c.bisection_gbs(),
+                        }
+                    })
+                    .collect();
+                Fig15Curve {
+                    topology: kind.label().to_string(),
+                    points,
+                }
+            })
+            .collect();
+        Fig15Data { curves }
+    }
+}
+
+impl FigData for Fig15Data {
+    fn figure(&self) -> &'static str {
+        "fig15"
+    }
+
+    fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "scale-out: hmean speedup vs memory-side on {FIG15_SUBSET:?};"
+        );
+        let _ = writeln!(
+            s,
+            "fabric traffic is the memory-side mean (per-link bandwidth held constant):\n"
+        );
+        for (i, c) in self.curves.iter().enumerate() {
+            if i > 0 {
+                let _ = writeln!(s);
+            }
+            let _ = writeln!(s, "-- {} --", c.topology);
+            let _ = writeln!(
+                s,
+                "{:>6} | {:>8} {:>6} | {:>11} | {:>14}",
+                "chips", "SM-side", "SAC", "fabric B/cy", "bisection GB/s"
+            );
+            for p in &c.points {
+                let _ = writeln!(
+                    s,
+                    "{:>6} | {:>8.2} {:>6.2} | {:>11.1} | {:>14.0}",
+                    p.chips, p.sm_side, p.sac, p.fabric_bytes_per_cycle, p.bisection_gbs
+                );
+            }
+        }
+        s
+    }
+
+    fn write_fields(&self, w: &mut CanonicalWriter) {
+        w.str_array_field("subset", &FIG15_SUBSET);
+        w.array_field("curves", self.curves.len(), |w, i| {
+            let c = &self.curves[i];
+            w.open();
+            w.str_field("topology", &c.topology);
+            w.array_field("points", c.points.len(), |w, j| {
+                let p = &c.points[j];
+                w.open();
+                w.u64_field("chips", p.chips);
+                w.f64_field("sm_side", p.sm_side);
+                w.f64_field("sac", p.sac);
+                w.f64_field("fabric_bytes_per_cycle", p.fabric_bytes_per_cycle);
+                w.f64_field("bisection_gbs", p.bisection_gbs);
                 w.close();
             });
             w.close();

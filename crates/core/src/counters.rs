@@ -60,13 +60,7 @@ impl ProfileCollector {
     ) -> Self {
         ProfileCollector {
             crds: (0..chips)
-                .map(|_| {
-                    if sectored {
-                        Crd::paper_sectored(llc_sets_per_chip)
-                    } else {
-                        Crd::paper_default(llc_sets_per_chip)
-                    }
-                })
+                .map(|_| Crd::for_chips(chips, llc_sets_per_chip, sectored))
                 .collect(),
             mem_side_slices: vec![0; total_slices],
             sm_side_slices: vec![0; total_slices],

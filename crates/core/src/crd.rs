@@ -9,19 +9,21 @@
 //! chip *i*'s SM-side LLC); subsequent accesses by chip *i* with the bit set
 //! are counted as would-be hits. Because profiling runs memory-side, the
 //! CRD at a partition observes *every* request whose data is homed there.
+//!
+//! The paper's machine has 4 chips and a 4-bit presence field; the
+//! directory here sizes its presence vector from the configured chip count
+//! (up to 128 presence bits — `chips × sectors`), and its storage-overhead
+//! accounting scales with it.
 
 use mcgpu_types::{ChipId, LineAddr, SectorId};
-
-/// Maximum chips a CRD block can track (the paper's 4-bit field).
-pub const MAX_CHIPS: usize = 4;
 
 #[derive(Debug, Clone, Copy)]
 struct CrdBlock {
     tag: u64,
     valid: bool,
     /// Per-chip presence; for sectored caches, per chip *and* sector
-    /// (chip-major nibbles: bit `chip * sectors + sector`).
-    presence: u16,
+    /// (chip-major groups: bit `chip * sectors + sector`).
+    presence: u128,
     stamp: u64,
 }
 
@@ -53,6 +55,8 @@ impl CrdBlock {
 pub struct Crd {
     sets: Vec<Vec<CrdBlock>>,
     ways: usize,
+    /// Chips tracked: one presence bit (per sector) each.
+    chips: usize,
     /// Sectors per line (1 = conventional).
     sectors: u32,
     /// Total sets of the modelled per-chip LLC; requests are sampled when
@@ -64,31 +68,39 @@ pub struct Crd {
 }
 
 impl Crd {
-    /// The paper's configuration: 8 sets × 16 ways, conventional lines,
-    /// sampling a per-chip LLC with `llc_sets` sets.
+    /// The paper's configuration: 8 sets × 16 ways tracking the paper's 4
+    /// chips, conventional lines, sampling a per-chip LLC with `llc_sets`
+    /// sets.
     pub fn paper_default(llc_sets: usize) -> Self {
-        Self::new(8, 16, 1, llc_sets)
+        Self::new(4, 8, 16, 1, llc_sets)
     }
 
     /// The paper's sectored-cache configuration (4 sectors per line).
     pub fn paper_sectored(llc_sets: usize) -> Self {
-        Self::new(8, 16, 4, llc_sets)
+        Self::new(4, 8, 16, 4, llc_sets)
+    }
+
+    /// The paper's 8×16 directory geometry sized for a `chips`-chip
+    /// machine — what the profiling collector instantiates per chip.
+    pub fn for_chips(chips: usize, llc_sets: usize, sectored: bool) -> Self {
+        Self::new(chips, 8, 16, if sectored { 4 } else { 1 }, llc_sets)
     }
 
     /// Fully parameterized constructor.
     ///
     /// # Panics
-    /// Panics if `chips * sectors` exceeds the 16 presence bits, or any
+    /// Panics if `chips * sectors` exceeds the 128 presence bits, or any
     /// dimension is zero.
-    pub fn new(sets: usize, ways: usize, sectors: u32, llc_sets: usize) -> Self {
-        assert!(sets > 0 && ways > 0 && sectors > 0 && llc_sets > 0);
+    pub fn new(chips: usize, sets: usize, ways: usize, sectors: u32, llc_sets: usize) -> Self {
+        assert!(chips > 0 && sets > 0 && ways > 0 && sectors > 0 && llc_sets > 0);
         assert!(
-            MAX_CHIPS as u32 * sectors <= 16,
-            "presence bits limited to 16"
+            chips as u32 * sectors <= 128,
+            "presence bits limited to 128 (chips x sectors)"
         );
         Crd {
             sets: vec![vec![CrdBlock::EMPTY; ways]; sets],
             ways,
+            chips,
             sectors,
             llc_sets: llc_sets.max(sets),
             clock: 0,
@@ -110,27 +122,32 @@ impl Crd {
     }
 
     #[inline]
-    fn presence_bit(&self, chip: ChipId, sector: Option<SectorId>) -> u16 {
+    fn presence_bit(&self, chip: ChipId, sector: Option<SectorId>) -> u128 {
         let s = if self.sectors > 1 {
             sector.map(|s| s.0 as u32).unwrap_or(0)
         } else {
             0
         };
-        1u16 << (chip.index() as u32 * self.sectors + s)
+        1u128 << (chip.index() as u32 * self.sectors + s)
     }
 
     /// Observe one request to this memory partition. Returns `Some(hit)`
     /// when the request fell on a sampled set (`None` = not sampled).
     ///
     /// # Panics
-    /// Panics if `chip` exceeds [`MAX_CHIPS`].
+    /// Panics if `chip` exceeds the configured chip count.
     pub fn observe(
         &mut self,
         line: LineAddr,
         sector: Option<SectorId>,
         chip: ChipId,
     ) -> Option<bool> {
-        assert!(chip.index() < MAX_CHIPS);
+        assert!(
+            chip.index() < self.chips,
+            "chip {} outside the directory's {}-chip presence vector",
+            chip.index(),
+            self.chips
+        );
         let llc_set = self.llc_set_of(line);
         // Sample the first `sets.len()` LLC sets (a fixed 1/N sample).
         if llc_set >= self.sets.len() {
@@ -185,6 +202,11 @@ impl Crd {
         self.hits
     }
 
+    /// Chips this directory tracks (presence-vector width in chip units).
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
     /// Valid blocks currently held in the directory (observability gauge).
     pub fn occupied(&self) -> u64 {
         self.sets
@@ -218,10 +240,11 @@ impl Crd {
     }
 
     /// Storage cost in bytes (§3.6): each block holds a 30-bit tag plus
-    /// `4 × sectors` presence bits — 544 B conventional, 736 B sectored for
-    /// the 8×16 paper configuration.
+    /// `chips × sectors` presence bits — 544 B conventional, 736 B
+    /// sectored for the paper's 4-chip 8×16 configuration, and growing
+    /// with chip count (e.g. 608 B conventional at 8 chips).
     pub fn storage_bytes(&self) -> usize {
-        let bits_per_block = 30 + MAX_CHIPS * self.sectors as usize;
+        let bits_per_block = 30 + self.chips * self.sectors as usize;
         self.sets.len() * self.ways * bits_per_block / 8
     }
 
@@ -229,6 +252,7 @@ impl Crd {
     pub fn save(&self, e: &mut mcgpu_types::Enc) {
         e.put_usize(self.sets.len());
         e.put_usize(self.ways);
+        e.put_usize(self.chips);
         e.put_u32(self.sectors);
         e.put_usize(self.llc_sets);
         e.put_u64(self.clock);
@@ -237,7 +261,7 @@ impl Crd {
         for block in self.sets.iter().flat_map(|s| s.iter()) {
             e.put_u64(block.tag);
             e.put_bool(block.valid);
-            e.put_u16(block.presence);
+            e.put_u128(block.presence);
             e.put_u64(block.stamp);
         }
     }
@@ -249,9 +273,10 @@ impl Crd {
     pub fn load(d: &mut mcgpu_types::Dec<'_>) -> mcgpu_types::CkptResult<Self> {
         let sets = d.get_usize()?;
         let ways = d.get_usize()?;
+        let chips = d.get_usize()?;
         let sectors = d.get_u32()?;
         let llc_sets = d.get_usize()?;
-        if sets == 0 || ways == 0 || sectors == 0 || llc_sets == 0 {
+        if sets == 0 || ways == 0 || chips == 0 || sectors == 0 || llc_sets == 0 {
             return Err(mcgpu_types::CkptError::Decode(
                 "CRD dimensions must be non-zero".into(),
             ));
@@ -262,6 +287,7 @@ impl Crd {
         let mut crd = Crd {
             sets: vec![vec![CrdBlock::EMPTY; ways]; sets],
             ways,
+            chips,
             sectors,
             llc_sets,
             clock,
@@ -271,7 +297,7 @@ impl Crd {
         for block in crd.sets.iter_mut().flat_map(|s| s.iter_mut()) {
             block.tag = d.get_u64()?;
             block.valid = d.get_bool()?;
-            block.presence = d.get_u16()?;
+            block.presence = d.get_u128()?;
             block.stamp = d.get_u64()?;
         }
         Ok(crd)
@@ -294,6 +320,16 @@ mod tests {
     fn storage_matches_paper() {
         assert_eq!(Crd::paper_default(2048).storage_bytes(), 544);
         assert_eq!(Crd::paper_sectored(2048).storage_bytes(), 736);
+    }
+
+    #[test]
+    fn storage_scales_with_chip_count() {
+        // bits/block = 30 + chips x sectors over the 8x16 geometry.
+        assert_eq!(Crd::for_chips(4, 2048, false).storage_bytes(), 544);
+        assert_eq!(Crd::for_chips(8, 2048, false).storage_bytes(), 608);
+        assert_eq!(Crd::for_chips(16, 2048, false).storage_bytes(), 736);
+        assert_eq!(Crd::for_chips(4, 2048, true).storage_bytes(), 736);
+        assert_eq!(Crd::for_chips(8, 2048, true).storage_bytes(), 992);
     }
 
     #[test]
@@ -322,6 +358,29 @@ mod tests {
     }
 
     #[test]
+    fn wide_presence_tracks_many_chips_independently() {
+        // A 16-chip directory: every chip pays its own cold miss on a
+        // shared line, then hits — presence bits beyond the paper's 4-bit
+        // field must not alias.
+        let mut crd = Crd::for_chips(16, 64, false);
+        let l = sampled_line(&crd);
+        for chip in 0..16u8 {
+            assert_eq!(crd.observe(l, None, ChipId(chip)), Some(false));
+        }
+        for chip in 0..16u8 {
+            assert_eq!(crd.observe(l, None, ChipId(chip)), Some(true));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "presence vector")]
+    fn observe_rejects_out_of_range_chip() {
+        let mut crd = Crd::paper_default(64);
+        let l = sampled_line(&crd);
+        crd.observe(l, None, ChipId(4));
+    }
+
+    #[test]
     fn sectored_tracks_per_sector() {
         let mut crd = Crd::paper_sectored(64);
         let l = sampled_line(&crd);
@@ -334,7 +393,7 @@ mod tests {
     #[test]
     fn capacity_pressure_evicts_lru() {
         // 1 set x 2 ways sampling a 1-set LLC: every line sampled into set 0.
-        let mut crd = Crd::new(1, 2, 1, 1);
+        let mut crd = Crd::new(4, 1, 2, 1, 1);
         crd.observe(LineAddr(1), None, ChipId(0));
         crd.observe(LineAddr(2), None, ChipId(0));
         crd.observe(LineAddr(3), None, ChipId(0)); // evicts line 1
@@ -379,5 +438,26 @@ mod tests {
         }
         let rate = sampled as f64 / n as f64;
         assert!((rate - 1.0 / 16.0).abs() < 0.01, "sampling rate {rate}");
+    }
+
+    #[test]
+    fn save_load_round_trips_wide_presence() {
+        let mut crd = Crd::for_chips(16, 64, true);
+        let l = sampled_line(&crd);
+        for chip in [0u8, 7, 15] {
+            crd.observe(l, Some(SectorId(2)), ChipId(chip));
+        }
+        let mut e = mcgpu_types::Enc::new();
+        crd.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = mcgpu_types::Dec::new(&bytes);
+        let mut restored = Crd::load(&mut d).unwrap();
+        assert_eq!(restored.chips(), 16);
+        assert_eq!(restored.requests(), crd.requests());
+        // The restored directory predicts identically.
+        assert_eq!(
+            restored.observe(l, Some(SectorId(2)), ChipId(15)),
+            Some(true)
+        );
     }
 }

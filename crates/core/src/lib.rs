@@ -49,7 +49,7 @@ pub mod overhead;
 pub use controller::{SacConfig, SacController, SacState};
 pub use counters::{lsu, ProfileCollector};
 pub use crd::Crd;
-pub use eab::{ArchBandwidth, EabInputs, EabModel};
+pub use eab::{ArchBandwidth, EabInputs, EabModel, FabricCapacity};
 pub use overhead::HardwareOverhead;
 
 /// The two LLC modes SAC switches between (the reconfigurable subset of

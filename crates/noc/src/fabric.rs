@@ -1,164 +1,156 @@
-//! Inter-chip ring network.
+//! Inter-chip fabric: topology-generic packet transport.
 //!
-//! Chips are connected in a ring (Table 3: 12 bidirectional NVLink-class
-//! links in total, 3 per adjacent pair, 96 GB/s per direction per pair).
-//! Each directed adjacency is one bandwidth/latency [`Pipe`]; multi-hop
-//! packets are re-injected hop by hop by [`RingNetwork::tick`] using
-//! shortest-path routing with tie-breaking that balances both directions.
+//! The fabric keeps one directed bandwidth/latency [`Pipe`] per (chip,
+//! neighbor-slot) of the configured [`Topology`] and re-injects multi-hop
+//! packets hop by hop in [`FabricNetwork::tick`], re-routing every hop so
+//! traffic steers around failed links. On the paper's ring (Table 3: 12
+//! bidirectional NVLink-class links in total, 3 per adjacent pair, 96 GB/s
+//! per direction per pair) this reproduces the original hard-wired ring
+//! fabric bit-for-bit: slot 0 is clockwise, slot 1 counter-clockwise, and
+//! the [`Ring`](crate::topology::Ring) routing policy is the original
+//! shortest-path/balanced-tie-break/long-way-around logic.
 
+use crate::topology::{build_topology, Topology};
 use mcgpu_types::{ChipId, MachineConfig, Pipe};
 
-/// A packet travelling on the ring towards `dest`.
+/// A packet travelling on the fabric towards `dest`.
 #[derive(Debug, Clone)]
-struct RingPacket<T> {
+struct FabricPacket<T> {
     dest: ChipId,
     bytes: u64,
     payload: T,
 }
 
-/// The inter-chip ring: one directed [`Pipe`] per adjacent ordered chip
-/// pair.
+/// Why [`FabricNetwork::try_send`] returned the payload to the caller.
+/// Both cases are backpressure — the caller retries — but a `NoRoute`
+/// signals a typed dead-route condition (link failures disconnected the
+/// destination), never a silent drop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError<T> {
+    /// The outgoing link queue is full this cycle.
+    Full(T),
+    /// Link failures have left no live path to the destination.
+    NoRoute(T),
+}
+
+impl<T> SendError<T> {
+    /// Recover the payload for a retry.
+    pub fn into_payload(self) -> T {
+        match self {
+            SendError::Full(p) | SendError::NoRoute(p) => p,
+        }
+    }
+}
+
+/// The inter-chip fabric: one directed [`Pipe`] per (chip, neighbor slot)
+/// of the configured topology.
 ///
 /// # Example
 /// ```
-/// use mcgpu_noc::RingNetwork;
+/// use mcgpu_noc::FabricNetwork;
 /// use mcgpu_types::{ChipId, MachineConfig};
 ///
-/// let cfg = MachineConfig::paper_baseline();
-/// let mut ring: RingNetwork<&str> = RingNetwork::new(&cfg, 20);
-/// ring.try_send(ChipId(0), ChipId(2), "two hops", 16).unwrap();
+/// let cfg = MachineConfig::paper_baseline(); // 4-chip ring
+/// let mut fabric: FabricNetwork<&str> = FabricNetwork::new(&cfg, 20);
+/// fabric.try_send(ChipId(0), ChipId(2), "two hops", 16).unwrap();
 /// let mut arrived = Vec::new();
 /// for now in 0..200 {
-///     ring.tick(now);
-///     arrived.extend(ring.pop_arrivals(ChipId(2), now));
+///     fabric.tick(now);
+///     arrived.extend(fabric.pop_arrivals(ChipId(2), now));
 /// }
 /// assert_eq!(arrived, vec!["two hops"]);
 /// ```
 #[derive(Debug)]
-pub struct RingNetwork<T> {
+pub struct FabricNetwork<T> {
     chips: usize,
-    /// `links[from][0]` = clockwise (to chip+1), `links[from][1]` =
-    /// counter-clockwise (to chip-1).
-    links: Vec<[Pipe<RingPacket<T>>; 2]>,
-    /// `alive[from][dir]`: whether that directed link can carry traffic.
+    topo: Box<dyn Topology>,
+    /// `links[from][slot]` carries traffic from `from` to its `slot`-th
+    /// neighbor. On a ring, slot 0 = clockwise (to chip+1), slot 1 =
+    /// counter-clockwise.
+    links: Vec<Vec<Pipe<FabricPacket<T>>>>,
+    /// `alive[from][slot]`: whether that directed link can carry traffic.
     /// Links die in pairs (both directions of an adjacency) via
-    /// [`RingNetwork::fail_link`].
-    alive: Vec<[bool; 2]>,
+    /// [`FabricNetwork::fail_link`].
+    alive: Vec<Vec<bool>>,
     /// Packets that completed a hop and wait at an intermediate chip for
     /// re-injection, per chip.
-    transit: Vec<Vec<RingPacket<T>>>,
+    transit: Vec<Vec<FabricPacket<T>>>,
     /// Packets that reached their destination, per chip.
-    arrived: Vec<Vec<RingPacket<T>>>,
-    topo: MachineConfig,
+    arrived: Vec<Vec<FabricPacket<T>>>,
     delivered: u64,
     bytes_sent: u64,
     /// Bytes injected per source chip (observability tap).
     sent_from: Vec<u64>,
 }
 
-impl<T> RingNetwork<T> {
-    /// Build the ring for `cfg.chips` chips with per-pair bandwidth
-    /// `cfg.interchip_pair_gbs` and per-hop latency `cfg.link_latency`;
-    /// `queue_depth` bounds each link's injection queue.
+impl<T> FabricNetwork<T> {
+    /// Build the fabric for `cfg.topology` over `cfg.chips` chips with
+    /// per-link bandwidth `cfg.interchip_pair_gbs` and per-hop latency
+    /// `cfg.link_latency`; `queue_depth` bounds each link's injection
+    /// queue.
     pub fn new(cfg: &MachineConfig, queue_depth: usize) -> Self {
+        let topo = build_topology(cfg);
         let n = cfg.chips;
-        RingNetwork {
+        let links: Vec<Vec<Pipe<FabricPacket<T>>>> = ChipId::all(n)
+            .map(|c| {
+                topo.neighbors(c)
+                    .iter()
+                    .map(|_| Pipe::new(topo.link_gbs(), topo.link_latency(), Some(queue_depth)))
+                    .collect()
+            })
+            .collect();
+        let alive = ChipId::all(n)
+            .map(|c| vec![true; topo.neighbors(c).len()])
+            .collect();
+        FabricNetwork {
             chips: n,
-            links: (0..n)
-                .map(|_| {
-                    [
-                        Pipe::new(cfg.interchip_pair_gbs, cfg.link_latency, Some(queue_depth)),
-                        Pipe::new(cfg.interchip_pair_gbs, cfg.link_latency, Some(queue_depth)),
-                    ]
-                })
-                .collect(),
-            alive: vec![[true; 2]; n],
+            topo,
+            links,
+            alive,
             transit: (0..n).map(|_| Vec::new()).collect(),
             arrived: (0..n).map(|_| Vec::new()).collect(),
-            topo: cfg.clone(),
             delivered: 0,
             bytes_sent: 0,
             sent_from: vec![0; n],
         }
     }
 
-    #[inline]
-    fn direction(&self, from: ChipId, to: ChipId) -> usize {
-        let next = self.topo.ring_next_hop(from, to);
-        if next.index() == (from.index() + 1) % self.chips {
-            0
-        } else {
-            1
-        }
-    }
-
-    /// Whether every directed link on the path from `from` to `dest` going
-    /// `dir` (0 = clockwise, 1 = counter-clockwise) is alive.
-    fn path_alive(&self, from: usize, dest: usize, dir: usize) -> bool {
-        let mut c = from;
-        while c != dest {
-            if !self.alive[c][dir] {
-                return false;
-            }
-            c = if dir == 0 {
-                (c + 1) % self.chips
-            } else {
-                (c + self.chips - 1) % self.chips
-            };
-        }
-        true
-    }
-
-    /// The direction a packet from `from` to `dest` should take: the
-    /// shortest-path direction when its whole path is alive, the long way
-    /// around when only that survives, `None` when the ring is partitioned
-    /// between the two chips.
-    fn route_dir(&self, from: ChipId, dest: ChipId) -> Option<usize> {
-        let preferred = self.direction(from, dest);
-        if self.path_alive(from.index(), dest.index(), preferred) {
-            return Some(preferred);
-        }
-        let other = 1 - preferred;
-        if self.path_alive(from.index(), dest.index(), other) {
-            return Some(other);
-        }
-        None
-    }
-
-    /// The directed-link index at `a` of the adjacency `a <-> b`.
+    /// The outgoing slot at `a` of the adjacency `a <-> b` (the first slot
+    /// pointing at `b`, matching the original ring's direction mapping on
+    /// a 2-chip ring where both slots reach the same chip).
     ///
     /// # Panics
-    /// Panics if `a` and `b` are not ring-adjacent — callers must hand in a
+    /// Panics if `a` and `b` are not adjacent — callers must hand in a
     /// validated fault plan.
-    fn dir_towards(&self, a: ChipId, b: ChipId) -> usize {
-        if b.index() == (a.index() + 1) % self.chips {
-            0
-        } else if b.index() == (a.index() + self.chips - 1) % self.chips {
-            1
-        } else {
-            panic!("invariant violated: link fault endpoints {a:?} and {b:?} are not ring-adjacent")
-        }
+    fn slot_towards(&self, a: ChipId, b: ChipId) -> usize {
+        self.topo
+            .neighbors(a)
+            .iter()
+            .position(|&n| n == b)
+            .unwrap_or_else(|| {
+                panic!("invariant violated: link fault endpoints {a:?} and {b:?} are not adjacent")
+            })
     }
 
     /// Degrade the adjacency `a <-> b` to `factor` of its configured
     /// bandwidth, in both directions. Queued and in-flight packets are
     /// unaffected; future packets transmit at the reduced rate.
     pub fn degrade_link(&mut self, a: ChipId, b: ChipId, factor: f64) {
-        let rate = self.topo.interchip_pair_gbs * factor;
-        let d_ab = self.dir_towards(a, b);
-        let d_ba = self.dir_towards(b, a);
-        self.links[a.index()][d_ab].set_rate(rate);
-        self.links[b.index()][d_ba].set_rate(rate);
+        let rate = self.topo.link_gbs() * factor;
+        let s_ab = self.slot_towards(a, b);
+        let s_ba = self.slot_towards(b, a);
+        self.links[a.index()][s_ab].set_rate(rate);
+        self.links[b.index()][s_ba].set_rate(rate);
     }
 
     /// Fail the adjacency `a <-> b` in both directions. Packets queued or
     /// in flight on the dead links are returned to their sending chip and
-    /// re-routed the long way around — conserved, not dropped.
+    /// re-routed along surviving links — conserved, not dropped.
     pub fn fail_link(&mut self, a: ChipId, b: ChipId) {
         for (from, to) in [(a, b), (b, a)] {
-            let dir = self.dir_towards(from, to);
-            self.alive[from.index()][dir] = false;
-            let stranded = self.links[from.index()][dir].drain();
+            let slot = self.slot_towards(from, to);
+            self.alive[from.index()][slot] = false;
+            let stranded = self.links[from.index()][slot].drain();
             self.transit[from.index()].extend(stranded);
         }
     }
@@ -166,41 +158,48 @@ impl<T> RingNetwork<T> {
     /// Whether the adjacency `a <-> b` is alive (in the `a -> b` direction;
     /// failures always take both).
     pub fn link_alive(&self, a: ChipId, b: ChipId) -> bool {
-        self.alive[a.index()][self.dir_towards(a, b)]
+        self.alive[a.index()][self.slot_towards(a, b)]
     }
 
     /// Inject a packet at `from` destined for `to`.
     ///
     /// # Errors
-    /// Returns the payload back when the outgoing link queue is full, or
-    /// when link failures have left no live path from `from` to `to`
-    /// (backpressure either way — the caller retries).
+    /// Returns the payload back as [`SendError::Full`] when the outgoing
+    /// link queue is full, or [`SendError::NoRoute`] when link failures
+    /// have left no live path from `from` to `to` (backpressure either way
+    /// — the caller retries).
     ///
     /// # Panics
     /// Panics if `from == to`.
-    pub fn try_send(&mut self, from: ChipId, to: ChipId, payload: T, bytes: u64) -> Result<(), T> {
-        assert_ne!(from, to, "ring packets must cross chips");
-        let Some(dir) = self.route_dir(from, to) else {
-            return Err(payload);
+    pub fn try_send(
+        &mut self,
+        from: ChipId,
+        to: ChipId,
+        payload: T,
+        bytes: u64,
+    ) -> Result<(), SendError<T>> {
+        assert_ne!(from, to, "fabric packets must cross chips");
+        let Some(slot) = self.topo.route(from, to, &self.alive) else {
+            return Err(SendError::NoRoute(payload));
         };
-        let pkt = RingPacket {
+        let pkt = FabricPacket {
             dest: to,
             bytes,
             payload,
         };
-        self.links[from.index()][dir]
+        self.links[from.index()][slot]
             .try_push(pkt, bytes)
             .map(|()| {
                 self.bytes_sent += bytes;
                 self.sent_from[from.index()] += bytes;
             })
-            .map_err(|pkt| pkt.payload)
+            .map_err(|pkt| SendError::Full(pkt.payload))
     }
 
     /// Whether `from` can currently inject a packet towards `to`.
     pub fn can_send(&self, from: ChipId, to: ChipId) -> bool {
-        match self.route_dir(from, to) {
-            Some(dir) => self.links[from.index()][dir].can_push(),
+        match self.topo.route(from, to, &self.alive) {
+            Some(slot) => self.links[from.index()][slot].can_push(),
             None => false,
         }
     }
@@ -210,17 +209,17 @@ impl<T> RingNetwork<T> {
     pub fn tick(&mut self, now: u64) {
         // Re-inject packets waiting at intermediate chips first so they get
         // this cycle's bandwidth. Routing is re-evaluated every hop, so
-        // packets stranded by a link failure take the surviving direction;
-        // with no live path they wait here (conserved) until one returns or
-        // the engine's watchdog declares the machine wedged.
+        // packets stranded by a link failure take a surviving path; with no
+        // live path they wait here (conserved) until one returns or the
+        // engine's watchdog declares the machine wedged.
         for chip in 0..self.chips {
             let waiting = std::mem::take(&mut self.transit[chip]);
             for pkt in waiting {
                 let from = ChipId(chip as u8);
-                match self.route_dir(from, pkt.dest) {
-                    Some(dir) => {
+                match self.topo.route(from, pkt.dest, &self.alive) {
+                    Some(slot) => {
                         let bytes = pkt.bytes;
-                        if let Err(p) = self.links[chip][dir].try_push(pkt, bytes) {
+                        if let Err(p) = self.links[chip][slot].try_push(pkt, bytes) {
                             self.transit[chip].push(p);
                         }
                     }
@@ -229,21 +228,20 @@ impl<T> RingNetwork<T> {
             }
         }
         for chip in 0..self.chips {
-            for dir in 0..2 {
-                self.links[chip][dir].tick(now);
+            for pipe in &mut self.links[chip] {
+                pipe.tick(now);
             }
         }
         // Land completed hops.
         for chip in 0..self.chips {
-            let cw_next = (chip + 1) % self.chips;
-            let ccw_next = (chip + self.chips - 1) % self.chips;
-            for (dir, next) in [(0usize, cw_next), (1usize, ccw_next)] {
-                while let Some(pkt) = self.links[chip][dir].pop_ready(now) {
-                    if pkt.dest.index() == next {
+            for slot in 0..self.links[chip].len() {
+                let next = self.topo.neighbors(ChipId(chip as u8))[slot];
+                while let Some(pkt) = self.links[chip][slot].pop_ready(now) {
+                    if pkt.dest == next {
                         self.delivered += 1;
-                        self.arrived[next].push(pkt);
+                        self.arrived[next.index()].push(pkt);
                     } else {
-                        self.transit[next].push(pkt);
+                        self.transit[next.index()].push(pkt);
                     }
                 }
             }
@@ -257,8 +255,8 @@ impl<T> RingNetwork<T> {
         out
     }
 
-    /// Like [`pop_arrivals`](RingNetwork::pop_arrivals), but appends into a
-    /// caller-owned buffer — the per-cycle simulator loop reuses one
+    /// Like [`pop_arrivals`](FabricNetwork::pop_arrivals), but appends into
+    /// a caller-owned buffer — the per-cycle simulator loop reuses one
     /// scratch `Vec` instead of allocating each cycle.
     pub fn pop_arrivals_into(&mut self, chip: ChipId, _now: u64, out: &mut Vec<T>) {
         out.extend(self.arrived[chip.index()].drain(..).map(|p| p.payload));
@@ -280,13 +278,12 @@ impl<T> RingNetwork<T> {
         self.len() == 0
     }
 
-    /// Packets currently held at `chip`: queued or in flight on its two
+    /// Packets currently held at `chip`: queued or in flight on its
     /// outgoing links, waiting in transit, or landed but not yet popped.
     /// Used for deadlock diagnostics.
     pub fn chip_load(&self, chip: ChipId) -> usize {
         let i = chip.index();
-        self.links[i][0].len()
-            + self.links[i][1].len()
+        self.links[i].iter().map(|p| p.len()).sum::<usize>()
             + self.transit[i].len()
             + self.arrived[i].len()
     }
@@ -321,26 +318,27 @@ impl<T> RingNetwork<T> {
         self.sent_from[chip.index()]
     }
 
-    /// Serialize the full ring state (link pipes with queued and in-flight
-    /// packets, link liveness, transit and arrival buffers, counters) into
-    /// a checkpoint payload, encoding each payload with `f`. The topology
-    /// config is not serialized — the restoring side rebuilds from the same
-    /// [`MachineConfig`].
+    /// Serialize the full fabric state (link pipes with queued and
+    /// in-flight packets, link liveness, transit and arrival buffers,
+    /// counters) into a checkpoint payload, encoding each payload with
+    /// `f`. The topology is not serialized — the restoring side rebuilds
+    /// from the same [`MachineConfig`] (the checkpoint config fingerprint
+    /// guarantees it matches).
     pub fn save_with(
         &self,
         e: &mut mcgpu_types::Enc,
         mut f: impl FnMut(&mut mcgpu_types::Enc, &T),
     ) {
-        let mut put_pkt = |e: &mut mcgpu_types::Enc, pkt: &RingPacket<T>| {
+        let mut put_pkt = |e: &mut mcgpu_types::Enc, pkt: &FabricPacket<T>| {
             e.put_u8(pkt.dest.0);
             e.put_u64(pkt.bytes);
             f(e, &pkt.payload);
         };
         e.put_seq_len(self.chips);
         for chip in 0..self.chips {
-            for dir in 0..2 {
-                self.links[chip][dir].save_with(e, &mut put_pkt);
-                e.put_bool(self.alive[chip][dir]);
+            for slot in 0..self.links[chip].len() {
+                self.links[chip][slot].save_with(e, &mut put_pkt);
+                e.put_bool(self.alive[chip][slot]);
             }
             e.put_seq_len(self.transit[chip].len());
             for pkt in &self.transit[chip] {
@@ -356,9 +354,11 @@ impl<T> RingNetwork<T> {
         e.put_u64(self.bytes_sent);
     }
 
-    /// Overwrite this ring's dynamic state from a payload saved by
-    /// [`RingNetwork::save_with`], decoding each payload with `f`. The
-    /// ring must have been constructed for the same machine.
+    /// Overwrite this fabric's dynamic state from a payload saved by
+    /// [`FabricNetwork::save_with`], decoding each payload with `f`. The
+    /// fabric must have been constructed for the same machine (the slot
+    /// count per chip is structural and is not re-validated here beyond
+    /// the chip count).
     ///
     /// # Errors
     /// Returns a decode error on truncated input or a chip-count mismatch.
@@ -370,24 +370,25 @@ impl<T> RingNetwork<T> {
         let chips = d.get_seq_len()?;
         if chips != self.chips {
             return Err(mcgpu_types::CkptError::Decode(format!(
-                "ring chip count mismatch: snapshot {chips}, live {}",
+                "fabric chip count mismatch: snapshot {chips}, live {}",
                 self.chips
             )));
         }
-        let mut get_pkt = |d: &mut mcgpu_types::Dec<'_>| -> mcgpu_types::CkptResult<RingPacket<T>> {
-            let dest = ChipId(d.get_u8()?);
-            let bytes = d.get_u64()?;
-            let payload = f(d)?;
-            Ok(RingPacket {
-                dest,
-                bytes,
-                payload,
-            })
-        };
+        let mut get_pkt =
+            |d: &mut mcgpu_types::Dec<'_>| -> mcgpu_types::CkptResult<FabricPacket<T>> {
+                let dest = ChipId(d.get_u8()?);
+                let bytes = d.get_u64()?;
+                let payload = f(d)?;
+                Ok(FabricPacket {
+                    dest,
+                    bytes,
+                    payload,
+                })
+            };
         for chip in 0..chips {
-            for dir in 0..2 {
-                self.links[chip][dir] = Pipe::load_with(d, &mut get_pkt)?;
-                self.alive[chip][dir] = d.get_bool()?;
+            for slot in 0..self.links[chip].len() {
+                self.links[chip][slot] = Pipe::load_with(d, &mut get_pkt)?;
+                self.alive[chip][slot] = d.get_bool()?;
             }
             let n = d.get_seq_len()?;
             self.transit[chip].clear();
@@ -412,20 +413,21 @@ impl<T> RingNetwork<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mcgpu_types::TopologyKind;
 
     fn cfg() -> MachineConfig {
         MachineConfig::paper_baseline()
     }
 
-    fn run_until_empty<T>(ring: &mut RingNetwork<T>, sink: &mut Vec<(usize, T)>, max: u64) {
+    fn run_until_empty<T>(fab: &mut FabricNetwork<T>, sink: &mut Vec<(usize, T)>, max: u64) {
         for now in 0..max {
-            ring.tick(now);
-            for chip in 0..4 {
-                for p in ring.pop_arrivals(ChipId(chip), now) {
-                    sink.push((chip as usize, p));
+            fab.tick(now);
+            for chip in 0..fab.chips {
+                for p in fab.pop_arrivals(ChipId(chip as u8), now) {
+                    sink.push((chip, p));
                 }
             }
-            if ring.is_empty() {
+            if fab.is_empty() {
                 break;
             }
         }
@@ -433,7 +435,7 @@ mod tests {
 
     #[test]
     fn adjacent_delivery() {
-        let mut ring: RingNetwork<u32> = RingNetwork::new(&cfg(), 16);
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&cfg(), 16);
         ring.try_send(ChipId(0), ChipId(1), 7, 16).unwrap();
         let mut got = Vec::new();
         run_until_empty(&mut ring, &mut got, 1000);
@@ -444,7 +446,7 @@ mod tests {
     #[test]
     fn two_hop_delivery_takes_two_latencies() {
         let c = cfg();
-        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 16);
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&c, 16);
         ring.try_send(ChipId(0), ChipId(2), 9, 16).unwrap();
         let mut arrival_cycle = None;
         for now in 0..1000 {
@@ -466,7 +468,7 @@ mod tests {
         let mut c = cfg();
         c.interchip_pair_gbs = 16.0; // 16 B/cycle per direction
         c.link_latency = 0;
-        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 4);
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&c, 4);
         let mut sent = 0u32;
         let mut delivered = 0;
         for now in 0..1000 {
@@ -486,7 +488,7 @@ mod tests {
         let c = cfg();
         // chip0 -> chip2 ties: even source goes clockwise; chip1 -> chip3
         // (odd source) goes counter-clockwise.
-        let mut ring: RingNetwork<&str> = RingNetwork::new(&c, 16);
+        let mut ring: FabricNetwork<&str> = FabricNetwork::new(&c, 16);
         ring.try_send(ChipId(0), ChipId(2), "a", 16).unwrap();
         ring.try_send(ChipId(1), ChipId(3), "b", 16).unwrap();
         let mut got = Vec::new();
@@ -497,7 +499,7 @@ mod tests {
     #[test]
     fn failed_link_reroutes_the_long_way() {
         let c = cfg();
-        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 16);
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&c, 16);
         ring.fail_link(ChipId(0), ChipId(1));
         assert!(!ring.link_alive(ChipId(0), ChipId(1)));
         // 0 -> 1 must now take 0 -> 3 -> 2 -> 1: three hops instead of one.
@@ -522,7 +524,7 @@ mod tests {
     fn fail_link_conserves_queued_packets() {
         let mut c = cfg();
         c.interchip_pair_gbs = 16.0;
-        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 16);
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&c, 16);
         // Queue several packets on 0 -> 1, then kill the link before they move.
         for i in 0..8 {
             ring.try_send(ChipId(0), ChipId(1), i, 128).unwrap();
@@ -537,13 +539,16 @@ mod tests {
     #[test]
     fn partitioned_ring_refuses_injection_but_holds_packets() {
         let c = cfg();
-        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 16);
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&c, 16);
         ring.try_send(ChipId(0), ChipId(2), 5, 16).unwrap();
         // Cut both directions out of the packet's current region.
         ring.fail_link(ChipId(0), ChipId(1));
         ring.fail_link(ChipId(3), ChipId(0));
         assert!(!ring.can_send(ChipId(0), ChipId(2)));
-        assert_eq!(ring.try_send(ChipId(0), ChipId(2), 6, 16), Err(6));
+        assert_eq!(
+            ring.try_send(ChipId(0), ChipId(2), 6, 16),
+            Err(SendError::NoRoute(6))
+        );
         for now in 0..500 {
             ring.tick(now);
         }
@@ -557,8 +562,8 @@ mod tests {
         let mut c = cfg();
         c.interchip_pair_gbs = 16.0;
         c.link_latency = 0;
-        let mut full: RingNetwork<u32> = RingNetwork::new(&c, 4);
-        let mut degraded: RingNetwork<u32> = RingNetwork::new(&c, 4);
+        let mut full: FabricNetwork<u32> = FabricNetwork::new(&c, 4);
+        let mut degraded: FabricNetwork<u32> = FabricNetwork::new(&c, 4);
         degraded.degrade_link(ChipId(0), ChipId(1), 0.5);
         let mut counts = [0usize; 2];
         for (k, ring) in [&mut full, &mut degraded].into_iter().enumerate() {
@@ -582,9 +587,60 @@ mod tests {
     fn backpressure_on_full_link() {
         let mut c = cfg();
         c.interchip_pair_gbs = 0.0;
-        let mut ring: RingNetwork<u32> = RingNetwork::new(&c, 1);
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&c, 1);
         assert!(ring.try_send(ChipId(0), ChipId(1), 1, 16).is_ok());
-        assert_eq!(ring.try_send(ChipId(0), ChipId(1), 2, 16), Err(2));
+        assert_eq!(
+            ring.try_send(ChipId(0), ChipId(1), 2, 16),
+            Err(SendError::Full(2))
+        );
         assert!(!ring.can_send(ChipId(0), ChipId(1)));
+    }
+
+    #[test]
+    fn mesh_delivers_across_the_diagonal() {
+        let mut c = cfg();
+        c.topology = TopologyKind::Mesh2D;
+        let mut mesh: FabricNetwork<u32> = FabricNetwork::new(&c, 16);
+        // 2x2 mesh: 0 and 3 are diagonal, two hops apart.
+        mesh.try_send(ChipId(0), ChipId(3), 11, 16).unwrap();
+        let mut got = Vec::new();
+        run_until_empty(&mut mesh, &mut got, 2000);
+        assert_eq!(got, vec![(3, 11)]);
+    }
+
+    #[test]
+    fn fully_connected_is_single_hop_between_any_pair() {
+        let mut c = cfg();
+        c.topology = TopologyKind::FullyConnected;
+        c.chips = 8;
+        let mut fc: FabricNetwork<u32> = FabricNetwork::new(&c, 16);
+        fc.try_send(ChipId(0), ChipId(5), 3, 16).unwrap();
+        let mut arrival = None;
+        for now in 0..1000 {
+            fc.tick(now);
+            if !fc.pop_arrivals(ChipId(5), now).is_empty() {
+                arrival = Some(now);
+                break;
+            }
+        }
+        let t = arrival.expect("delivered");
+        assert!(
+            t < 2 * c.link_latency,
+            "all-to-all should deliver in one hop, got {t}"
+        );
+    }
+
+    #[test]
+    fn two_chip_ring_survives_single_link_failure() {
+        let mut c = cfg();
+        c.chips = 2;
+        let mut ring: FabricNetwork<u32> = FabricNetwork::new(&c, 16);
+        // fail_link takes the slot-0 parallel links on both sides; the
+        // slot-1 pair survives and traffic reroutes onto it.
+        ring.fail_link(ChipId(0), ChipId(1));
+        ring.try_send(ChipId(0), ChipId(1), 9, 16).unwrap();
+        let mut got = Vec::new();
+        run_until_empty(&mut ring, &mut got, 1000);
+        assert_eq!(got, vec![(1, 9)]);
     }
 }

@@ -60,7 +60,10 @@ impl NocPhysical {
             clusters: cfg.clusters_per_chip,
             slices: cfg.slices_per_chip,
             channels: cfg.channels_per_chip,
-            links: cfg.links_per_pair * 2,
+            // Fabric ports on the crossbar: one bundle of `links_per_pair`
+            // physical links per fabric neighbor (2 on the ring — 6 ports
+            // in the 38x22 baseline crossbar).
+            links: cfg.links_per_pair * cfg.max_chip_degree(),
         }
     }
 

@@ -217,7 +217,7 @@ impl Chip {
                 cfg.dram_latency,
                 cfg.line_size,
             ),
-            ring_egress: Pipe::new(cfg.inter_gbs_per_chip(), 4, Some(PORT_QUEUE)),
+            ring_egress: Pipe::new(cfg.egress_gbs(id), 4, Some(PORT_QUEUE)),
             pending_ring: VecDeque::new(),
             ring_retry: None,
             pending_req: VecDeque::new(),

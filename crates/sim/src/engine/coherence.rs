@@ -6,10 +6,11 @@ use crate::packet::RingPayload;
 use mcgpu_types::{ChipId, CoherenceKind, LineAddr};
 
 /// Chip-granularity sharer directory for hardware coherence, stored as a
-/// flat byte-per-line bitmask table indexed by line index. The table grows
-/// on demand to the highest line ever filled and is reset with a `memset`
-/// at kernel boundaries, so the per-access path is one bounds check and one
-/// byte load — no hashing, no per-kernel reallocation.
+/// flat word-per-line bitmask table indexed by line index (one bit per
+/// chip, up to the 64-chip configuration limit). The table grows on demand
+/// to the highest line ever filled and is reset with a `memset` at kernel
+/// boundaries, so the per-access path is one bounds check and one word
+/// load — no hashing, no per-kernel reallocation.
 ///
 /// # `set`/`fill` asymmetry
 /// [`fill`](SharerDirectory::fill) grows the table so a replica is always
@@ -21,19 +22,19 @@ use mcgpu_types::{ChipId, CoherenceKind, LineAddr};
 /// below.
 #[derive(Debug, Default)]
 pub(super) struct SharerDirectory {
-    masks: Vec<u8>,
+    masks: Vec<u64>,
 }
 
 impl SharerDirectory {
     /// Sharer mask for `line` (`0` = untracked).
-    pub(super) fn mask(&self, line: u64) -> u8 {
+    pub(super) fn mask(&self, line: u64) -> u64 {
         self.masks.get(line as usize).copied().unwrap_or(0)
     }
 
     /// Replace the sharer set of a tracked `line` with `mask`. Untracked
     /// lines stay untracked (matching the map-based behaviour where a write
     /// to an absent entry is a no-op).
-    pub(super) fn set(&mut self, line: u64, mask: u8) {
+    pub(super) fn set(&mut self, line: u64, mask: u64) {
         if let Some(m) = self.masks.get_mut(line as usize) {
             *m = mask;
         }
@@ -47,7 +48,7 @@ impl SharerDirectory {
             // logarithmic in the footprint while tracking it closely.
             self.masks.resize((idx + 1).max(self.masks.len() * 2), 0);
         }
-        self.masks[idx] |= 1 << c;
+        self.masks[idx] |= 1u64 << c;
     }
 
     /// Drop all sharer state, keeping the table's capacity.
@@ -57,14 +58,20 @@ impl SharerDirectory {
 
     /// Serialize the sharer table into a checkpoint payload.
     pub(super) fn save(&self, e: &mut mcgpu_types::Enc) {
-        e.put_bytes(&self.masks);
+        e.put_seq_len(self.masks.len());
+        for &m in &self.masks {
+            e.put_u64(m);
+        }
     }
 
     /// Deserialize a table saved by [`SharerDirectory::save`].
     pub(super) fn load(d: &mut mcgpu_types::Dec<'_>) -> mcgpu_types::CkptResult<Self> {
-        Ok(SharerDirectory {
-            masks: d.get_bytes()?.to_vec(),
-        })
+        let n = d.get_seq_len()?;
+        let mut masks = Vec::with_capacity(n);
+        for _ in 0..n {
+            masks.push(d.get_u64()?);
+        }
+        Ok(SharerDirectory { masks })
     }
 }
 
@@ -79,14 +86,14 @@ impl Simulator {
         if mask == 0 {
             return;
         }
-        let owner_bit = 1u8 << c;
+        let owner_bit = 1u64 << c;
         let others = mask & !owner_bit;
         self.directory.set(line.index(), owner_bit);
         if others == 0 {
             return;
         }
         for b in 0..self.cfg.chips {
-            if others & (1 << b) != 0 {
+            if others & (1u64 << b) != 0 {
                 self.push_ring(
                     c,
                     RingPayload::Inval {

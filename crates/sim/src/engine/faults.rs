@@ -18,15 +18,12 @@ impl Simulator {
         }
     }
 
-    /// Index of the physical link pair joining ring-adjacent `a` and `b`
-    /// in [`Simulator::link_factor`].
+    /// Index of the physical link pair joining fabric-adjacent `a` and `b`
+    /// in [`Simulator::link_factor`] (the topology's canonical link list).
     fn pair_index(&self, a: ChipId, b: ChipId) -> usize {
-        let (lo, hi) = (a.index().min(b.index()), a.index().max(b.index()));
-        if lo == 0 && hi == self.cfg.chips - 1 {
-            hi // the wrap-around pair
-        } else {
-            lo
-        }
+        self.cfg
+            .link_index(a, b)
+            .expect("fault plans are validated against the topology")
     }
 
     fn apply_fault(&mut self, kind: FaultKind) {

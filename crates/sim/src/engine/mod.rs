@@ -41,7 +41,7 @@ use crate::packet::RingPayload;
 use crate::stats::{KernelStats, RunStats};
 use coherence::SharerDirectory;
 use mcgpu_mem::{DramRequest, PageTable};
-use mcgpu_noc::RingNetwork;
+use mcgpu_noc::FabricNetwork;
 use mcgpu_trace::Workload;
 use mcgpu_types::{ChipId, ConfigError, FaultPlan, LlcOrgKind, MachineConfig, ObsConfig};
 use sac::SacConfig;
@@ -224,7 +224,7 @@ pub struct Simulator {
     /// decision, plus the organization's internal controller state.
     policy: Box<dyn LlcOrgPolicy>,
     chips: Vec<Chip>,
-    ring: RingNetwork<RingPayload>,
+    ring: FabricNetwork<RingPayload>,
     page_table: PageTable,
     cycle: u64,
     max_cycles: u64,
@@ -329,7 +329,7 @@ impl Simulator {
             .enabled()
             .then(|| Box::new(Observer::new(obs, cfg.chips)));
         let chips: Vec<Chip> = ChipId::all(cfg.chips).map(|c| Chip::new(&cfg, c)).collect();
-        let ring = RingNetwork::new(&cfg, 32);
+        let ring = FabricNetwork::new(&cfg, 32);
 
         let mut sim = Simulator {
             page_table: PageTable::new(cfg.page_size),
@@ -347,7 +347,7 @@ impl Simulator {
             watchdog_window,
             watchdog_sig: 0,
             watchdog_cycle: 0,
-            link_factor: vec![1.0; cfg.chips],
+            link_factor: vec![1.0; cfg.num_links()],
             dram_factor: vec![1.0; cfg.chips],
             deadline,
             deadline_start: None,

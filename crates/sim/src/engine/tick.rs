@@ -620,8 +620,8 @@ impl Simulator {
             if let Some(p) = self.chips[c].ring_retry.take() {
                 let dest = self.ring_dest(&p, from);
                 let bytes = p.wire_bytes(line_size);
-                if let Err(p) = self.ring.try_send(from, dest, p, bytes) {
-                    self.chips[c].ring_retry = Some(p);
+                if let Err(e) = self.ring.try_send(from, dest, p, bytes) {
+                    self.chips[c].ring_retry = Some(e.into_payload());
                 }
             }
             while let Some(p) = self.chips[c].pending_ring.front() {
@@ -639,8 +639,8 @@ impl Simulator {
                 };
                 let dest = self.ring_dest(&p, from);
                 let bytes = p.wire_bytes(line_size);
-                if let Err(p) = self.ring.try_send(from, dest, p, bytes) {
-                    self.chips[c].ring_retry = Some(p);
+                if let Err(e) = self.ring.try_send(from, dest, p, bytes) {
+                    self.chips[c].ring_retry = Some(e.into_payload());
                 }
             }
         }

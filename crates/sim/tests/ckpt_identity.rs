@@ -210,6 +210,20 @@ fn restore_rejects_wrong_workload_config_and_organization() {
         "got {err}"
     );
 
+    // Different inter-chip topology, same chip count → fingerprint
+    // mismatch: a ring snapshot must never restore into a mesh machine
+    // (the caller falls back to a full re-run instead).
+    let mut mesh = cfg.clone();
+    mesh.topology = mcgpu_types::TopologyKind::Mesh2D;
+    let mesh_wl = workload(&mesh, "CFD", 40_000);
+    let err = build(&mesh, LlcOrgKind::MemorySide, &plan)
+        .restore(&payload, &mesh_wl)
+        .unwrap_err();
+    assert!(
+        matches!(err, CkptError::FingerprintMismatch { .. }),
+        "got {err}"
+    );
+
     // Same config + workload, different organization → decode error
     // naming the organization mismatch.
     let err = build(&cfg, LlcOrgKind::Sac, &plan)

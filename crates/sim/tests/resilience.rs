@@ -205,14 +205,14 @@ fn fault_plan_is_validated_at_build_time() {
         cycle: 0,
         kind: FaultKind::LinkFail {
             a: ChipId(0),
-            b: ChipId(2), // not ring-adjacent on 4 chips
+            b: ChipId(2), // not adjacent on a 4-chip ring
         },
     }]);
     let err = SimBuilder::new(cfg)
         .fault_plan(bad)
         .build()
         .expect_err("non-adjacent link fault must be rejected");
-    assert!(err.to_string().contains("ring-adjacent"), "{err}");
+    assert!(err.to_string().contains("fabric-adjacent"), "{err}");
 }
 
 #[test]

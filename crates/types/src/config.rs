@@ -96,6 +96,58 @@ pub struct PolicyCtx {
     pub coherence: CoherenceKind,
 }
 
+/// Inter-chip fabric topology connecting the package's GPU chips.
+///
+/// The structural facts (neighbor sets, canonical link list, degrees) live
+/// here on [`MachineConfig`] so that validation, fault plans and the
+/// checkpoint fingerprint agree with the behavioral implementation in
+/// `mcgpu-noc` without a dependency cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TopologyKind {
+    /// Bidirectional ring (the paper's Table 3 machine).
+    #[default]
+    Ring,
+    /// Every chip pair is directly linked.
+    FullyConnected,
+    /// 2D mesh on a `rows x cols` grid (balanced factorization of the chip
+    /// count, row-major chip placement).
+    Mesh2D,
+}
+
+impl TopologyKind {
+    /// All topologies, in presentation order.
+    pub const ALL: [TopologyKind; 3] = [
+        TopologyKind::Ring,
+        TopologyKind::FullyConnected,
+        TopologyKind::Mesh2D,
+    ];
+
+    /// Short label used in reports, figure output and CLI args.
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::Ring => "ring",
+            TopologyKind::FullyConnected => "full",
+            TopologyKind::Mesh2D => "mesh2d",
+        }
+    }
+
+    /// Inverse of [`TopologyKind::label`], with a few CLI-friendly aliases.
+    pub fn from_label(label: &str) -> Option<TopologyKind> {
+        match label {
+            "ring" => Some(TopologyKind::Ring),
+            "full" | "fully-connected" | "all-to-all" => Some(TopologyKind::FullyConnected),
+            "mesh2d" | "mesh" => Some(TopologyKind::Mesh2D),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Memory interface generation (Fig. 14 "memory interface" sweep).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum MemoryInterface {
@@ -214,6 +266,8 @@ pub struct MachineConfig {
     pub interchip_pair_gbs: f64,
     /// Physical links per adjacent pair in the ring (3).
     pub links_per_pair: usize,
+    /// Inter-chip fabric topology (Table 3: a 4-chip ring).
+    pub topology: TopologyKind,
 
     /// L1 hit latency, cycles.
     pub l1_hit_latency: u64,
@@ -265,6 +319,7 @@ impl MachineConfig {
             dram_channel_gbs: 1750.0 / 32.0,
             interchip_pair_gbs: 96.0,
             links_per_pair: 3,
+            topology: TopologyKind::Ring,
             l1_hit_latency: 28,
             noc_latency: 20,
             llc_latency: 90,
@@ -332,8 +387,23 @@ impl MachineConfig {
         if self.chips < 2 {
             return Err(ConfigError::new("need at least 2 chips"));
         }
-        if self.chips > 8 {
-            return Err(ConfigError::new("ring topology supports at most 8 chips"));
+        if self.chips > 64 {
+            return Err(ConfigError::new(
+                "sharer tracking supports at most 64 chips",
+            ));
+        }
+        // The CRD packs one presence bit per chip (per sector when
+        // sectored) into a 128-bit field.
+        let presence_bits = self.chips as u64
+            * if self.sectored {
+                self.sectors_per_line as u64
+            } else {
+                1
+            };
+        if presence_bits > 128 {
+            return Err(ConfigError::new(format!(
+                "CRD presence vector needs {presence_bits} bits (chips x sectors), limit is 128"
+            )));
         }
         if !self.line_size.is_power_of_two() || !self.page_size.is_power_of_two() {
             return Err(ConfigError::new(
@@ -448,9 +518,10 @@ impl MachineConfig {
     }
 
     /// Inter-chip bandwidth available to one chip per direction, GB/s
-    /// (`B_inter`): two ring neighbours.
+    /// (`B_inter`): the mean chip degree times the per-pair bandwidth
+    /// (exactly two ring neighbours on the baseline ring).
     pub fn inter_gbs_per_chip(&self) -> f64 {
-        2.0 * self.interchip_pair_gbs
+        self.mean_degree() * self.interchip_pair_gbs
     }
 
     /// DRAM bandwidth per chip (one memory partition), GB/s (`B_mem`).
@@ -459,8 +530,198 @@ impl MachineConfig {
     }
 
     // ------------------------------------------------------------------
-    // Ring topology.
+    // Inter-chip topology (structure; behavior lives in `mcgpu-noc`).
     // ------------------------------------------------------------------
+
+    /// Mesh grid dimensions `(rows, cols)` for [`TopologyKind::Mesh2D`]:
+    /// the most balanced factorization of the chip count with
+    /// `rows <= cols`, chips placed row-major (chip `i` at row `i / cols`,
+    /// column `i % cols`).
+    pub fn mesh_dims(&self) -> (usize, usize) {
+        let n = self.chips.max(1);
+        let mut rows = 1;
+        let mut d = 1;
+        while d * d <= n {
+            if n.is_multiple_of(d) {
+                rows = d;
+            }
+            d += 1;
+        }
+        (rows, n / rows)
+    }
+
+    /// The ordered neighbor list of `chip` under the configured topology.
+    /// The order is the fabric's deterministic slot order; for the ring it
+    /// is `[clockwise, counter-clockwise]` (both slots point at the same
+    /// chip on a 2-chip ring — two parallel links).
+    pub fn neighbor_list(&self, chip: ChipId) -> Vec<ChipId> {
+        let n = self.chips;
+        let i = chip.index();
+        match self.topology {
+            TopologyKind::Ring => {
+                let (cw, ccw) = self.ring_neighbors(chip);
+                vec![cw, ccw]
+            }
+            TopologyKind::FullyConnected => (0..n)
+                .filter(|&j| j != i)
+                .map(|j| ChipId(j as u8))
+                .collect(),
+            TopologyKind::Mesh2D => {
+                let (rows, cols) = self.mesh_dims();
+                let (r, c) = (i / cols, i % cols);
+                let mut out = Vec::with_capacity(4);
+                if r > 0 {
+                    out.push(ChipId(((r - 1) * cols + c) as u8));
+                }
+                if r + 1 < rows {
+                    out.push(ChipId(((r + 1) * cols + c) as u8));
+                }
+                if c > 0 {
+                    out.push(ChipId((r * cols + c - 1) as u8));
+                }
+                if c + 1 < cols {
+                    out.push(ChipId((r * cols + c + 1) as u8));
+                }
+                out
+            }
+        }
+    }
+
+    /// Whether `a` and `b` are directly linked under the configured
+    /// topology (false for `a == b`).
+    pub fn is_adjacent(&self, a: ChipId, b: ChipId) -> bool {
+        a != b
+            && a.index() < self.chips
+            && b.index() < self.chips
+            && match self.topology {
+                TopologyKind::Ring => self.ring_distance(a, b) == 1,
+                TopologyKind::FullyConnected => true,
+                TopologyKind::Mesh2D => self.neighbor_list(a).contains(&b),
+            }
+    }
+
+    /// The canonical undirected link list of the configured topology. The
+    /// index of a pair in this list is its [`MachineConfig::link_index`];
+    /// the ring lists link `i` as `(i, (i+1) mod n)`, so a 2-chip ring has
+    /// two parallel `{0, 1}` links.
+    pub fn link_pairs(&self) -> Vec<(ChipId, ChipId)> {
+        let n = self.chips;
+        match self.topology {
+            TopologyKind::Ring => (0..n)
+                .map(|i| (ChipId(i as u8), ChipId(((i + 1) % n) as u8)))
+                .collect(),
+            TopologyKind::FullyConnected => {
+                let mut out = Vec::with_capacity(n * (n - 1) / 2);
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        out.push((ChipId(a as u8), ChipId(b as u8)));
+                    }
+                }
+                out
+            }
+            TopologyKind::Mesh2D => {
+                let (_, cols) = self.mesh_dims();
+                let mut out = Vec::new();
+                for i in 0..n {
+                    let (r, c) = (i / cols, i % cols);
+                    if c + 1 < cols {
+                        out.push((ChipId(i as u8), ChipId((i + 1) as u8)));
+                    }
+                    let _ = r;
+                    if i + cols < n {
+                        out.push((ChipId(i as u8), ChipId((i + cols) as u8)));
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Number of undirected links in the configured topology.
+    pub fn num_links(&self) -> usize {
+        match self.topology {
+            TopologyKind::Ring => self.chips,
+            TopologyKind::FullyConnected => self.chips * (self.chips - 1) / 2,
+            TopologyKind::Mesh2D => self.link_pairs().len(),
+        }
+    }
+
+    /// Index of the undirected link `{a, b}` in the canonical link list,
+    /// or `None` when the chips are not directly linked. For the ring this
+    /// reproduces the legacy fault-path indexing: link `i` connects chip
+    /// `i` to `(i+1) mod n`, with the wrap pair `{0, n-1}` at index `n-1`.
+    pub fn link_index(&self, a: ChipId, b: ChipId) -> Option<usize> {
+        if !self.is_adjacent(a, b) {
+            return None;
+        }
+        match self.topology {
+            TopologyKind::Ring => {
+                let (lo, hi) = if a.index() < b.index() {
+                    (a.index(), b.index())
+                } else {
+                    (b.index(), a.index())
+                };
+                Some(if lo == 0 && hi == self.chips - 1 {
+                    hi
+                } else {
+                    lo
+                })
+            }
+            _ => {
+                let key = if a.index() < b.index() {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+                self.link_pairs().iter().position(|&p| p == key)
+            }
+        }
+    }
+
+    /// Number of fabric links attached to `chip` (2 on any ring, including
+    /// the two parallel links of a 2-chip ring).
+    pub fn chip_degree(&self, chip: ChipId) -> usize {
+        self.neighbor_list(chip).len()
+    }
+
+    /// The largest per-chip degree (the fabric port count the NoC physical
+    /// model provisions for).
+    pub fn max_chip_degree(&self) -> usize {
+        ChipId::all(self.chips)
+            .map(|c| self.chip_degree(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean chip degree: `2 x links / chips` (exactly 2 on any ring).
+    pub fn mean_degree(&self) -> f64 {
+        2.0 * self.num_links() as f64 / self.chips as f64
+    }
+
+    /// Inter-chip bisection bandwidth of the configured topology per
+    /// direction, GB/s: the minimum link capacity crossing a balanced cut.
+    pub fn bisection_gbs(&self) -> f64 {
+        let n = self.chips;
+        let links_cut = match self.topology {
+            TopologyKind::Ring => 2,
+            TopologyKind::FullyConnected => (n / 2) * n.div_ceil(2),
+            TopologyKind::Mesh2D => {
+                let (rows, cols) = self.mesh_dims();
+                if cols >= 2 {
+                    rows
+                } else {
+                    cols
+                }
+            }
+        };
+        links_cut as f64 * self.interchip_pair_gbs
+    }
+
+    /// Egress bandwidth of one chip into the fabric, GB/s: its degree
+    /// times the per-pair bandwidth (`2 x interchip_pair_gbs` on the ring).
+    pub fn egress_gbs(&self, chip: ChipId) -> f64 {
+        self.chip_degree(chip) as f64 * self.interchip_pair_gbs
+    }
 
     /// The two ring neighbours of `chip` (clockwise, counter-clockwise).
     pub fn ring_neighbors(&self, chip: ChipId) -> (ChipId, ChipId) {
@@ -522,6 +783,134 @@ mod tests {
         assert!((c.total_dram_gbs() - 1750.0).abs() < 1e-9);
         assert!((c.llc_gbs_per_chip() * 4.0 - 16000.0).abs() < 1e-9); // 16 TB/s
         assert!((c.inter_gbs_per_chip() - 192.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn topology_labels_round_trip() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::from_label(kind.label()), Some(kind));
+            assert_eq!(format!("{kind}"), kind.label());
+        }
+        assert_eq!(TopologyKind::from_label("mesh"), Some(TopologyKind::Mesh2D));
+        assert_eq!(TopologyKind::from_label("torus"), None);
+    }
+
+    #[test]
+    fn mesh_dims_are_balanced() {
+        let mut c = MachineConfig::paper_baseline();
+        c.topology = TopologyKind::Mesh2D;
+        for (chips, dims) in [
+            (4, (2, 2)),
+            (8, (2, 4)),
+            (16, (4, 4)),
+            (6, (2, 3)),
+            (5, (1, 5)),
+        ] {
+            c.chips = chips;
+            assert_eq!(c.mesh_dims(), dims, "chips={chips}");
+        }
+    }
+
+    #[test]
+    fn ring_helpers_match_legacy_ring_semantics() {
+        let mut c = MachineConfig::paper_baseline();
+        for chips in [2usize, 3, 4, 8] {
+            c.chips = chips;
+            assert_eq!(c.num_links(), chips);
+            assert!((c.mean_degree() - 2.0).abs() == 0.0);
+            for chip in ChipId::all(chips) {
+                let (cw, ccw) = c.ring_neighbors(chip);
+                assert_eq!(c.neighbor_list(chip), vec![cw, ccw]);
+                assert_eq!(c.chip_degree(chip), 2);
+                assert!((c.egress_gbs(chip) - 2.0 * c.interchip_pair_gbs).abs() < 1e-12);
+            }
+            // Legacy fault-path link indexing: link i = {i, i+1 mod n},
+            // wrap pair at index n-1.
+            for i in 0..chips {
+                let a = ChipId(i as u8);
+                let b = ChipId(((i + 1) % chips) as u8);
+                let expect = {
+                    let (lo, hi) = (a.index().min(b.index()), a.index().max(b.index()));
+                    if lo == 0 && hi == chips - 1 {
+                        hi
+                    } else {
+                        lo
+                    }
+                };
+                assert_eq!(c.link_index(a, b), Some(expect));
+                assert_eq!(c.link_index(b, a), Some(expect));
+            }
+        }
+        c.chips = 4;
+        assert_eq!(c.link_index(ChipId(0), ChipId(2)), None);
+        assert_eq!(c.link_index(ChipId(1), ChipId(1)), None);
+    }
+
+    #[test]
+    fn link_pairs_and_link_index_agree_across_topologies() {
+        let mut c = MachineConfig::paper_baseline();
+        for kind in TopologyKind::ALL {
+            c.topology = kind;
+            for chips in [2usize, 4, 6, 8, 16] {
+                c.chips = chips;
+                let pairs = c.link_pairs();
+                assert_eq!(pairs.len(), c.num_links(), "{kind} chips={chips}");
+                if kind != TopologyKind::Ring {
+                    for (idx, &(a, b)) in pairs.iter().enumerate() {
+                        assert!(c.is_adjacent(a, b), "{kind} {a:?}-{b:?}");
+                        assert_eq!(c.link_index(a, b), Some(idx));
+                        assert_eq!(c.link_index(b, a), Some(idx));
+                    }
+                }
+                // Degree/link handshake: sum of degrees == 2 x links.
+                let degree_sum: usize = ChipId::all(chips).map(|ch| c.chip_degree(ch)).sum();
+                assert_eq!(degree_sum, 2 * pairs.len(), "{kind} chips={chips}");
+                assert!(c.max_chip_degree() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fully_connected_and_mesh_structure() {
+        let mut c = MachineConfig::paper_baseline();
+        c.topology = TopologyKind::FullyConnected;
+        c.chips = 4;
+        assert_eq!(c.num_links(), 6);
+        assert!(c.is_adjacent(ChipId(0), ChipId(2)));
+        assert_eq!(
+            c.neighbor_list(ChipId(1)),
+            vec![ChipId(0), ChipId(2), ChipId(3)]
+        );
+        assert!((c.bisection_gbs() - 4.0 * c.interchip_pair_gbs).abs() < 1e-12);
+
+        c.topology = TopologyKind::Mesh2D;
+        // 2x2 mesh: a 4-cycle, no diagonal links.
+        assert_eq!(c.num_links(), 4);
+        assert!(!c.is_adjacent(ChipId(0), ChipId(3)));
+        assert!(c.is_adjacent(ChipId(0), ChipId(1)));
+        assert!(c.is_adjacent(ChipId(0), ChipId(2)));
+        // 2x4 mesh: corner degree 2, edge degree 3.
+        c.chips = 8;
+        assert_eq!(c.chip_degree(ChipId(0)), 2);
+        assert_eq!(c.chip_degree(ChipId(1)), 3);
+        assert_eq!(c.max_chip_degree(), 3);
+        assert!((c.bisection_gbs() - 2.0 * c.interchip_pair_gbs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_bounds_chip_count_by_presence_bits() {
+        let mut c = MachineConfig::paper_baseline();
+        c.chips = 16;
+        c.validate().unwrap();
+        c.chips = 65;
+        assert!(c.validate().is_err());
+        // Sectored CRD packs chips x sectors presence bits into 128.
+        c.chips = 64;
+        c.sectored = true;
+        c.sectors_per_line = 4;
+        assert!(c.validate().is_err());
+        c.chips = 32;
+        c.validate().unwrap();
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //! named scalar the harness computes from the same structured statistics
 //! the figure binaries render, so figures and checks cannot disagree.
 
-use crate::config::LlcOrgKind;
+use crate::config::{LlcOrgKind, TopologyKind};
 use crate::error::ParseError;
 use crate::json::{parse, CanonicalWriter, JsonValue};
 use crate::packet::ResponseOrigin;
@@ -199,6 +199,24 @@ pub enum Metric {
         /// Which column.
         field: Table4Field,
     },
+    /// Fig. 15: harmonic-mean speedup of `org` over the memory-side
+    /// baseline across the scale-out subset at (`topology`, `chips`).
+    ScaleSpeedup {
+        /// Inter-chip topology.
+        topology: TopologyKind,
+        /// Chip count.
+        chips: u64,
+        /// LLC organization.
+        org: LlcOrgKind,
+    },
+    /// Fig. 15: mean inter-chip fabric traffic under the memory-side
+    /// baseline, in bytes per cycle, at (`topology`, `chips`).
+    FabricBytes {
+        /// Inter-chip topology.
+        topology: TopologyKind,
+        /// Chip count.
+        chips: u64,
+    },
 }
 
 impl Metric {
@@ -212,6 +230,8 @@ impl Metric {
             Metric::BwShare { .. } => "bw_share",
             Metric::WorkingSetMb { .. } => "working_set_mb",
             Metric::MeasuredMb { .. } => "measured_mb",
+            Metric::ScaleSpeedup { .. } => "scale_speedup",
+            Metric::FabricBytes { .. } => "fabric_bytes",
         }
     }
 
@@ -235,6 +255,20 @@ impl Metric {
             }
             Metric::MeasuredMb { bench, field } => {
                 format!("measured_mb({bench}, {})", field.label())
+            }
+            Metric::ScaleSpeedup {
+                topology,
+                chips,
+                org,
+            } => {
+                format!(
+                    "scale_speedup({}, {chips}, {})",
+                    topology.label(),
+                    org.label()
+                )
+            }
+            Metric::FabricBytes { topology, chips } => {
+                format!("fabric_bytes({}, {chips})", topology.label())
             }
         }
     }
@@ -292,6 +326,15 @@ impl Metric {
                         .ok_or_else(|| ParseError::new(format!("unknown field `{label}`")))?,
                 })
             }
+            "scale_speedup" => Ok(Metric::ScaleSpeedup {
+                topology: topology_field(v)?,
+                chips: u64_field(v, "chips")?,
+                org: org()?,
+            }),
+            "fabric_bytes" => Ok(Metric::FabricBytes {
+                topology: topology_field(v)?,
+                chips: u64_field(v, "chips")?,
+            }),
             other => Err(ParseError::new(format!("unknown metric kind `{other}`"))),
         }
     }
@@ -322,6 +365,19 @@ impl Metric {
                 w.str_field("bench", bench);
                 w.str_field("field", field.label());
             }
+            Metric::ScaleSpeedup {
+                topology,
+                chips,
+                org,
+            } => {
+                w.str_field("topology", topology.label());
+                w.u64_field("chips", *chips);
+                w.str_field("org", org.label());
+            }
+            Metric::FabricBytes { topology, chips } => {
+                w.str_field("topology", topology.label());
+                w.u64_field("chips", *chips);
+            }
         }
     }
 
@@ -335,7 +391,9 @@ impl Metric {
             | Metric::BwShare { bench, .. }
             | Metric::WorkingSetMb { bench, .. }
             | Metric::MeasuredMb { bench, .. } => vec![bench],
-            Metric::HmeanSpeedup { .. } => Vec::new(),
+            Metric::HmeanSpeedup { .. }
+            | Metric::ScaleSpeedup { .. }
+            | Metric::FabricBytes { .. } => Vec::new(),
         }
     }
 }
@@ -813,6 +871,12 @@ impl Report {
     }
 }
 
+fn topology_field(v: &JsonValue) -> Result<TopologyKind, ParseError> {
+    let label = str_field(v, "topology")?;
+    TopologyKind::from_label(label)
+        .ok_or_else(|| ParseError::new(format!("unknown topology `{label}`")))
+}
+
 fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, ParseError> {
     v.get(key)
         .and_then(JsonValue::as_str)
@@ -885,6 +949,53 @@ mod tests {
         assert_eq!(back, set);
         assert_eq!(back.to_canonical_json(), json);
         assert_eq!(set.figures(), vec!["fig08", "fig11"]);
+    }
+
+    #[test]
+    fn scaleout_metrics_round_trip_and_reject_unknown_topologies() {
+        let set = ExpectationSet {
+            source: "scale-out".to_string(),
+            expectations: vec![
+                Expectation {
+                    id: "fig15/ring/fabric-grows-4-to-8".to_string(),
+                    figure: "fig15".to_string(),
+                    severity: Severity::Shape,
+                    check: Check::Ordering {
+                        left: Metric::FabricBytes {
+                            topology: TopologyKind::Ring,
+                            chips: 8,
+                        },
+                        right: Metric::FabricBytes {
+                            topology: TopologyKind::Ring,
+                            chips: 4,
+                        },
+                        min_ratio: 1.0,
+                    },
+                    note: "fabric traffic grows with chip count".to_string(),
+                },
+                Expectation {
+                    id: "fig15/mesh2d/sac-band".to_string(),
+                    figure: "fig15".to_string(),
+                    severity: Severity::Magnitude,
+                    check: Check::Band {
+                        metric: Metric::ScaleSpeedup {
+                            topology: TopologyKind::Mesh2D,
+                            chips: 16,
+                            org: LlcOrgKind::Sac,
+                        },
+                        lo: 0.9,
+                        hi: 3.0,
+                    },
+                    note: "".to_string(),
+                },
+            ],
+        };
+        let json = set.to_canonical_json();
+        let back = ExpectationSet::parse(&json).unwrap();
+        assert_eq!(back, set);
+        assert_eq!(back.to_canonical_json(), json);
+        // An unknown topology label must be rejected at parse time.
+        assert!(ExpectationSet::parse(&json.replace("\"ring\"", "\"torus\"")).is_err());
     }
 
     #[test]

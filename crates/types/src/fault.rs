@@ -20,7 +20,7 @@ pub enum FaultKind {
     LinkDegrade {
         /// One endpoint of the link.
         a: ChipId,
-        /// The other (ring-adjacent) endpoint.
+        /// The other (fabric-adjacent) endpoint.
         b: ChipId,
         /// Remaining fraction of the configured bandwidth.
         factor: f64,
@@ -31,7 +31,7 @@ pub enum FaultKind {
     LinkFail {
         /// One endpoint of the link.
         a: ChipId,
-        /// The other (ring-adjacent) endpoint.
+        /// The other (fabric-adjacent) endpoint.
         b: ChipId,
     },
     /// Every DRAM channel of `chip`'s memory partition keeps only `factor`
@@ -221,16 +221,15 @@ impl FaultPlan {
     }
 
     /// Check every event against the machine: endpoints must exist,
-    /// link endpoints must be ring-adjacent, factors must lie in `(0, 1)`,
+    /// link endpoints must be adjacent in the configured topology, factors
+    /// must lie in `(0, 1)`,
     /// and channel/slice indices must be in range.
     ///
     /// # Errors
     /// Returns a [`ConfigError`] naming the first invalid event.
     pub fn validate(&self, cfg: &MachineConfig) -> Result<(), ConfigError> {
         let chip_ok = |c: ChipId| c.index() < cfg.chips;
-        let adjacent = |a: ChipId, b: ChipId| {
-            chip_ok(a) && chip_ok(b) && a != b && cfg.ring_distance(a, b) == 1
-        };
+        let adjacent = |a: ChipId, b: ChipId| cfg.is_adjacent(a, b);
         let fraction = |f: f64| f.is_finite() && f > 0.0 && f < 1.0;
         for (i, e) in self.events.iter().enumerate() {
             let bad = |what: &str| {
@@ -242,7 +241,7 @@ impl FaultPlan {
             match e.kind {
                 FaultKind::LinkDegrade { a, b, factor } => {
                     if !adjacent(a, b) {
-                        return bad("link endpoints must be distinct ring-adjacent chips");
+                        return bad("link endpoints must be distinct fabric-adjacent chips");
                     }
                     if !fraction(factor) {
                         return bad("degrade factor must be in (0, 1)");
@@ -250,7 +249,7 @@ impl FaultPlan {
                 }
                 FaultKind::LinkFail { a, b } => {
                     if !adjacent(a, b) {
-                        return bad("link endpoints must be distinct ring-adjacent chips");
+                        return bad("link endpoints must be distinct fabric-adjacent chips");
                     }
                 }
                 FaultKind::DramThrottle { chip, factor } => {
@@ -380,6 +379,17 @@ mod tests {
         assert!(link(0, 2).validate(&cfg()).is_err(), "not adjacent");
         assert!(link(0, 0).validate(&cfg()).is_err(), "self link");
         assert!(link(0, 9).validate(&cfg()).is_err(), "no such chip");
+
+        // Adjacency follows the configured topology: 0-2 is a real link on
+        // an all-to-all fabric and on a 2x2 mesh (vertical neighbor), but
+        // the mesh has no 0-3 diagonal.
+        let mut full = cfg();
+        full.topology = crate::TopologyKind::FullyConnected;
+        link(0, 2).validate(&full).unwrap();
+        let mut mesh = cfg();
+        mesh.topology = crate::TopologyKind::Mesh2D;
+        link(0, 2).validate(&mesh).unwrap();
+        assert!(link(0, 3).validate(&mesh).is_err(), "no diagonal mesh link");
 
         let throttle = FaultPlan::new(vec![FaultEvent {
             cycle: 0,

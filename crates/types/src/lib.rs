@@ -39,7 +39,8 @@ pub use addr::{Address, LineAddr, PageAddr, SectorId};
 pub use budget::BandwidthBudget;
 pub use ckpt::{CkptError, CkptResult, Dec, Enc};
 pub use config::{
-    CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, PolicyCtx, ScaleFactor, GB_S,
+    CoherenceKind, LlcOrgKind, MachineConfig, MemoryInterface, PolicyCtx, ScaleFactor,
+    TopologyKind, GB_S,
 };
 pub use error::{ConfigError, JournalError, ParseError, TraceError};
 pub use expect::{

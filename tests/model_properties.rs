@@ -156,8 +156,9 @@ proptest! {
     fn crd_matches_reference_directory(
         accesses in proptest::collection::vec((0u64..64, 0u8..4), 1..400),
     ) {
-        // 4 sets x 4 ways, sampling a 4-set LLC: everything is sampled.
-        let mut crd = Crd::new(4, 4, 1, 4);
+        // 4 chips, 4 sets x 4 ways, sampling a 4-set LLC: everything is
+        // sampled.
+        let mut crd = Crd::new(4, 4, 4, 1, 4);
         let mut reference = ReferenceDirectory::new(4, 4);
         for &(line, chip) in &accesses {
             let got = crd.observe(LineAddr(line), None, ChipId(chip));

@@ -25,6 +25,17 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// Build a dependent strategy from every generated value and draw from
+    /// it (no shrinking, like the rest of this runner).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 /// Strategy returned by [`Strategy::prop_map`].
@@ -43,6 +54,25 @@ where
     type Value = U;
     fn gen_value(&self, rng: &mut TestRng) -> U {
         (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.gen_value(rng)).gen_value(rng)
     }
 }
 
