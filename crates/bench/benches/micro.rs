@@ -153,6 +153,44 @@ fn bench_kernel_launch(c: &mut Criterion) {
     });
 }
 
+/// The two-tier engine on a sparse phase: one cell timed with the
+/// stepping loop, the skipping loop, and the analytic fast mode. Long
+/// compute gaps leave the memory system idle for thousands of cycles, so
+/// skip-on should land an order of magnitude under skip-off while
+/// producing byte-identical statistics (proven by `tests/two_tier_diff.rs`;
+/// this group only tracks the speed of it).
+fn bench_two_tier(c: &mut Criterion) {
+    let cfg = MachineConfig::experiment_baseline();
+    let mut p = profiles::by_name("SN").expect("profile");
+    for k in &mut p.kernels {
+        k.compute_gap = 50_000;
+    }
+    let params = TraceParams {
+        total_accesses: 1_000,
+        ..TraceParams::quick()
+    };
+    let wl = generate(&cfg, &p, &params);
+    let mut group = c.benchmark_group("two_tier_sparse");
+    group.sample_size(10);
+    for (name, skip) in [("sn_1k_skip_off", false), ("sn_1k_skip_on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                SimBuilder::new(cfg.clone())
+                    .organization(LlcOrgKind::Sac)
+                    .skip_idle(skip)
+                    .build()
+                    .expect("valid machine configuration")
+                    .run(black_box(&wl))
+                    .unwrap()
+            })
+        });
+    }
+    group.bench_function("sn_1k_fast_mode", |b| {
+        b.iter(|| sac_bench::fastmode::run_fast(black_box(&cfg), &wl, LlcOrgKind::Sac))
+    });
+    group.finish();
+}
+
 /// Fan-out overhead of the sweep runner itself (pool dispatch + in-order
 /// collection), measured on jobs that do no work.
 fn bench_sweep_overhead(c: &mut Criterion) {
@@ -185,6 +223,7 @@ criterion_group!(
     bench_simulator,
     bench_cycle_loop,
     bench_kernel_launch,
+    bench_two_tier,
     bench_sweep_overhead,
     bench_tracegen
 );

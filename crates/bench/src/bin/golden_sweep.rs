@@ -156,6 +156,7 @@ fn main() {
                 cell: c.name.to_string(),
                 config_hash: hash,
                 config: Some(desc),
+                mode: None,
                 attempts: out.attempts,
                 outcome,
             })

@@ -4,6 +4,7 @@
 //! sacsim [--bench NAME] [--org ORG] [--accesses N] [--input-scale X]
 //!        [--chips N] [--topology ring|full|mesh2d]
 //!        [--hw-coherence] [--sectored] [--json] [--jobs N] [--list-orgs]
+//!        [--mode cycle|fast] [--skip-idle] [--list-modes]
 //!        [--watchdog-cycles N] [--journal PATH] [--resume PATH]
 //!        [--obs] [--obs-window N] [--obs-out PATH] [--trace-out PATH]
 //!        [--checkpoint PATH] [--restore PATH] [--checkpoint-interval N]
@@ -21,6 +22,13 @@
 //! are accepted aliases of `fully-connected` and `mesh2d`). The combined
 //! configuration is validated up front, so an over-wide machine or an
 //! unknown label fails fast instead of quarantining sweep cells.
+//!
+//! Engine tier: `--mode cycle` (default) steps every cycle; `--mode fast`
+//! evaluates cells with the analytic locality estimator instead (no cycle
+//! simulation, so `--obs*`, `--trace-out`, `--checkpoint`, `--restore` and
+//! `--state-dir` are rejected with it). `--skip-idle` turns on
+//! event-driven idle-cycle skipping in cycle mode — byte-identical
+//! statistics, purely a speed knob. `--list-modes` prints the registry.
 //!
 //! Robustness knobs: `--watchdog-cycles N` sets the forward-progress
 //! watchdog window (`MCGPU_WATCHDOG_CYCLES` works too; `18446744073709551615`
@@ -50,7 +58,7 @@
 
 use mcgpu_sim::SimBuilder;
 use mcgpu_trace::{generate, profiles, TraceParams};
-use mcgpu_types::{CoherenceKind, LlcOrgKind, ObsConfig, ResponseOrigin, TopologyKind};
+use mcgpu_types::{CoherenceKind, EngineMode, LlcOrgKind, ObsConfig, ResponseOrigin, TopologyKind};
 use sac_bench::{
     exit_on_quarantine, run_benchmark, state, Journal, SweepOptions, DEFAULT_CKPT_INTERVAL,
 };
@@ -68,6 +76,13 @@ fn main() {
         println!("{:8} {:12} summary", "token", "label");
         for d in &mcgpu_sim::org::REGISTRY {
             println!("{:8} {:12} {}", d.token, d.kind.label(), d.summary);
+        }
+        return;
+    }
+    if std::env::args().any(|a| a == "--list-modes") {
+        println!("{:8} summary", "token");
+        for d in &mcgpu_types::ENGINE_MODES {
+            println!("{:8} {}", d.token, d.summary);
         }
         return;
     }
@@ -175,6 +190,20 @@ fn main() {
     let ckpt_path = arg_value("--checkpoint");
     let restore_path = arg_value("--restore");
 
+    // The fast tier has no cycles, so there is nothing to observe, trace,
+    // checkpoint or restore — reject the combination up front instead of
+    // silently running the wrong engine.
+    if opts.mode == EngineMode::Fast {
+        if obs_requested {
+            eprintln!("--mode fast has no cycle engine to observe; drop --obs/--obs-out/--trace-out or use --mode cycle");
+            std::process::exit(2);
+        }
+        if ckpt_path.is_some() || restore_path.is_some() || opts.state_dir.is_some() {
+            eprintln!("--mode fast runs have no mid-run state; drop --checkpoint/--restore/--state-dir or use --mode cycle");
+            std::process::exit(2);
+        }
+    }
+
     let Some(org) = org else {
         if obs_requested {
             eprintln!("--obs/--obs-out/--trace-out need a single --org, not `all`");
@@ -241,6 +270,7 @@ fn main() {
             let total = wl.total_accesses();
             let mut b = SimBuilder::new(cfg.clone())
                 .organization(org)
+                .skip_idle(opts.skip_idle)
                 .observability(obs);
             if let Some(p) = &ckpt_path {
                 b = b.checkpoint_to(p, interval);

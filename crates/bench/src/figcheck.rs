@@ -17,8 +17,8 @@ use crate::{golden, sweep, BenchRows};
 use mcgpu_sim::RunStats;
 use mcgpu_trace::{analysis, generate, profiles};
 use mcgpu_types::{
-    Check, ExpectationSet, Finding, LlcOrgKind, MachineConfig, Metric, Report, ResponseOrigin,
-    Severity, Verdict,
+    Check, CrossvalField, ExpectationSet, Finding, LlcOrgKind, MachineConfig, Metric, Report,
+    ResponseOrigin, Severity, Verdict,
 };
 use std::collections::BTreeMap;
 
@@ -39,6 +39,7 @@ pub struct Metrics {
     measured: BTreeMap<(String, String), f64>,
     scale_speedup: BTreeMap<(String, u64, String), f64>,
     fabric_bytes: BTreeMap<(String, u64), f64>,
+    crossval: BTreeMap<(String, String), f64>,
 }
 
 impl Metrics {
@@ -51,6 +52,13 @@ impl Metrics {
     pub fn insert_speedup(&mut self, bench: &str, org: LlcOrgKind, v: f64) {
         self.speedup
             .insert((bench.to_string(), org.label().to_string()), v);
+    }
+
+    /// Record one cycle-vs-fast cross-validation error (the `crossval`
+    /// binary's table).
+    pub fn insert_crossval_err(&mut self, case: &str, field: CrossvalField, v: f64) {
+        self.crossval
+            .insert((case.to_string(), field.label().to_string()), v);
     }
 
     /// Record everything a single run's stats can support: the local
@@ -225,6 +233,10 @@ impl Metrics {
                 .fabric_bytes
                 .get(&(topology.label().to_string(), *chips))
                 .copied(),
+            Metric::CrossvalErr { case, field } => self
+                .crossval
+                .get(&(case.clone(), field.label().to_string()))
+                .copied(),
         }
     }
 
@@ -239,6 +251,7 @@ impl Metrics {
             + self.measured.len()
             + self.scale_speedup.len()
             + self.fabric_bytes.len()
+            + self.crossval.len()
     }
 
     /// Whether the table is empty.

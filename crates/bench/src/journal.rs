@@ -59,6 +59,11 @@ pub struct JournalRecord {
     /// `None` on records written before the field existed; such records
     /// match on hash alone (the pre-guard behaviour).
     pub config: Option<String>,
+    /// Engine-mode token the cell ran under (`"cycle"` or `"fast"`), so a
+    /// `--resume` refuses to mix fidelities within one journal. `None` on
+    /// records written before the two-tier engine (and on non-simulation
+    /// records such as report sections), which count as cycle mode.
+    pub mode: Option<String>,
     /// Attempts executed before this outcome.
     pub attempts: u32,
     /// The outcome.
@@ -77,6 +82,11 @@ impl JournalRecord {
         if let Some(config) = &self.config {
             s.push_str(", \"config\": \"");
             escape_into(config, &mut s);
+            s.push('"');
+        }
+        if let Some(mode) = &self.mode {
+            s.push_str(", \"mode\": \"");
+            escape_into(mode, &mut s);
             s.push('"');
         }
         s.push_str(&format!(", \"attempts\": {}", self.attempts));
@@ -129,9 +139,19 @@ impl JournalRecord {
                 .get("config")
                 .and_then(JsonValue::as_str)
                 .map(str::to_string),
+            mode: v
+                .get("mode")
+                .and_then(JsonValue::as_str)
+                .map(str::to_string),
             attempts,
             outcome,
         })
+    }
+
+    /// The engine-mode token this record was produced under; records
+    /// predating the two-tier engine are cycle-mode by definition.
+    pub fn mode_token(&self) -> &str {
+        self.mode.as_deref().unwrap_or("cycle")
     }
 
     /// The recorded stats, if this cell completed.
@@ -325,6 +345,7 @@ mod tests {
             cell: cell.to_string(),
             config_hash: hash,
             config: Some(format!("desc-{hash:x}")),
+            mode: None,
             attempts: 1,
             outcome: RecordOutcome::Completed {
                 stats_json: json.to_string(),
@@ -346,6 +367,7 @@ mod tests {
             cell: "CFD/dynamic".to_string(),
             config_hash: 7,
             config: None,
+            mode: None,
             attempts: 3,
             outcome: RecordOutcome::Quarantined {
                 kind: "deadlock".to_string(),
@@ -403,6 +425,7 @@ mod tests {
             cell: "a".to_string(),
             config_hash: 5,
             config: None,
+            mode: None,
             attempts: 1,
             outcome: RecordOutcome::Completed {
                 stats_json: "{}".to_string(),
@@ -430,6 +453,7 @@ mod tests {
             cell: "SN/SAC".to_string(),
             config_hash: fnv1a_64(desc.as_bytes()),
             config: Some(desc.clone()),
+            mode: None,
             attempts: 1,
             outcome: RecordOutcome::Completed {
                 stats_json: "{}".to_string(),

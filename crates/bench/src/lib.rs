@@ -25,10 +25,12 @@
 
 use mcgpu_sim::{ObsReport, RunStats, SimBuilder};
 use mcgpu_trace::{generate, profiles, BenchmarkProfile, TraceParams, Workload};
-use mcgpu_types::{LlcOrgKind, MachineConfig, ObsConfig};
+use mcgpu_types::{EngineMode, LlcOrgKind, MachineConfig, ObsConfig};
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
+pub mod crossval;
+pub mod fastmode;
 pub mod figcheck;
 pub mod figdata;
 pub mod golden;
@@ -77,6 +79,19 @@ pub fn quick_mode() -> bool {
     std::env::args().any(|a| a == "--quick")
 }
 
+/// Validate an `--mode` token against the engine-mode registry, exiting
+/// with the registry-style diagnostic on an unknown token (mirrors the
+/// binaries' `--org` validation).
+pub fn parse_mode_or_exit(token: &str) -> EngineMode {
+    EngineMode::from_token(token).unwrap_or_else(|| {
+        eprintln!(
+            "error: unknown engine mode `{token}`; known modes: {} (see --list-modes)",
+            EngineMode::tokens().join(", ")
+        );
+        std::process::exit(2);
+    })
+}
+
 /// Default mid-cell checkpoint cadence in simulated cycles; the engine
 /// quantizes writes to its coarse deadline-check grid, so this is also the
 /// finest cadence that costs nothing on the hot path.
@@ -102,6 +117,15 @@ pub struct SweepOptions {
     /// Checkpoint cadence in cycles; `0` means [`DEFAULT_CKPT_INTERVAL`].
     /// Ignored unless `state_dir` is set.
     pub ckpt_interval: u64,
+    /// How cells are evaluated: cycle-stepped simulation (the default) or
+    /// the analytic fast estimator (see [`fastmode`]). Journal records are
+    /// stamped with the mode, and a `--resume` in a different mode is
+    /// refused rather than silently mixing fidelities.
+    pub mode: EngineMode,
+    /// Event-driven idle-cycle skipping for cycle-mode cells. Results are
+    /// byte-identical either way (the engine's skip contract), so this is
+    /// purely a speed knob and is *not* part of the journal cell identity.
+    pub skip_idle: bool,
 }
 
 impl SweepOptions {
@@ -133,6 +157,8 @@ impl SweepOptions {
             ckpt_interval: value("--checkpoint-interval")
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(0),
+            mode: value("--mode").map_or(EngineMode::Cycle, |v| parse_mode_or_exit(&v)),
+            skip_idle: std::env::args().any(|a| a == "--skip-idle"),
         }
     }
 
@@ -329,10 +355,32 @@ pub fn try_run_one(
     workload: &Workload,
     org: LlcOrgKind,
 ) -> Result<RunStats, CellError> {
-    Ok(SimBuilder::new(cfg.clone())
-        .organization(org)
-        .build()?
-        .run(workload)?)
+    try_run_cell(cfg, workload, org, EngineMode::Cycle, false)
+}
+
+/// [`try_run_one`] with the engine tier selected explicitly: cycle-stepped
+/// simulation (optionally with idle-cycle skipping, which is
+/// byte-identical) or the analytic fast estimator (`skip_idle` is
+/// meaningless and ignored in fast mode).
+///
+/// # Errors
+/// [`CellError::Sim`] for configuration rejections and runtime aborts;
+/// fast-mode evaluation cannot abort.
+pub fn try_run_cell(
+    cfg: &MachineConfig,
+    workload: &Workload,
+    org: LlcOrgKind,
+    mode: EngineMode,
+    skip_idle: bool,
+) -> Result<RunStats, CellError> {
+    match mode {
+        EngineMode::Fast => Ok(fastmode::run_fast(cfg, workload, org)),
+        EngineMode::Cycle => Ok(SimBuilder::new(cfg.clone())
+            .organization(org)
+            .skip_idle(skip_idle)
+            .build()?
+            .run(workload)?),
+    }
 }
 
 /// Run one `(workload, organization)` simulation.
@@ -400,15 +448,22 @@ fn run_cell_attempt(
     org: LlcOrgKind,
     attempt: u32,
     ckpt: Option<(&Path, u64)>,
+    mode: EngineMode,
+    skip_idle: bool,
 ) -> Result<RunStats, CellError> {
+    if mode == EngineMode::Fast {
+        // No cycles: nothing to watchdog, checkpoint, or escalate.
+        return Ok(fastmode::run_fast(cfg, workload, org));
+    }
     let mut c = cfg.clone();
     c.watchdog_cycles = sweep::escalate_budget(c.watchdog_cycles, attempt);
     let Some((path, interval)) = ckpt else {
-        return try_run_one(&c, workload, org);
+        return try_run_cell(&c, workload, org, mode, skip_idle);
     };
     let build = || {
         SimBuilder::new(c.clone())
             .organization(org)
+            .skip_idle(skip_idle)
             .checkpoint_to(path, interval)
             .build()
     };
@@ -491,6 +546,26 @@ pub fn run_profiles(
         sweep::jobs()
     );
     let journal = opts.open_journal();
+    // A journal records results of exactly one fidelity. Refuse to resume
+    // in a different mode instead of silently mixing cycle-accurate and
+    // estimated cells in one result set.
+    if let Some(j) = &journal {
+        let guard = j.lock().expect("journal lock");
+        if let Some(r) = guard
+            .records()
+            .iter()
+            .find(|r| r.mode_token() != opts.mode.token())
+        {
+            panic!(
+                "cannot resume journal in `{}` mode: cell `{}` was recorded in `{}` mode; \
+                 re-run with --mode {} or start a fresh journal",
+                opts.mode.token(),
+                r.cell,
+                r.mode_token(),
+                r.mode_token(),
+            );
+        }
+    }
     let ckpt = opts.ckpt();
     if let Some((dir, _)) = ckpt {
         std::fs::create_dir_all(dir)
@@ -503,7 +578,16 @@ pub fn run_profiles(
         .collect();
     let outcomes = sweep::map(pairs, |(pi, org)| {
         let name = format!("{}/{}", profs[pi].name, org.label());
-        let desc = cell_config_desc(cfg, params, profs[pi].name, org);
+        // Fast-mode cells get a distinct identity so a fast journal can
+        // never replay into a cycle sweep (or vice versa); cycle-mode
+        // descs are unchanged so existing journals stay valid. Idle
+        // skipping is byte-identical by contract and so is *not* part of
+        // the identity.
+        let mut desc = cell_config_desc(cfg, params, profs[pi].name, org);
+        if opts.mode != EngineMode::Cycle {
+            desc.push_str("|mode:");
+            desc.push_str(opts.mode.token());
+        }
         let hash = journal::fnv1a_64(desc.as_bytes());
         // A prior journal record either replays (completed) or seeds the
         // attempt counter (quarantined), so a resume continues the budget
@@ -542,6 +626,8 @@ pub fn run_profiles(
                 org,
                 attempt,
                 snapshot.as_ref().map(|(p, i)| (p.as_path(), *i)),
+                opts.mode,
+                opts.skip_idle,
             )
         });
         // A terminal outcome supersedes the cell's snapshot: a completed
@@ -567,6 +653,7 @@ pub fn run_profiles(
                     cell: name.clone(),
                     config_hash: hash,
                     config: Some(desc),
+                    mode: Some(opts.mode.token().to_string()),
                     attempts: out.attempts,
                     outcome,
                 })
@@ -685,6 +772,7 @@ pub fn run_report_sections(
                     cell: name.clone(),
                     config_hash: hash,
                     config: Some(desc),
+                    mode: None,
                     attempts: out.attempts,
                     outcome,
                 })

@@ -966,6 +966,7 @@ fn publish_completed(inner: &Inner, item: &RunItem, attempts: u32, out: (String,
             cell: item.key.0.clone(),
             config_hash: item.key.1,
             config: Some(item.desc.clone()),
+            mode: None,
             attempts,
             outcome: outcome.clone(),
         })
@@ -1005,6 +1006,7 @@ fn publish_quarantined(inner: &Inner, key: &JobKey, attempts: u32, err: &CellErr
             cell: key.0.clone(),
             config_hash: key.1,
             config: desc,
+            mode: None,
             attempts,
             outcome: outcome.clone(),
         })

@@ -227,6 +227,7 @@ mod tests {
             cell: "SN/SAC".to_string(),
             config_hash: 2,
             config: None,
+            mode: None,
             attempts: 1,
             outcome: RecordOutcome::Completed {
                 stats_json: "{}".to_string(),

@@ -141,6 +141,7 @@ fn resume_continues_attempt_counts_for_quarantined_cells() {
         cell: name.clone(),
         config_hash: hash,
         config: Some(desc),
+        mode: None,
         attempts: 2,
         outcome: RecordOutcome::Quarantined {
             kind: "deadlock".to_string(),

@@ -215,6 +215,52 @@ impl SacController {
         matches!(self.state, SacState::Profiling { .. })
     }
 
+    /// The next absolute cycle (strictly after `now`) at which
+    /// [`tick`](SacController::tick) or
+    /// [`observe_progress`](SacController::observe_progress) can mutate
+    /// controller state, assuming a fully quiescent machine until then.
+    /// `u64::MAX` means "never while quiescent". Conservative by design:
+    /// any uncertainty collapses to `now + 1`, which disables the engine's
+    /// idle-cycle skip for that cycle rather than risking a divergence
+    /// from the stepped loop.
+    pub fn next_event(&self, now: u64) -> u64 {
+        let clamp = |c: u64| if c > now { c } else { now + 1 };
+        // `tick` acts only in the profiling state: at the midpoint warm-up
+        // reset (the first cycle with `now + window/2 >= until`) and at the
+        // window close (`now >= until`, deciding or extending).
+        let tick_event = match self.state {
+            SacState::Idle | SacState::Running { .. } => u64::MAX,
+            SacState::Profiling { until } => {
+                let midpoint = until.saturating_sub(self.config.profile_window / 2);
+                if self.warmup_reset_done {
+                    clamp(until)
+                } else {
+                    clamp(midpoint.min(until))
+                }
+            }
+            // Drain/flush transitions gate on quiescence, which the pause
+            // state machine reaches within a cycle of the skip precondition
+            // holding — never skip across them.
+            SacState::Draining { .. } | SacState::Flushing => now + 1,
+        };
+        // `observe_progress` mutates `monitor_start` whenever it is armed
+        // (or needs arming/clearing); its decision point is one monitor
+        // window after the armed start cycle.
+        let monitor_event = if self.config.monitor_window == 0 {
+            u64::MAX
+        } else if let SacState::Running { .. } = self.state {
+            match self.monitor_start {
+                None => now + 1,
+                Some((start, _)) => clamp(start + self.config.monitor_window),
+            }
+        } else if self.monitor_start.is_some() {
+            now + 1
+        } else {
+            u64::MAX
+        };
+        tick_event.min(monitor_event)
+    }
+
     /// Mutable access to the profiling counters (the simulator feeds them).
     pub fn collector_mut(&mut self) -> &mut ProfileCollector {
         &mut self.collector

@@ -44,12 +44,14 @@ pub mod controller;
 pub mod counters;
 pub mod crd;
 pub mod eab;
+pub mod estimate;
 pub mod overhead;
 
 pub use controller::{SacConfig, SacController, SacState};
 pub use counters::{lsu, ProfileCollector};
 pub use crd::Crd;
 pub use eab::{ArchBandwidth, EabInputs, EabModel, FabricCapacity};
+pub use estimate::{estimate_cell, FastCellEstimate, FastKernelEstimate, KernelProfile};
 pub use overhead::HardwareOverhead;
 
 /// The two LLC modes SAC switches between (the reconfigurable subset of

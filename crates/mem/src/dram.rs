@@ -186,6 +186,13 @@ impl MemoryPartition {
         }
     }
 
+    /// Whether ticking the partition is a state no-op: every channel pipe
+    /// is empty and its bandwidth budget has saturated at the credit cap.
+    /// The engine's idle-cycle skip requires this before jumping the clock.
+    pub fn tick_is_noop(&self) -> bool {
+        self.channels.iter().all(Pipe::tick_is_noop)
+    }
+
     /// Pop all requests whose DRAM access completed this cycle. Writeback
     /// sentinels are filtered out here.
     pub fn pop_ready(&mut self, now: u64) -> Vec<DramRequest> {

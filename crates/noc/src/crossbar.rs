@@ -109,6 +109,14 @@ impl<T> Crossbar<T> {
         self.rejected
     }
 
+    /// Whether ticking this crossbar is a state no-op: no packets anywhere
+    /// and every budget (the bisection cap and each output port's pipe) has
+    /// saturated at its credit cap. The engine's idle-cycle skip requires
+    /// this on every crossbar before jumping the clock.
+    pub fn tick_is_noop(&self) -> bool {
+        self.bisection.refill_is_noop() && self.outputs.iter().all(Pipe::tick_is_noop)
+    }
+
     /// Drain all packets (LLC reconfiguration drains in-flight traffic).
     pub fn drain(&mut self) -> Vec<T> {
         self.outputs.iter_mut().flat_map(|o| o.drain()).collect()

@@ -278,6 +278,20 @@ impl<T> FabricNetwork<T> {
         self.len() == 0
     }
 
+    /// Whether ticking the fabric is a state no-op: no packets anywhere
+    /// (see [`is_empty`](FabricNetwork::is_empty)) and every link pipe's
+    /// bandwidth budget has saturated at its credit cap. The engine's
+    /// idle-cycle skip requires this before jumping the clock.
+    pub fn tick_is_noop(&self) -> bool {
+        self.transit.iter().all(Vec::is_empty)
+            && self.arrived.iter().all(Vec::is_empty)
+            && self
+                .links
+                .iter()
+                .flat_map(|l| l.iter())
+                .all(Pipe::tick_is_noop)
+    }
+
     /// Packets currently held at `chip`: queued or in flight on its
     /// outgoing links, waiting in transit, or landed but not yet popped.
     /// Used for deadlock diagnostics.

@@ -244,6 +244,22 @@ impl Chip {
             && self.bypass_to_mem.is_empty()
     }
 
+    /// Whether ticking every datapath element on this chip is a state
+    /// no-op: [`is_quiescent`](Chip::is_quiescent) plus every bandwidth
+    /// budget (crossbar bisections and ports, slice service pipes, memory
+    /// channels, ring egress, the bypass pipe) saturated at its credit cap,
+    /// so the per-cycle refills no longer change any stored bits. This is
+    /// the per-chip precondition for the engine's idle-cycle skip.
+    pub fn tick_is_noop(&self) -> bool {
+        self.is_quiescent()
+            && self.xbar_req.tick_is_noop()
+            && self.xbar_rsp.tick_is_noop()
+            && self.slices.iter().all(|s| s.service.tick_is_noop())
+            && self.memory.tick_is_noop()
+            && self.ring_egress.tick_is_noop()
+            && self.bypass_to_mem.tick_is_noop()
+    }
+
     /// Aggregate LLC statistics over this chip's slices.
     pub fn llc_stats(&self) -> mcgpu_cache::CacheStats {
         let mut s = mcgpu_cache::CacheStats::default();

@@ -233,6 +233,29 @@ impl Cluster {
         self.reads_done
     }
 
+    /// Remaining compute-gap cycles before the next instruction can issue.
+    pub fn gap_remaining(&self) -> u32 {
+        self.gap_remaining
+    }
+
+    /// Whether a back-pressured access is waiting to be retried.
+    pub fn has_deferred(&self) -> bool {
+        self.deferred.is_some()
+    }
+
+    /// Idle-cycle skip: account for `k` issue opportunities during which
+    /// this cluster would only have decremented its compute gap. Replicates
+    /// exactly what `k` consecutive [`issue`](Cluster::issue) calls do when
+    /// each returns `None` in the gap branch — the caller guarantees `k`
+    /// never runs past the point where the cluster would have issued (a
+    /// finished cluster's gap simply drains to zero and stays there, as it
+    /// does in the stepped loop).
+    pub fn skip_gap(&mut self, k: u64) {
+        self.gap_remaining = self
+            .gap_remaining
+            .saturating_sub(u32::try_from(k).unwrap_or(u32::MAX));
+    }
+
     /// Writes issued into the memory system.
     pub fn writes_issued(&self) -> u64 {
         self.writes_issued

@@ -48,6 +48,13 @@ impl DynamicCtl {
         self.adjustments
     }
 
+    /// The next cycle at which [`maybe_adjust`](DynamicCtl::maybe_adjust)
+    /// can act; before this cycle it is a pure no-op. Feeds the engine's
+    /// next-event scan for idle-cycle skipping.
+    pub fn next_epoch(&self) -> u64 {
+        self.next_epoch
+    }
+
     /// Evaluate at cycle `now` given the machine-wide cumulative ring bytes
     /// and local-memory bytes. Returns the new local-way count when the
     /// split changed.

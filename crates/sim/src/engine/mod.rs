@@ -26,6 +26,7 @@ mod ckpt;
 mod coherence;
 mod diagnostics;
 mod faults;
+mod skip;
 mod tick;
 
 pub use ckpt::workload_fingerprint;
@@ -65,6 +66,7 @@ pub struct SimBuilder {
     obs: ObsConfig,
     ckpt_path: Option<std::path::PathBuf>,
     ckpt_interval: u64,
+    skip_idle: bool,
 }
 
 /// Request-conservation audit cadence in debug builds. Release builds
@@ -99,6 +101,7 @@ impl SimBuilder {
             obs: ObsConfig::off(),
             ckpt_path: None,
             ckpt_interval: 0,
+            skip_idle: false,
         }
     }
 
@@ -185,6 +188,21 @@ impl SimBuilder {
         self
     }
 
+    /// Enable event-driven idle-cycle skipping (off by default). When the
+    /// machine is completely quiescent — no request in flight, every queue
+    /// empty, every bandwidth credit saturated — the engine jumps the
+    /// clock to the next cycle at which any component can act instead of
+    /// stepping through provably idle ticks. The skip is semantics-free by
+    /// contract: runs with skipping enabled are byte-identical to stepped
+    /// runs (same [`RunStats`], same observability report, same checkpoint
+    /// bytes at the same cut points, and the same error at the same cycle
+    /// for deadlocked or over-budget runs). See the `skip` module docs for
+    /// the per-component next-event contract.
+    pub fn skip_idle(mut self, enabled: bool) -> Self {
+        self.skip_idle = enabled;
+        self
+    }
+
     /// Select how much observability data the run records (histograms,
     /// epoch timeline, event trace). Defaults to [`mcgpu_types::ObsLevel::Off`].
     /// The observability layer is strictly read-only: any level produces
@@ -263,6 +281,15 @@ pub struct Simulator {
     /// Request-conservation audit cadence in cycles (`0` = disabled).
     audit_period: u64,
 
+    // --- idle-cycle skipping ---
+    /// Event-driven idle-cycle skipping enabled (off by default).
+    skip_idle: bool,
+    /// Number of idle jumps performed (diagnostic only; never serialized
+    /// into stats, observability reports, or checkpoints).
+    skip_jumps: u64,
+    /// Total cycles elided by idle jumps (diagnostic only).
+    skipped_cycles: u64,
+
     // --- checkpointing ---
     /// Where periodic snapshots are written (`None` = checkpointing off).
     ckpt_path: Option<std::path::PathBuf>,
@@ -323,6 +350,7 @@ impl Simulator {
             obs,
             ckpt_path,
             ckpt_interval,
+            skip_idle,
         } = b;
         let obs = obs
             .level
@@ -353,6 +381,9 @@ impl Simulator {
             deadline_start: None,
             cancel,
             audit_period,
+            skip_idle,
+            skip_jumps: 0,
+            skipped_cycles: 0,
             ckpt_path,
             ckpt_interval,
             last_ckpt_cycle: 0,
@@ -385,6 +416,20 @@ impl Simulator {
     /// The simulated LLC organization.
     pub fn organization(&self) -> LlcOrgKind {
         self.policy.kind()
+    }
+
+    /// Number of idle jumps the engine performed (0 unless
+    /// [`SimBuilder::skip_idle`] enabled skipping). Diagnostic only: skip
+    /// accounting never appears in [`RunStats`], observability reports, or
+    /// checkpoints, which stay byte-identical to stepped runs.
+    pub fn skip_jumps(&self) -> u64 {
+        self.skip_jumps
+    }
+
+    /// Total cycles elided by idle jumps (0 unless skipping is enabled).
+    /// Diagnostic only, like [`Simulator::skip_jumps`].
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// Apply (or clear) the policy's way split on every LLC slice.
@@ -478,6 +523,9 @@ impl Simulator {
 
             // Execute until the kernel completes.
             while !self.kernel_done() {
+                if self.skip_idle {
+                    self.skip_quiescent_cycles(every);
+                }
                 self.tick(true);
                 self.check_progress()?;
                 self.maybe_checkpoint()?;

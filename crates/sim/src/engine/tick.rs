@@ -17,9 +17,9 @@ use mcgpu_types::{
 const PENDING_RING_LIMIT: usize = 64;
 /// Maximum instructions a cluster may run ahead of the slowest cluster
 /// (one CTA wave of the distributed CTA scheduler).
-const CTA_WAVE_LEAD: usize = 384;
+pub(super) const CTA_WAVE_LEAD: usize = 384;
 /// LLC occupancy sampling period in cycles (Fig. 9).
-const OCC_SAMPLE_PERIOD: u64 = 256;
+pub(super) const OCC_SAMPLE_PERIOD: u64 = 256;
 
 impl Simulator {
     #[inline]

@@ -72,6 +72,13 @@ impl LlcOrgPolicy for DynamicPolicy {
         }
     }
 
+    fn next_policy_event(&self, _now: u64) -> u64 {
+        // `maybe_adjust` is a pure no-op until the controller's next epoch
+        // boundary; the skip clamps there so the adjustment still happens
+        // at exactly the stepped loop's cycle.
+        self.ctl.next_epoch()
+    }
+
     fn save_state(&self, e: &mut mcgpu_types::Enc) {
         self.ctl.save(e);
     }

@@ -206,6 +206,18 @@ pub trait LlcOrgPolicy: std::fmt::Debug + Send {
         EpochActions::default()
     }
 
+    /// The next absolute cycle (strictly after `now`) at which this
+    /// policy's [`on_cycle`](LlcOrgPolicy::on_cycle) hook can mutate state
+    /// or return a non-default action, assuming the machine stays fully
+    /// quiescent until then. `u64::MAX` means "never while quiescent". The
+    /// engine's idle-cycle skip clamps its clock jump to this cycle, so a
+    /// policy may be conservative (report an earlier cycle) but must never
+    /// report a later one — the conservative default of `now + 1` disables
+    /// skipping entirely for policies that do not override it.
+    fn next_policy_event(&self, now: u64) -> u64 {
+        now + 1
+    }
+
     /// Diagnostic label of the policy's internal controller state, for
     /// organizations that have one (`None` otherwise). The observability
     /// timeline records it each epoch.

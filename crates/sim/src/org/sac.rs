@@ -123,6 +123,10 @@ impl LlcOrgPolicy for SacPolicy {
         actions
     }
 
+    fn next_policy_event(&self, now: u64) -> u64 {
+        self.ctl.next_event(now)
+    }
+
     fn save_state(&self, e: &mut mcgpu_types::Enc) {
         self.ctl.save(e);
     }

@@ -38,4 +38,10 @@ impl LlcOrgPolicy for SmSidePolicy {
             CoherenceKind::Hardware => BoundaryAction::DropRemoteReplicas,
         }
     }
+
+    fn next_policy_event(&self, _now: u64) -> u64 {
+        // Stateless: `on_cycle` is the default no-op, so a quiescent
+        // machine never needs a policy wake-up.
+        u64::MAX
+    }
 }

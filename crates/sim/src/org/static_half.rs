@@ -55,4 +55,10 @@ impl LlcOrgPolicy for StaticHalfPolicy {
             CoherenceKind::Hardware => BoundaryAction::DropRemoteReplicas,
         }
     }
+
+    fn next_policy_event(&self, _now: u64) -> u64 {
+        // The split is fixed for the whole run and `on_cycle` is the
+        // default no-op: no policy wake-ups needed.
+        u64::MAX
+    }
 }

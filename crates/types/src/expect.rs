@@ -133,6 +133,53 @@ impl Table4Field {
     }
 }
 
+/// Which cycle-vs-fast error dimension a cross-validation metric reads.
+///
+/// The two-tier engine's analytic fast mode is only trustworthy while its
+/// predictions track the cycle engine; the `crossval` harness measures
+/// these per golden case and `expectations/crossval.json` pins bands on
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrossvalField {
+    /// `|fast hit rate − cycle hit rate|` in absolute LLC hit-rate points
+    /// (a fraction in `[0, 1]`, so `0.05` is five points).
+    LlcHitAbsErr,
+    /// Relative error of predicted inter-chip fabric bytes:
+    /// `|fast − cycle| / cycle`.
+    FabricRelErr,
+    /// Relative error of predicted DRAM traffic (reads + writes):
+    /// `|fast − cycle| / cycle`.
+    DramRelErr,
+}
+
+impl CrossvalField {
+    /// Every field, in scorecard order.
+    pub const ALL: [CrossvalField; 3] = [
+        CrossvalField::LlcHitAbsErr,
+        CrossvalField::FabricRelErr,
+        CrossvalField::DramRelErr,
+    ];
+
+    /// Stable label used in the JSON forms.
+    pub fn label(self) -> &'static str {
+        match self {
+            CrossvalField::LlcHitAbsErr => "llc_hit_abs_err",
+            CrossvalField::FabricRelErr => "fabric_rel_err",
+            CrossvalField::DramRelErr => "dram_rel_err",
+        }
+    }
+
+    /// Inverse of [`CrossvalField::label`].
+    pub fn from_label(label: &str) -> Option<CrossvalField> {
+        match label {
+            "llc_hit_abs_err" => Some(CrossvalField::LlcHitAbsErr),
+            "fabric_rel_err" => Some(CrossvalField::FabricRelErr),
+            "dram_rel_err" => Some(CrossvalField::DramRelErr),
+            _ => None,
+        }
+    }
+}
+
 /// One named scalar the harness can compute from swept statistics.
 ///
 /// Benchmark names are free-form here (the types crate does not know the
@@ -217,6 +264,15 @@ pub enum Metric {
         /// Chip count.
         chips: u64,
     },
+    /// Two-tier cross-validation: a cycle-vs-fast prediction error of the
+    /// analytic engine on one golden case (free-form case name, validated
+    /// at evaluation time like benchmark names).
+    CrossvalErr {
+        /// Golden case name (e.g. `sn_sac`).
+        case: String,
+        /// Which error dimension.
+        field: CrossvalField,
+    },
 }
 
 impl Metric {
@@ -232,6 +288,7 @@ impl Metric {
             Metric::MeasuredMb { .. } => "measured_mb",
             Metric::ScaleSpeedup { .. } => "scale_speedup",
             Metric::FabricBytes { .. } => "fabric_bytes",
+            Metric::CrossvalErr { .. } => "crossval_err",
         }
     }
 
@@ -269,6 +326,9 @@ impl Metric {
             }
             Metric::FabricBytes { topology, chips } => {
                 format!("fabric_bytes({}, {chips})", topology.label())
+            }
+            Metric::CrossvalErr { case, field } => {
+                format!("crossval_err({case}, {})", field.label())
             }
         }
     }
@@ -335,6 +395,15 @@ impl Metric {
                 topology: topology_field(v)?,
                 chips: u64_field(v, "chips")?,
             }),
+            "crossval_err" => {
+                let label = str_field(v, "field")?;
+                Ok(Metric::CrossvalErr {
+                    case: str_field(v, "case")?.to_string(),
+                    field: CrossvalField::from_label(label).ok_or_else(|| {
+                        ParseError::new(format!("unknown crossval field `{label}`"))
+                    })?,
+                })
+            }
             other => Err(ParseError::new(format!("unknown metric kind `{other}`"))),
         }
     }
@@ -378,6 +447,10 @@ impl Metric {
                 w.str_field("topology", topology.label());
                 w.u64_field("chips", *chips);
             }
+            Metric::CrossvalErr { case, field } => {
+                w.str_field("case", case);
+                w.str_field("field", field.label());
+            }
         }
     }
 
@@ -393,7 +466,8 @@ impl Metric {
             | Metric::MeasuredMb { bench, .. } => vec![bench],
             Metric::HmeanSpeedup { .. }
             | Metric::ScaleSpeedup { .. }
-            | Metric::FabricBytes { .. } => Vec::new(),
+            | Metric::FabricBytes { .. }
+            | Metric::CrossvalErr { .. } => Vec::new(),
         }
     }
 }

@@ -115,6 +115,13 @@ impl FaultPlan {
         self.events.len() - self.cursor
     }
 
+    /// Cycle of the next not-yet-applied event, if any. This is the fault
+    /// plan's contribution to the engine's next-event scan: idle-cycle
+    /// skipping must never jump past a scheduled fault.
+    pub fn next_due(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|e| e.cycle)
+    }
+
     /// Whether the plan has no events at all.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()

@@ -30,6 +30,7 @@ pub mod fault;
 pub mod fsio;
 pub mod ids;
 pub mod json;
+pub mod mode;
 pub mod obs;
 pub mod packet;
 pub mod pipe;
@@ -44,11 +45,12 @@ pub use config::{
 };
 pub use error::{ConfigError, JournalError, ParseError, TraceError};
 pub use expect::{
-    Check, Expectation, ExpectationSet, Finding, Metric, Report, Severity, Verdict, EXPECT_SCHEMA,
-    REPORT_SCHEMA,
+    Check, CrossvalField, Expectation, ExpectationSet, Finding, Metric, Report, Severity, Verdict,
+    EXPECT_SCHEMA, REPORT_SCHEMA,
 };
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use ids::{ChannelId, ChipId, ClusterId, SliceId};
+pub use mode::{EngineMode, ModeDescriptor, ENGINE_MODES};
 pub use obs::{ObsConfig, ObsLevel};
 pub use packet::{AccessKind, MemAccess, Request, RequestId, Response, ResponseOrigin};
 pub use pipe::Pipe;

@@ -151,6 +151,15 @@ impl<T> Pipe<T> {
             .chain(self.waiting.iter().map(|(t, _)| t))
     }
 
+    /// Whether ticking this pipe is a state no-op: it holds no items and
+    /// its budget's credit has saturated at the cap (so the per-cycle
+    /// [`BandwidthBudget::refill`] no longer changes the stored bits).
+    /// This is the per-pipe precondition for idle-cycle skipping.
+    #[inline]
+    pub fn tick_is_noop(&self) -> bool {
+        self.is_empty() && self.budget.refill_is_noop()
+    }
+
     /// Serialize the full pipe state (budget, latency, capacity, both
     /// queues) into a checkpoint payload, encoding each item with `f`.
     pub fn save_with(

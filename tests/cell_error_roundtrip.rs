@@ -80,6 +80,7 @@ proptest! {
             cell: "PROP/cell".to_string(),
             config_hash: case,
             config: Some(format!("prop-desc-{case}")),
+            mode: None,
             attempts,
             outcome: RecordOutcome::Quarantined {
                 kind: kind.to_string(),

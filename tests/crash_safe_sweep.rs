@@ -129,6 +129,7 @@ fn resume_reruns_only_the_failed_cell() {
                     cell: cell.to_string(),
                     config_hash: hash,
                     config: Some(cell.to_string()),
+                    mode: None,
                     attempts: out.attempts,
                     outcome,
                 })

@@ -329,6 +329,7 @@ fn restart_replays_completed_cells_and_reexecutes_the_rest() {
                 cell: cells[0].0.clone(),
                 config_hash: cells[0].1,
                 config: Some(cells[0].2.clone()),
+                mode: None,
                 attempts: 1,
                 outcome: RecordOutcome::Completed {
                     stats_json: sentinel.to_string(),
